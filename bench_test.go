@@ -1,0 +1,236 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (one benchmark per artifact; see DESIGN.md §4 for the experiment index).
+// They run reduced workloads by default so `go test -bench=.` completes in
+// minutes; cmd/di-bench runs the full-scale versions and prints the
+// paper-style tables.
+package dimatch
+
+import (
+	"io"
+	"testing"
+
+	"dimatch/internal/bench"
+	"dimatch/internal/cluster"
+	"dimatch/internal/core"
+)
+
+// BenchmarkFigure1a regenerates the periodicity/divisibility curves (E1).
+func BenchmarkFigure1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure1a(bench.Figure1aConfig{Persons: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 6 {
+			b.Fatal("expected six category curves")
+		}
+	}
+}
+
+// BenchmarkFigure1b regenerates the local-similarity CDF (E2).
+func BenchmarkFigure1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure1b(bench.Figure1bConfig{Persons: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.FractionAtLeastOne < 0.9 {
+			b.Fatalf("P(>=1 similar local) = %v", r.FractionAtLeastOne)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the accumulated representation curves (E3).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure3(bench.Figure1aConfig{Persons: 120}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvergence regenerates the sample-count study (E4).
+func BenchmarkConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := bench.Convergence(bench.ConvergenceConfig{
+			Groups:       2,
+			SampleCounts: []int{4, 8, 12},
+			Persons:      60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Sweep regenerates the full accuracy/efficiency sweep
+// (E5-E8) at a reduced scale.
+func BenchmarkFigure4Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := bench.Figure4(bench.Figure4Config{
+			Persons:       2000,
+			Stations:      36,
+			PatternCounts: []int{10, 30},
+			QueriesScored: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// figure4Cluster builds the Figure-4 style workload once for the
+// per-strategy timing benchmarks below (Figure 4b's individual curves).
+func figure4Cluster(b *testing.B, persons int) (*Cluster, []Query) {
+	b.Helper()
+	cfg := DefaultCityConfig()
+	cfg.Persons = persons
+	cfg.Days = 7
+	cfg.Noise = 0
+	cfg.VolumeLevels = 17
+	cfg.CategoryWeights = []float64{0.04, 0.192, 0.192, 0.192, 0.192, 0.192}
+	city, err := GenerateCity(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCluster(Options{
+		Params:   Params{Bits: 1 << 15, Hashes: 5, Samples: DefaultSamples, Seed: 1},
+		MinScore: 0.999,
+	}, StationData(city))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := c.Shutdown(); err != nil {
+			b.Error(err)
+		}
+	})
+	var queries []Query
+	id := QueryID(1)
+	for _, cat := range Categories() {
+		for _, p := range city.PersonsInCategory(cat) {
+			if cat == OfficeWorker && len(queries) < 20 {
+				queries = append(queries, QueryFromPerson(city, id, PersonID(p)))
+				id++
+			}
+		}
+	}
+	if len(queries) == 0 {
+		b.Fatal("no queries")
+	}
+	return c, queries
+}
+
+// BenchmarkSearchNaive times the naive strategy end to end (Figure 4b).
+func BenchmarkSearchNaive(b *testing.B) {
+	c, queries := figure4Cluster(b, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(queries, StrategyNaive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchBF times the Bloom-filter baseline end to end (Figure 4b).
+func BenchmarkSearchBF(b *testing.B) {
+	c, queries := figure4Cluster(b, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(queries, StrategyBF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchWBF times full DI-matching end to end (Figure 4b).
+func BenchmarkSearchWBF(b *testing.B) {
+	c, queries := figure4Cluster(b, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(queries, StrategyWBF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the effectiveness table (E9) at reduced
+// scale.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableII(bench.TableIIConfig{Persons: 120, Days: 2, QueriesPerDay: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatal("expected two rows")
+		}
+	}
+}
+
+// BenchmarkEncoderAddQuery isolates Algorithm 1 (query encoding).
+func BenchmarkEncoderAddQuery(b *testing.B) {
+	locals := []Pattern{
+		{0, 2, 4, 10, 0, 2, 4, 9},
+		{0, 0, 3, 2, 0, 0, 3, 2},
+		{0, 11, 16, 0, 0, 10, 15, 0},
+	}
+	params := core.Params{Bits: 1 << 20, Hashes: 5, Samples: 8, Epsilon: 1, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := core.NewEncoder(params, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.AddQuery(core.Query{ID: 1, Locals: locals}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherMatch isolates Algorithm 2 (station-side probing).
+func BenchmarkMatcherMatch(b *testing.B) {
+	locals := []Pattern{
+		{0, 2, 4, 10, 0, 2, 4, 9},
+		{0, 0, 3, 2, 0, 0, 3, 2},
+		{0, 11, 16, 0, 0, 10, 15, 0},
+	}
+	params := core.Params{Bits: 1 << 20, Hashes: 5, Samples: 8, Epsilon: 1, Seed: 1}
+	enc, err := core.NewEncoder(params, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.AddQuery(core.Query{ID: 1, Locals: locals}); err != nil {
+		b.Fatal(err)
+	}
+	m := core.NewMatcher(enc.Filter())
+	candidate := Pattern{0, 13, 23, 12, 0, 12, 22, 11}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Match(candidate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenderers exercises the text renderers (cheap, but keeps them
+// covered under -bench runs too).
+func BenchmarkRenderers(b *testing.B) {
+	points, err := bench.Figure4(bench.Figure4Config{
+		Persons:       1000,
+		Stations:      25,
+		PatternCounts: []int{5},
+		QueriesScored: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RenderFigure4(io.Discard, points)
+	}
+}
+
+var _ = cluster.StrategyWBF // keep the cluster import tied to strategy re-exports

@@ -1,0 +1,171 @@
+// Command di-bench regenerates the paper's evaluation tables and figures
+// (DESIGN.md §4) and prints them as text tables.
+//
+// Usage:
+//
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing] [-quick]
+//
+// The default -run all executes every experiment at full scale (a few
+// minutes); -quick shrinks the workloads for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dimatch/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience")
+		quick = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
+	)
+	flag.Parse()
+	if err := runExperiments(*run, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "di-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(run string, quick bool) error {
+	selected := func(name string) bool { return run == "all" || run == name }
+	any := false
+	w := os.Stdout
+
+	if selected("fig1a") {
+		any = true
+		series, err := bench.Figure1a(bench.Figure1aConfig{})
+		if err != nil {
+			return err
+		}
+		bench.RenderFigure1a(w, series)
+		fmt.Fprintln(w)
+	}
+	if selected("fig1b") {
+		any = true
+		cfg := bench.Figure1bConfig{}
+		if quick {
+			cfg.Persons = 120
+		}
+		r, err := bench.Figure1b(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderFigure1b(w, r)
+		fmt.Fprintln(w)
+	}
+	if selected("fig3") {
+		any = true
+		series, err := bench.Figure3(bench.Figure1aConfig{})
+		if err != nil {
+			return err
+		}
+		bench.RenderFigure3(w, series)
+		fmt.Fprintln(w)
+	}
+	if selected("conv") {
+		any = true
+		cfg := bench.ConvergenceConfig{}
+		if quick {
+			cfg.Groups = 2
+			cfg.SampleCounts = []int{2, 5, 8, 12}
+			cfg.Persons = 60
+		}
+		points, err := bench.Convergence(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderConvergence(w, points)
+		fmt.Fprintln(w)
+	}
+	if selected("fig4") {
+		any = true
+		cfg := bench.Figure4Config{}
+		if quick {
+			cfg.Persons = 2000
+			cfg.Stations = 36
+			cfg.PatternCounts = []int{5, 15, 30}
+			cfg.QueriesScored = 5
+		}
+		points, err := bench.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderFigure4(w, points)
+		fmt.Fprintln(w)
+	}
+	if selected("table2") {
+		any = true
+		cfg := bench.TableIIConfig{}
+		if quick {
+			cfg.Persons = 120
+			cfg.Days = 2
+			cfg.QueriesPerDay = 6
+		}
+		rows, err := bench.TableII(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderTableII(w, rows)
+		fmt.Fprintln(w)
+	}
+	if selected("salting") {
+		any = true
+		cfg := bench.AblationConfig{}
+		if quick {
+			cfg.Persons = 120
+		}
+		rows, err := bench.AblationSalting(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(w, "Ablation (DESIGN.md D8): position salting at ε > 0", rows)
+		fmt.Fprintln(w)
+	}
+	if selected("tolerance") {
+		any = true
+		cfg := bench.AblationConfig{}
+		if quick {
+			cfg.Persons = 120
+		}
+		rows, err := bench.AblationTolerance(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(w, "Ablation (DESIGN.md D1): scaled vs absolute ε bands", rows)
+		fmt.Fprintln(w)
+	}
+	if selected("sizing") {
+		any = true
+		cfg := bench.AblationConfig{}
+		if quick {
+			cfg.Persons = 120
+		}
+		rows, err := bench.SizingSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		bench.RenderSizing(w, rows)
+		fmt.Fprintln(w)
+	}
+	if selected("resilience") {
+		any = true
+		cfg := bench.AblationConfig{}
+		if quick {
+			cfg.Persons = 120
+		}
+		rows, err := bench.Resilience(cfg, nil)
+		if err != nil {
+			return err
+		}
+		bench.RenderResilience(w, rows)
+		fmt.Fprintln(w)
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience)", strings.TrimSpace(run))
+	}
+	return nil
+}

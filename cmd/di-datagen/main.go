@@ -1,0 +1,102 @@
+// Command di-datagen emits a synthetic city-scale CDR/CDL dataset — the
+// substrate standing in for the paper's proprietary mobile-network data —
+// as CSV on stdout.
+//
+// Usage:
+//
+//	di-datagen [-persons N] [-stations N] [-days N] [-seed N] -out cdr|cdl|patterns|persons
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dimatch/internal/cdr"
+)
+
+func main() {
+	var (
+		persons  = flag.Int("persons", 310, "population size")
+		stations = flag.Int("stations", 64, "number of base stations")
+		days     = flag.Int("days", 2, "observation window in days")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("out", "cdr", "what to emit: cdr, cdl, patterns, persons")
+	)
+	flag.Parse()
+
+	cfg := cdr.DefaultConfig()
+	cfg.Persons = *persons
+	cfg.Stations = *stations
+	cfg.Days = *days
+	cfg.Seed = *seed
+
+	if err := emit(cfg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "di-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(cfg cdr.Config, out string) error {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch out {
+	case "cdr":
+		rs, err := cdr.GenerateRecords(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "caller,type,callee,station,day,start_sec,dur_sec")
+		stations := make([]cdr.StationID, 0, len(rs.Records))
+		for s := range rs.Records {
+			stations = append(stations, s)
+		}
+		sort.Slice(stations, func(i, j int) bool { return stations[i] < stations[j] })
+		for _, s := range stations {
+			for _, r := range rs.Records[s] {
+				fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d\n", r.Caller, r.Type, r.Callee, r.Station, r.Day, r.StartSec, r.DurSec)
+			}
+		}
+	case "cdl":
+		rs, err := cdr.GenerateRecords(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "station,x_km,y_km")
+		for _, c := range rs.Cells {
+			fmt.Fprintf(w, "%d,%.2f,%.2f\n", c.Station, c.X, c.Y)
+		}
+	case "patterns":
+		d, err := cdr.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "station,person,pattern")
+		for _, s := range d.StationIDs() {
+			locals := d.StationLocals(s)
+			ids := make([]cdr.PersonID, 0, len(locals))
+			for p := range locals {
+				ids = append(ids, p)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, p := range ids {
+				fmt.Fprintf(w, "%d,%d,%q\n", s, p, fmt.Sprint(locals[p]))
+			}
+		}
+	case "persons":
+		d, err := cdr.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "person,category,outlier,anchors")
+		for _, p := range d.Persons {
+			fmt.Fprintf(w, "%d,%s,%v,%q\n", p.ID, p.Category, p.Outlier, fmt.Sprint(p.Anchors))
+		}
+	default:
+		return fmt.Errorf("unknown -out %q (want cdr, cdl, patterns or persons)", out)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package dimatch
+
+import (
+	"dimatch/internal/cluster"
+	"dimatch/internal/core"
+	"dimatch/internal/metrics"
+	"dimatch/internal/pattern"
+)
+
+// Core vocabulary, aliased from the implementation packages so the public
+// surface is a single import.
+type (
+	// Pattern is an integer communication-pattern time series (one value
+	// per interval, Definition 1 of the paper).
+	Pattern = pattern.Pattern
+	// Query is one pattern set to search for: the local patterns whose
+	// element-wise sum is the global pattern that defines a match.
+	Query = core.Query
+	// QueryID identifies a query within a batch.
+	QueryID = core.QueryID
+	// PersonID identifies a mobile phone across the network.
+	PersonID = core.PersonID
+	// Params carries the WBF pipeline knobs (filter bits m, hashes k,
+	// samples b, tolerance ε, seed).
+	Params = core.Params
+	// Result is one ranked answer: person, exact weight fraction, and the
+	// number of stations that reported them.
+	Result = core.Result
+	// Options configures a cluster's searches (params, top-K, sizing).
+	Options = cluster.Options
+	// Strategy selects naive / BF / WBF execution.
+	Strategy = cluster.Strategy
+	// Outcome is a search's ranked results plus cost accounting.
+	Outcome = cluster.Outcome
+	// CostReport quantifies a search's traffic, storage and latency.
+	CostReport = cluster.CostReport
+	// Confusion scores retrieved-vs-relevant sets (precision/recall/F1).
+	Confusion = metrics.Confusion
+	// ToleranceMode selects how ε maps into the accumulated domain.
+	ToleranceMode = core.ToleranceMode
+)
+
+// Strategies, re-exported.
+const (
+	StrategyNaive = cluster.StrategyNaive
+	StrategyBF    = cluster.StrategyBF
+	StrategyWBF   = cluster.StrategyWBF
+)
+
+// Tolerance modes, re-exported. ToleranceScaled guarantees no false
+// negatives with respect to the per-interval ε; ToleranceAbsolute is the
+// tighter, cheaper ablation.
+const (
+	ToleranceScaled   = core.ToleranceScaled
+	ToleranceAbsolute = core.ToleranceAbsolute
+)
+
+// DefaultSamples is the paper's converged sample count b = 12.
+const DefaultSamples = core.DefaultSamples
+
+// Cluster is a running DI-matching deployment: one data center plus one
+// goroutine-backed base station per entry of the station data map.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster builds and starts a cluster over per-station local patterns.
+// All patterns must share one time-series length. Callers own Shutdown.
+func NewCluster(opts Options, stationData map[uint32]map[PersonID]Pattern) (*Cluster, error) {
+	inner, err := cluster.New(opts, stationData)
+	if err != nil {
+		return nil, err
+	}
+	inner.Start()
+	return &Cluster{inner: inner}, nil
+}
+
+// Search runs one batch of queries under a strategy and returns ranked
+// results and cost accounting.
+func (c *Cluster) Search(queries []Query, strategy Strategy) (*Outcome, error) {
+	return c.inner.Search(queries, strategy)
+}
+
+// Stations returns the number of base stations.
+func (c *Cluster) Stations() int { return c.inner.Stations() }
+
+// PatternLength returns the cluster's time-series length.
+func (c *Cluster) PatternLength() int { return c.inner.PatternLength() }
+
+// KillStation severs one station, simulating a failure; searches continue
+// degraded.
+func (c *Cluster) KillStation(id uint32) error { return c.inner.KillStation(id) }
+
+// Shutdown stops every station goroutine and waits for them.
+func (c *Cluster) Shutdown() error { return c.inner.Shutdown() }
+
+// Oracle computes the exact IPM answer directly from raw station data — the
+// ground truth that StrategyNaive reproduces through the distributed
+// pipeline.
+func Oracle(stationData map[uint32]map[PersonID]Pattern, query Query, eps int64, topK int) ([]PersonID, error) {
+	return cluster.Oracle(stationData, query, eps, topK)
+}
+
+// Evaluate scores a retrieved person list against the relevant set.
+func Evaluate(retrieved, relevant []PersonID) Confusion {
+	return metrics.Evaluate(retrieved, relevant)
+}
+
+// Similar reports whether two patterns match within ε at every interval
+// (Eq. 2 of the paper).
+func Similar(a, b Pattern, eps int64) bool { return pattern.Similar(a, b, eps) }
+
+// Accumulate returns the prefix-sum representation (Eq. 3) that lets a
+// single value carry both magnitude and time order.
+func Accumulate(p Pattern) Pattern { return p.Accumulate() }

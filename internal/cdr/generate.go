@@ -1,0 +1,208 @@
+package cdr
+
+import (
+	"fmt"
+
+	"dimatch/internal/pattern"
+)
+
+// Generate builds the pattern-level dataset directly from the deterministic
+// target attributes — the fast path used by large parameter sweeps. It is
+// pinned by test to agree exactly with the full record pipeline
+// (GenerateRecords + Extract).
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Cfg:    cfg,
+		Cells:  layoutCells(cfg),
+		locals: make(map[StationID]map[PersonID]pattern.Pattern),
+	}
+	length := cfg.Length()
+	d.Persons = make([]Person, cfg.Persons)
+	for id := 0; id < cfg.Persons; id++ {
+		person := newPerson(cfg, PersonID(id))
+		d.Persons[id] = person
+		forEachStationTriple(cfg, person, func(day, interval int, station StationID, t triple) error {
+			persons := d.locals[station]
+			if persons == nil {
+				persons = make(map[PersonID]pattern.Pattern)
+				d.locals[station] = persons
+			}
+			local := persons[person.ID]
+			if local == nil {
+				local = make(pattern.Pattern, length)
+				persons[person.ID] = local
+			}
+			local[day*cfg.IntervalsPerDay+interval] = t.value()
+			return nil
+		})
+	}
+	return d, nil
+}
+
+// GenerateRecords builds the full record-level capture: every CDR each base
+// station would have logged during the window.
+func GenerateRecords(cfg Config) (*RecordSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rs := &RecordSet{
+		Cfg:     cfg,
+		Cells:   layoutCells(cfg),
+		Records: make(map[StationID][]CDR),
+	}
+	rs.Persons = make([]Person, cfg.Persons)
+	var synthErr error
+	for id := 0; id < cfg.Persons; id++ {
+		person := newPerson(cfg, PersonID(id))
+		rs.Persons[id] = person
+		// The contact pool must cover the largest per-interval partner
+		// count; size it to the largest call burst plus jitter headroom.
+		contacts := contactPool(cfg, person.ID, maxPartnerPool(cfg, person))
+		err := forEachStationTriple(cfg, person, func(day, interval int, station StationID, t triple) error {
+			recs, err := synthesizeInterval(cfg, person, station, day, interval, t, contacts)
+			if err != nil {
+				return err
+			}
+			rs.Records[station] = append(rs.Records[station], recs...)
+			return nil
+		})
+		if err != nil && synthErr == nil {
+			synthErr = err
+		}
+	}
+	if synthErr != nil {
+		return nil, synthErr
+	}
+	return rs, nil
+}
+
+// maxPartnerPool bounds the distinct partners any single interval can
+// demand for this person.
+func maxPartnerPool(cfg Config, p Person) int {
+	prof := profileFor(p.Category)
+	maxCalls := int64(0)
+	for day := 0; day < minInt(cfg.Days, 7); day++ {
+		for i := 0; i < cfg.IntervalsPerDay; i++ {
+			if t := baseTriple(prof, cfg, day, i); t.calls > maxCalls {
+				maxCalls = t.calls
+			}
+		}
+	}
+	jitter := cfg.Noise * 2 // outliers double the range
+	return int(maxCalls+jitter) + 2
+}
+
+// forEachStationTriple walks a person's deterministic target triples in
+// (day, interval, station) order, yielding only non-zero station pieces.
+// Both generation paths share it, which is what guarantees they agree.
+func forEachStationTriple(cfg Config, person Person, yield func(day, interval int, station StationID, t triple) error) error {
+	prof := profileFor(person.Category)
+	scale := personScale(cfg, person.ID)
+	for day := 0; day < cfg.Days; day++ {
+		for interval := 0; interval < cfg.IntervalsPerDay; interval++ {
+			base := scaleTriple(baseTriple(prof, cfg, day, interval), scale)
+			t := personTriple(cfg, person, base, day, interval)
+			if t.isZero() {
+				continue
+			}
+			_, fractions := intervalActivity(prof, cfg, interval)
+			byRole := personRoleTriples(base, t, fractions, prof.roles)
+			byStation := stationTriples(person, byRole)
+			// Deterministic station order: ascending IDs.
+			for _, st := range sortedStations(byStation) {
+				if err := yield(day, interval, st, byStation[st]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedStations(m map[StationID]triple) []StationID {
+	out := make([]StationID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: maps here are tiny (<= 4 roles)
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Extract rebuilds the pattern-level dataset from raw records only — the
+// base-station side of the real pipeline ("Base on CDR and CDL, we can get
+// the personal communication data (Definition 1) in the base stations").
+// Only MobileOriginated records contribute to patterns.
+func Extract(rs *RecordSet) (*Dataset, error) {
+	cfg := rs.Cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Cfg:     cfg,
+		Persons: rs.Persons,
+		Cells:   rs.Cells,
+		locals:  make(map[StationID]map[PersonID]pattern.Pattern),
+	}
+	length := cfg.Length()
+	intervalSec := cfg.intervalMinutes() * 60
+
+	type cell struct {
+		calls    int64
+		durSec   int64
+		partners map[PersonID]bool
+	}
+	for station, recs := range rs.Records {
+		// agg[(person, intervalIdx)] accumulates the three attributes.
+		agg := make(map[PersonID]map[int]*cell)
+		for _, r := range recs {
+			if r.Type != MobileOriginated {
+				continue
+			}
+			if r.Day < 0 || r.Day >= cfg.Days {
+				return nil, fmt.Errorf("cdr: record day %d outside window", r.Day)
+			}
+			intervalOfDay := r.StartSec / intervalSec
+			if intervalOfDay < 0 || intervalOfDay >= cfg.IntervalsPerDay {
+				return nil, fmt.Errorf("cdr: record start %ds outside day", r.StartSec)
+			}
+			idx := r.Day*cfg.IntervalsPerDay + intervalOfDay
+			byInterval := agg[r.Caller]
+			if byInterval == nil {
+				byInterval = make(map[int]*cell)
+				agg[r.Caller] = byInterval
+			}
+			c := byInterval[idx]
+			if c == nil {
+				c = &cell{partners: make(map[PersonID]bool)}
+				byInterval[idx] = c
+			}
+			c.calls++
+			c.durSec += int64(r.DurSec)
+			c.partners[r.Callee] = true
+		}
+		persons := make(map[PersonID]pattern.Pattern, len(agg))
+		for pid, byInterval := range agg {
+			local := make(pattern.Pattern, length)
+			for idx, c := range byInterval {
+				t := triple{
+					calls:    c.calls,
+					minutes:  (c.durSec + 30) / 60,
+					partners: int64(len(c.partners)),
+				}
+				local[idx] = t.value()
+			}
+			persons[pid] = local
+		}
+		if len(persons) > 0 {
+			d.locals[StationID(station)] = persons
+		}
+	}
+	return d, nil
+}

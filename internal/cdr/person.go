@@ -1,0 +1,186 @@
+package cdr
+
+import (
+	"math"
+
+	"dimatch/internal/hash"
+)
+
+// Person is one synthetic mobile-phone user. Category is the ground-truth
+// label used by the effectiveness experiments (Table II).
+type Person struct {
+	ID       PersonID
+	Category Category
+	// Anchors maps each role the category uses to the base station where
+	// that slice of the person's life happens. Distinct roles may share a
+	// station (living next to the office), which is exactly the
+	// incomplete-pattern aggregation case DI-matching must handle.
+	Anchors map[Role]StationID
+	// Outlier marks persons with doubled jitter range (Config.OutlierRate).
+	Outlier bool
+}
+
+// mix folds a sequence of values into one well-distributed 64-bit key. All
+// randomness in the generator derives from such keys, so generation is
+// order-independent and reproducible.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x6a09e667f3bcc909)
+	for _, v := range vals {
+		h = hash.Mix64(h ^ v)
+	}
+	return h
+}
+
+// boundedInt maps a key to a uniform integer in [lo, hi].
+func boundedInt(key uint64, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	span := uint64(hi - lo + 1)
+	return lo + int64(key%span)
+}
+
+// unitFloat maps a key to [0, 1).
+func unitFloat(key uint64) float64 {
+	return float64(key>>11) / float64(1<<53)
+}
+
+// Zone tags in the mix keys, so each random decision has its own stream.
+const (
+	tagCategory = iota + 1
+	tagOutlier
+	tagAnchor
+	tagJitterCalls
+	tagJitterMinutes
+	tagJitterPartners
+	tagSplit
+	tagContact
+	tagScale
+)
+
+// newPerson derives person id deterministically from the config.
+func newPerson(cfg Config, id PersonID) Person {
+	cat := assignCategory(cfg, id)
+	p := Person{
+		ID:       id,
+		Category: cat,
+		Anchors:  make(map[Role]StationID, numRoles),
+		Outlier:  unitFloat(mix(cfg.Seed, uint64(id), tagOutlier)) < cfg.OutlierRate,
+	}
+	prof := profileFor(cat)
+	for _, role := range prof.roles {
+		p.Anchors[role] = anchorStation(cfg, id, cat, role)
+	}
+	return p
+}
+
+// assignCategory picks a person's category: round-robin when the mix is
+// uniform (exact proportions), weighted hashing otherwise.
+func assignCategory(cfg Config, id PersonID) Category {
+	cats := Categories()
+	if len(cfg.CategoryWeights) == 0 {
+		return cats[uint64(id)%numCategories]
+	}
+	var total float64
+	for _, w := range cfg.CategoryWeights {
+		total += w
+	}
+	u := unitFloat(mix(cfg.Seed, uint64(id), tagCategory)) * total
+	for i, w := range cfg.CategoryWeights {
+		if u < w {
+			return cats[i]
+		}
+		u -= w
+	}
+	return cats[len(cats)-1]
+}
+
+// gridDims returns the station grid dimensions (gw columns × gh rows,
+// gw*gh >= cfg.Stations).
+func gridDims(cfg Config) (gw, gh int) {
+	gw = int(math.Ceil(math.Sqrt(float64(cfg.Stations))))
+	gh = (cfg.Stations + gw - 1) / gw
+	return gw, gh
+}
+
+// anchorStation places a person's role anchor in the city. Work-like roles
+// concentrate in category zones (downtown, campus, industrial, nightlife);
+// home is spread across the whole city; leisure sits near home.
+func anchorStation(cfg Config, id PersonID, cat Category, role Role) StationID {
+	gw, gh := gridDims(cfg)
+	key := mix(cfg.Seed, uint64(id), tagAnchor, uint64(cat), uint64(role))
+
+	var cx, cy, radius float64 // grid-fraction center and scatter radius
+	switch role {
+	case RoleHome:
+		cx, cy = unitFloat(key), unitFloat(hash.Mix64(key))
+		radius = 0.05
+	case RoleWork:
+		switch cat {
+		case OfficeWorker:
+			cx, cy, radius = 0.5, 0.5, 0.08
+		case Student:
+			cx, cy, radius = 0.2, 0.2, 0.06
+		case NightShift:
+			cx, cy, radius = 0.8, 0.2, 0.08
+		case FieldSales:
+			cx, cy, radius = 0.5, 0.6, 0.1
+		case Entertainment:
+			cx, cy, radius = 0.65, 0.5, 0.06
+		default:
+			cx, cy, radius = 0.5, 0.5, 0.1
+		}
+	case RoleLeisure:
+		// Near home, offset toward the city's leisure belt.
+		hk := mix(cfg.Seed, uint64(id), tagAnchor, uint64(cat), uint64(RoleHome))
+		cx = 0.7*unitFloat(hk) + 0.3*0.6
+		cy = 0.7*unitFloat(hash.Mix64(hk)) + 0.3*0.45
+		radius = 0.08
+	case RoleExtra:
+		// Client districts: scattered city-wide per person.
+		cx, cy = unitFloat(key^0xabcd), unitFloat(hash.Mix64(key^0xabcd))
+		radius = 0.15
+	}
+
+	dx := (unitFloat(hash.Mix64(key^1)) - 0.5) * 2 * radius
+	dy := (unitFloat(hash.Mix64(key^2)) - 0.5) * 2 * radius
+	col := clampInt(int(math.Round((cx+dx)*float64(gw-1))), 0, gw-1)
+	row := clampInt(int(math.Round((cy+dy)*float64(gh-1))), 0, gh-1)
+	s := row*gw + col
+	if s >= cfg.Stations {
+		s = cfg.Stations - 1
+	}
+	return StationID(s)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// contactPool returns n distinct callee IDs for a person, drawn from an
+// extended universe of twice the population (the second half models
+// out-of-network numbers), never including the person itself.
+func contactPool(cfg Config, id PersonID, n int) []PersonID {
+	universe := uint64(2 * cfg.Persons)
+	if universe < 2 {
+		universe = 2
+	}
+	out := make([]PersonID, 0, n)
+	seen := make(map[PersonID]bool, n+1)
+	seen[id] = true
+	for i := uint64(0); len(out) < n; i++ {
+		cand := PersonID(mix(cfg.Seed, uint64(id), tagContact, i) % universe)
+		if seen[cand] {
+			continue
+		}
+		seen[cand] = true
+		out = append(out, cand)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package cdr
+
+// Role is a slot in a person's daily routine; each role maps to one anchor
+// base station for that person. Roles are the mechanism behind the paper's
+// Observation 2: two same-category persons use different stations, but the
+// slice of activity each role contributes is category-typical, so their
+// per-station local patterns are mutually similar.
+type Role int
+
+const (
+	RoleHome Role = iota
+	RoleWork
+	RoleLeisure
+	RoleExtra
+
+	numRoles = 4
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleHome:
+		return "home"
+	case RoleWork:
+		return "work"
+	case RoleLeisure:
+		return "leisure"
+	case RoleExtra:
+		return "extra"
+	default:
+		return "unknown"
+	}
+}
+
+// profile defines one category's deterministic behaviour: how much calling
+// happens at each hour, where it happens, and how long/spread the calls are.
+type profile struct {
+	// diurnal is the relative activity weight per hour of day; it need not
+	// be normalized.
+	diurnal [24]float64
+	// callsPerDay is the mean weekday call volume.
+	callsPerDay float64
+	// weekendFactor scales weekend volume.
+	weekendFactor float64
+	// minutesPerCall is the mean call duration in minutes.
+	minutesPerCall float64
+	// partnerRatio is distinct partners per call (0..1].
+	partnerRatio float64
+	// location[h][r] is the fraction of hour-h activity happening at role r.
+	// Rows must sum to 1 over the roles the category uses.
+	location [24][numRoles]float64
+	// roles lists the roles this category occupies (and therefore how many
+	// anchor stations, hence local patterns, its members have).
+	roles []Role
+}
+
+// hoursBlock fills location rows h0..h1-1 with the given role fractions.
+func (p *profile) hoursBlock(h0, h1 int, fractions [numRoles]float64) {
+	for h := h0; h < h1; h++ {
+		p.location[h] = fractions
+	}
+}
+
+// profiles returns the six category definitions. The curves are crafted so
+// that (a) each repeats daily (Observation 1, periodicity), (b) total
+// volumes differ enough across categories that accumulated curves diverge
+// (Observation 1, divisibility; Figure 3) and (c) every category has a
+// distinct peak structure (Figure 1a).
+func profileFor(c Category) profile {
+	var p profile
+	switch c {
+	case OfficeWorker:
+		p.callsPerDay = 24
+		p.weekendFactor = 0.5
+		p.minutesPerCall = 3
+		p.partnerRatio = 0.6
+		p.roles = []Role{RoleHome, RoleWork, RoleLeisure}
+		for h := 8; h < 12; h++ {
+			p.diurnal[h] = 2.0
+		}
+		for h := 14; h < 18; h++ {
+			p.diurnal[h] = 2.4
+		}
+		for h := 19; h < 23; h++ {
+			p.diurnal[h] = 1.0
+		}
+		p.diurnal[7], p.diurnal[12], p.diurnal[13], p.diurnal[18] = 0.6, 1.2, 1.2, 1.1
+		p.hoursBlock(0, 8, [numRoles]float64{RoleHome: 1})
+		p.hoursBlock(8, 18, [numRoles]float64{RoleHome: 0.05, RoleWork: 0.95})
+		p.hoursBlock(18, 20, [numRoles]float64{RoleHome: 0.5, RoleLeisure: 0.5})
+		p.hoursBlock(20, 24, [numRoles]float64{RoleHome: 0.9, RoleLeisure: 0.1})
+	case Student:
+		p.callsPerDay = 15
+		p.weekendFactor = 1.3
+		p.minutesPerCall = 4
+		p.partnerRatio = 0.45
+		p.roles = []Role{RoleHome, RoleWork, RoleLeisure} // work = campus
+		for h := 10; h < 13; h++ {
+			p.diurnal[h] = 1.0
+		}
+		for h := 16; h < 20; h++ {
+			p.diurnal[h] = 2.0
+		}
+		for h := 20; h < 24; h++ {
+			p.diurnal[h] = 2.6
+		}
+		p.diurnal[9], p.diurnal[14], p.diurnal[15] = 0.5, 0.8, 0.9
+		p.hoursBlock(0, 9, [numRoles]float64{RoleHome: 1})
+		p.hoursBlock(9, 17, [numRoles]float64{RoleHome: 0.1, RoleWork: 0.9})
+		p.hoursBlock(17, 22, [numRoles]float64{RoleHome: 0.3, RoleLeisure: 0.7})
+		p.hoursBlock(22, 24, [numRoles]float64{RoleHome: 0.8, RoleLeisure: 0.2})
+	case NightShift:
+		p.callsPerDay = 10
+		p.weekendFactor = 0.9
+		p.minutesPerCall = 2
+		p.partnerRatio = 0.5
+		p.roles = []Role{RoleHome, RoleWork}
+		for h := 0; h < 5; h++ {
+			p.diurnal[h] = 1.8
+		}
+		for h := 15; h < 19; h++ {
+			p.diurnal[h] = 1.2
+		}
+		for h := 21; h < 24; h++ {
+			p.diurnal[h] = 2.2
+		}
+		p.diurnal[5], p.diurnal[14], p.diurnal[19], p.diurnal[20] = 1.0, 0.5, 0.8, 1.4
+		p.hoursBlock(0, 7, [numRoles]float64{RoleWork: 1})
+		p.hoursBlock(7, 14, [numRoles]float64{RoleHome: 1})
+		p.hoursBlock(14, 21, [numRoles]float64{RoleHome: 0.8, RoleLeisure: 0.2})
+		p.hoursBlock(21, 24, [numRoles]float64{RoleWork: 1})
+		// Leisure appears in the schedule with small weight but is not an
+		// anchor role for this category; fold it into home.
+		for h := 14; h < 21; h++ {
+			p.location[h][RoleHome] += p.location[h][RoleLeisure]
+			p.location[h][RoleLeisure] = 0
+		}
+	case Retiree:
+		p.callsPerDay = 6
+		p.weekendFactor = 1.0
+		p.minutesPerCall = 8
+		p.partnerRatio = 0.35
+		p.roles = []Role{RoleHome, RoleLeisure}
+		for h := 8; h < 11; h++ {
+			p.diurnal[h] = 2.0
+		}
+		for h := 15; h < 18; h++ {
+			p.diurnal[h] = 1.5
+		}
+		p.diurnal[7], p.diurnal[11], p.diurnal[12], p.diurnal[19] = 0.8, 1.2, 0.6, 0.7
+		p.hoursBlock(0, 9, [numRoles]float64{RoleHome: 1})
+		p.hoursBlock(9, 12, [numRoles]float64{RoleHome: 0.4, RoleLeisure: 0.6})
+		p.hoursBlock(12, 24, [numRoles]float64{RoleHome: 0.85, RoleLeisure: 0.15})
+	case FieldSales:
+		p.callsPerDay = 40
+		p.weekendFactor = 0.6
+		p.minutesPerCall = 2
+		p.partnerRatio = 0.85
+		p.roles = []Role{RoleHome, RoleWork, RoleLeisure, RoleExtra} // extra = client district
+		for h := 8; h < 20; h++ {
+			p.diurnal[h] = 2.0
+		}
+		p.diurnal[7], p.diurnal[20], p.diurnal[21] = 1.0, 1.0, 0.5
+		p.hoursBlock(0, 8, [numRoles]float64{RoleHome: 1})
+		p.hoursBlock(8, 11, [numRoles]float64{RoleWork: 0.7, RoleExtra: 0.3})
+		p.hoursBlock(11, 16, [numRoles]float64{RoleWork: 0.2, RoleExtra: 0.8})
+		p.hoursBlock(16, 19, [numRoles]float64{RoleWork: 0.6, RoleExtra: 0.4})
+		p.hoursBlock(19, 24, [numRoles]float64{RoleHome: 0.7, RoleLeisure: 0.3})
+	case Entertainment:
+		p.callsPerDay = 20
+		p.weekendFactor = 1.8
+		p.minutesPerCall = 5
+		p.partnerRatio = 0.7
+		p.roles = []Role{RoleHome, RoleWork, RoleLeisure} // work = venue
+		for h := 11; h < 14; h++ {
+			p.diurnal[h] = 0.8
+		}
+		for h := 18; h < 24; h++ {
+			p.diurnal[h] = 2.4
+		}
+		p.diurnal[10], p.diurnal[14], p.diurnal[15], p.diurnal[16], p.diurnal[17] = 0.4, 0.6, 0.6, 0.9, 1.4
+		p.hoursBlock(0, 11, [numRoles]float64{RoleHome: 1})
+		p.hoursBlock(11, 17, [numRoles]float64{RoleHome: 0.2, RoleWork: 0.8})
+		p.hoursBlock(17, 24, [numRoles]float64{RoleWork: 0.6, RoleLeisure: 0.4})
+	default:
+		// Unknown categories behave like a flat low-volume profile; callers
+		// validate categories, so this is a conservative fallback.
+		p.callsPerDay = 5
+		p.weekendFactor = 1
+		p.minutesPerCall = 2
+		p.partnerRatio = 0.5
+		p.roles = []Role{RoleHome}
+		for h := range p.diurnal {
+			p.diurnal[h] = 1
+		}
+		p.hoursBlock(0, 24, [numRoles]float64{RoleHome: 1})
+	}
+	return p
+}
+
+// diurnalTotal returns the sum of hourly weights, the normalization base.
+func (p profile) diurnalTotal() float64 {
+	var s float64
+	for _, w := range p.diurnal {
+		s += w
+	}
+	return s
+}

@@ -1,0 +1,204 @@
+package cdr
+
+import "testing"
+
+func TestSynthesizeIntervalRealizesTriple(t *testing.T) {
+	cfg := DefaultConfig()
+	person := newPerson(cfg, 3)
+	contacts := contactPool(cfg, person.ID, 10)
+	tr := triple{calls: 5, minutes: 7, partners: 3}
+	recs, err := synthesizeInterval(cfg, person, 4, 1, 2, tr, contacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(recs)) != tr.calls {
+		t.Fatalf("%d records, want %d", len(recs), tr.calls)
+	}
+	var durSec int64
+	distinct := make(map[PersonID]bool)
+	intervalSec := cfg.intervalMinutes() * 60
+	for _, r := range recs {
+		if r.Caller != person.ID || r.Station != 4 || r.Day != 1 {
+			t.Fatalf("record fields wrong: %+v", r)
+		}
+		if r.Type != MobileOriginated {
+			t.Fatalf("record type = %v", r.Type)
+		}
+		if r.StartSec < 2*intervalSec || r.StartSec >= 3*intervalSec {
+			t.Fatalf("record start %d outside interval 2", r.StartSec)
+		}
+		durSec += int64(r.DurSec)
+		distinct[r.Callee] = true
+	}
+	if durSec != tr.minutes*60 {
+		t.Fatalf("total duration %ds, want %ds", durSec, tr.minutes*60)
+	}
+	if int64(len(distinct)) != tr.partners {
+		t.Fatalf("%d distinct partners, want %d", len(distinct), tr.partners)
+	}
+}
+
+func TestSynthesizeIntervalZeroCalls(t *testing.T) {
+	cfg := DefaultConfig()
+	recs, err := synthesizeInterval(cfg, newPerson(cfg, 1), 0, 0, 0, triple{}, nil)
+	if err != nil || recs != nil {
+		t.Fatalf("zero triple: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestSynthesizeIntervalRejectsUnrealizable(t *testing.T) {
+	cfg := DefaultConfig()
+	person := newPerson(cfg, 1)
+	contacts := contactPool(cfg, person.ID, 4)
+	if _, err := synthesizeInterval(cfg, person, 0, 0, 0, triple{calls: 2, partners: 3}, contacts); err == nil {
+		t.Fatal("partners > calls accepted")
+	}
+	if _, err := synthesizeInterval(cfg, person, 0, 0, 0, triple{calls: 9, partners: 8}, contacts); err == nil {
+		t.Fatal("insufficient contact pool accepted")
+	}
+}
+
+func TestContactPool(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := contactPool(cfg, 5, 20)
+	if len(pool) != 20 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	seen := make(map[PersonID]bool)
+	for _, c := range pool {
+		if c == 5 {
+			t.Fatal("contact pool contains self")
+		}
+		if seen[c] {
+			t.Fatalf("duplicate contact %d", c)
+		}
+		seen[c] = true
+	}
+	// Deterministic.
+	pool2 := contactPool(cfg, 5, 20)
+	for i := range pool {
+		if pool[i] != pool2[i] {
+			t.Fatal("contact pool not deterministic")
+		}
+	}
+}
+
+func TestAnchorStationsInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stations = 49
+	for id := 0; id < 200; id++ {
+		p := newPerson(cfg, PersonID(id))
+		if len(p.Anchors) == 0 {
+			t.Fatalf("person %d has no anchors", id)
+		}
+		for role, s := range p.Anchors {
+			if int(s) >= cfg.Stations {
+				t.Fatalf("person %d role %v anchored at station %d >= %d", id, role, s, cfg.Stations)
+			}
+		}
+	}
+}
+
+func TestAnchorWorkZonesCluster(t *testing.T) {
+	// Observation 2's engine: same-category persons work in the same zone,
+	// so their work anchors concentrate on few stations.
+	cfg := DefaultConfig()
+	cfg.Stations = 100
+	stations := make(map[StationID]bool)
+	persons := 0
+	for id := 0; persons < 40; id++ {
+		p := newPerson(cfg, PersonID(id))
+		if p.Category != OfficeWorker {
+			continue
+		}
+		persons++
+		stations[p.Anchors[RoleWork]] = true
+	}
+	if len(stations) > 15 {
+		t.Fatalf("office workers spread over %d work stations; want clustered", len(stations))
+	}
+}
+
+func TestLayoutCells(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stations = 10
+	cells := layoutCells(cfg)
+	if len(cells) != 10 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	seen := make(map[[2]float64]bool)
+	for i, c := range cells {
+		if c.Station != StationID(i) {
+			t.Fatalf("cell %d has station %d", i, c.Station)
+		}
+		key := [2]float64{c.X, c.Y}
+		if seen[key] {
+			t.Fatalf("duplicate cell position %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestExtractIgnoresMobileTerminated(t *testing.T) {
+	cfg := testConfig()
+	rs, err := GenerateRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Extract(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add an incoming-call record for person 0; patterns must not change.
+	var anyStation StationID
+	for s := range rs.Records {
+		anyStation = s
+		break
+	}
+	rs.Records[anyStation] = append(rs.Records[anyStation], CDR{
+		Caller:  0,
+		Type:    MobileTerminated,
+		Callee:  1,
+		Station: anyStation,
+		Day:     0,
+		DurSec:  600,
+	})
+	got, err := Extract(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.GlobalOf(0).Equal(want.GlobalOf(0)) {
+		t.Fatal("MobileTerminated record changed a pattern")
+	}
+}
+
+func TestExtractRejectsBadRecords(t *testing.T) {
+	cfg := testConfig()
+	rs, err := GenerateRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Records[0] = append(rs.Records[0], CDR{Caller: 1, Type: MobileOriginated, Day: 99})
+	if _, err := Extract(rs); err == nil {
+		t.Fatal("out-of-window day accepted")
+	}
+	rs, err = GenerateRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Records[0] = append(rs.Records[0], CDR{Caller: 1, Type: MobileOriginated, Day: 0, StartSec: 999999})
+	if _, err := Extract(rs); err == nil {
+		t.Fatal("out-of-day start accepted")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for r := RoleHome; r <= RoleExtra; r++ {
+		if r.String() == "unknown" {
+			t.Fatalf("role %d unnamed", r)
+		}
+	}
+	if Role(99).String() != "unknown" {
+		t.Fatal("unknown role should say so")
+	}
+}

@@ -1,0 +1,340 @@
+package cdr
+
+import (
+	"math"
+	"sort"
+)
+
+// triple is the integer attribute vector of Definition 1 for one interval:
+// number of calls, total call minutes, distinct partners.
+type triple struct {
+	calls    int64
+	minutes  int64
+	partners int64
+}
+
+func (t triple) isZero() bool { return t.calls == 0 && t.minutes == 0 && t.partners == 0 }
+
+func (t triple) add(o triple) triple {
+	return triple{
+		calls:    t.calls + o.calls,
+		minutes:  t.minutes + o.minutes,
+		partners: t.partners + o.partners,
+	}
+}
+
+// value reduces the triple to the communication-pattern value of
+// Definition 1 with equal attribute weights (m = 3, w_f = 1): the rounded
+// mean of the three attributes. Integer arithmetic: round(s/3) = ⌊(2s+3)/6⌋
+// for s >= 0.
+func (t triple) value() int64 {
+	s := t.calls + t.minutes + t.partners
+	return (2*s + 3) / 6
+}
+
+// intervalActivity returns the diurnal weight captured by interval i of a
+// day (activity-proportional, before volume scaling) along with the
+// role-fraction split of that weight.
+func intervalActivity(p profile, cfg Config, interval int) (weight float64, fractions [numRoles]float64) {
+	w := cfg.intervalMinutes()
+	startMin := interval * w
+	endMin := startMin + w
+	for h := startMin / 60; h*60 < endMin; h++ {
+		lo := maxInt(startMin, h*60)
+		hi := minInt(endMin, (h+1)*60)
+		portion := float64(hi-lo) / 60 * p.diurnal[h]
+		weight += portion
+		for r := 0; r < numRoles; r++ {
+			fractions[r] += portion * p.location[h][r]
+		}
+	}
+	if weight <= 0 {
+		fractions = [numRoles]float64{RoleHome: 1}
+		return 0, fractions
+	}
+	for r := 0; r < numRoles; r++ {
+		fractions[r] /= weight
+	}
+	return weight, fractions
+}
+
+// baseTriple returns the deterministic category-level attributes for one
+// interval of one day. Day volume is the category's weekday volume, scaled
+// by weekendFactor on days 5 and 6 of each week.
+func baseTriple(p profile, cfg Config, day, interval int) triple {
+	weight, _ := intervalActivity(p, cfg, interval)
+	if weight == 0 {
+		return triple{}
+	}
+	volume := p.callsPerDay
+	if day%7 >= 5 {
+		volume *= p.weekendFactor
+	}
+	expCalls := volume * weight / p.diurnalTotal()
+	calls := int64(math.Round(expCalls))
+	if calls == 0 {
+		return triple{}
+	}
+	minutes := int64(math.Round(expCalls * p.minutesPerCall))
+	partners := int64(math.Round(expCalls * p.partnerRatio))
+	if partners < 1 {
+		partners = 1
+	}
+	if partners > calls {
+		partners = calls
+	}
+	return triple{calls: calls, minutes: minutes, partners: partners}
+}
+
+// personScale returns the person's deterministic volume factor, one of
+// cfg.VolumeLevels steps of 5% centred on 1.0.
+func personScale(cfg Config, id PersonID) float64 {
+	if cfg.VolumeLevels <= 1 {
+		return 1
+	}
+	level := mix(cfg.Seed, uint64(id), tagScale) % uint64(cfg.VolumeLevels)
+	return 1 + 0.05*(float64(level)-float64(cfg.VolumeLevels-1)/2)
+}
+
+// scaleTriple scales attributes by the person's volume factor, preserving
+// realizability (an active interval keeps >= 1 call, partners in [1,calls]).
+func scaleTriple(t triple, s float64) triple {
+	if t.isZero() || s == 1 {
+		return t
+	}
+	out := triple{
+		calls:    int64(math.Round(float64(t.calls) * s)),
+		minutes:  int64(math.Round(float64(t.minutes) * s)),
+		partners: int64(math.Round(float64(t.partners) * s)),
+	}
+	if out.calls < 1 {
+		out.calls = 1
+	}
+	if out.minutes < 0 {
+		out.minutes = 0
+	}
+	if out.partners < 1 {
+		out.partners = 1
+	}
+	if out.partners > out.calls {
+		out.partners = out.calls
+	}
+	return out
+}
+
+// personTriple perturbs the person's (already volume-scaled) base with
+// bounded jitter. The invariants partners <= calls and (calls == 0 => all
+// zero) are preserved; they are what make record synthesis realizable.
+func personTriple(cfg Config, p Person, base triple, day, interval int) triple {
+	if base.isZero() {
+		return base
+	}
+	n := cfg.Noise
+	if p.Outlier {
+		n *= 2
+	}
+	if n == 0 {
+		return base
+	}
+	d, i := uint64(day), uint64(interval)
+	calls := base.calls + boundedInt(mix(cfg.Seed, uint64(p.ID), tagJitterCalls, d, i), -n, n)
+	if calls < 1 {
+		// An active interval stays active: zeroing it would erase every
+		// role piece at once, a far larger perturbation than the jitter
+		// bound promises (and than real behaviour suggests — the category
+		// curve is the person's routine).
+		calls = 1
+	}
+	minutes := base.minutes + boundedInt(mix(cfg.Seed, uint64(p.ID), tagJitterMinutes, d, i), -n, n)
+	if minutes < 0 {
+		minutes = 0
+	}
+	partners := base.partners + boundedInt(mix(cfg.Seed, uint64(p.ID), tagJitterPartners, d, i), -n, n)
+	if partners < 1 {
+		partners = 1
+	}
+	if partners > calls {
+		partners = calls
+	}
+	return triple{calls: calls, minutes: minutes, partners: partners}
+}
+
+// splitTriple distributes a person's interval attributes over the roles the
+// category uses, by largest-remainder allocation of calls (so the role
+// pieces sum exactly to the global triple), with minutes and partners
+// following the call allocation.
+func splitTriple(t triple, fractions [numRoles]float64, roles []Role) map[Role]triple {
+	out := make(map[Role]triple, len(roles))
+	if t.isZero() || len(roles) == 0 {
+		return out
+	}
+	// Restrict fractions to the category roles and renormalize.
+	var total float64
+	for _, r := range roles {
+		total += fractions[r]
+	}
+	weights := make([]float64, len(roles))
+	if total <= 0 {
+		weights[0] = 1
+	} else {
+		for i, r := range roles {
+			weights[i] = fractions[r] / total
+		}
+	}
+
+	callAlloc := largestRemainder(t.calls, weights)
+	// Minutes and partners follow the realized call split.
+	callWeights := make([]float64, len(roles))
+	for i, c := range callAlloc {
+		callWeights[i] = float64(c) / float64(t.calls)
+	}
+	minAlloc := largestRemainder(t.minutes, callWeights)
+	partAlloc := largestRemainder(t.partners, callWeights)
+
+	// Enforce per-role realizability: a zero-call role carries nothing, and
+	// a role with calls has between 1 and calls distinct partners. The role
+	// pieces — not the intermediate global triple — are the dataset's ground
+	// truth, so clamping here keeps synthesis exact without redistribution.
+	for i := range roles {
+		if callAlloc[i] == 0 {
+			minAlloc[i] = 0
+			partAlloc[i] = 0
+			continue
+		}
+		if partAlloc[i] > callAlloc[i] {
+			partAlloc[i] = callAlloc[i]
+		}
+		if partAlloc[i] == 0 {
+			partAlloc[i] = 1
+		}
+	}
+
+	for i, r := range roles {
+		rt := triple{calls: callAlloc[i], minutes: minAlloc[i], partners: partAlloc[i]}
+		if rt.calls == 0 {
+			continue
+		}
+		out[r] = rt
+	}
+	return out
+}
+
+// largestRemainder allocates total into len(weights) integer parts
+// proportional to weights, summing exactly to total. Ties go to the lowest
+// index for determinism.
+func largestRemainder(total int64, weights []float64) []int64 {
+	n := len(weights)
+	alloc := make([]int64, n)
+	if total <= 0 || n == 0 {
+		return alloc
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	var assigned int64
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		exact := float64(total) * w
+		base := int64(math.Floor(exact))
+		alloc[i] = base
+		assigned += base
+		rems[i] = rem{idx: i, frac: exact - float64(base)}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < total; i++ {
+		alloc[rems[i%n].idx]++
+		assigned++
+	}
+	return alloc
+}
+
+// personRoleTriples derives a person's per-role attributes for one
+// interval: the category's deterministic base split plus the person's
+// jitter delta applied entirely to the interval's dominant role.
+//
+// Splitting the *base* triple (identical for every member of the category)
+// and localizing the jitter keeps minor-role locals exactly equal across a
+// category — the strong form of the paper's Observation 2 that makes
+// ε-banded local matching reliable. Spreading the jitter across roles by
+// per-person largest-remainder allocation instead flips single units
+// between roles at low-activity intervals, which at small counts is a
+// relative perturbation far larger than the jitter itself.
+func personRoleTriples(base, jittered triple, fractions [numRoles]float64, roles []Role) map[Role]triple {
+	split := splitTriple(base, fractions, roles)
+	if len(split) == 0 {
+		return split
+	}
+	delta := triple{
+		calls:    jittered.calls - base.calls,
+		minutes:  jittered.minutes - base.minutes,
+		partners: jittered.partners - base.partners,
+	}
+	if delta.isZero() {
+		return split
+	}
+	// Dominant role: most base calls, ties to the smallest role index.
+	dom := Role(-1)
+	var domCalls int64 = -1
+	for _, r := range roles {
+		t, ok := split[r]
+		if !ok {
+			continue
+		}
+		if t.calls > domCalls {
+			dom, domCalls = r, t.calls
+		}
+	}
+	t := split[dom].add(delta)
+	// Clamp back to realizability.
+	if t.calls <= 0 {
+		delete(split, dom)
+		return split
+	}
+	if t.minutes < 0 {
+		t.minutes = 0
+	}
+	if t.partners < 1 {
+		t.partners = 1
+	}
+	if t.partners > t.calls {
+		t.partners = t.calls
+	}
+	split[dom] = t
+	return split
+}
+
+// stationTriples merges a person's per-role pieces into per-station pieces:
+// two roles anchored at one station contribute a single aggregated local
+// pattern there (the paper's "home and work place in the same base
+// station" case).
+func stationTriples(p Person, byRole map[Role]triple) map[StationID]triple {
+	out := make(map[StationID]triple, len(byRole))
+	for role, t := range byRole {
+		st := p.Anchors[role]
+		out[st] = out[st].add(t)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

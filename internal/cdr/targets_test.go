@@ -1,0 +1,235 @@
+package cdr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTripleValueRounding(t *testing.T) {
+	tests := []struct {
+		give triple
+		want int64
+	}{
+		{give: triple{}, want: 0},
+		{give: triple{calls: 1}, want: 0},                             // 1/3 -> 0
+		{give: triple{calls: 1, partners: 1}, want: 1},                // 2/3 -> 1
+		{give: triple{calls: 1, minutes: 1, partners: 1}, want: 1},    // 1
+		{give: triple{calls: 2, minutes: 2, partners: 1}, want: 2},    // 5/3 -> 2
+		{give: triple{calls: 4, minutes: 12, partners: 2}, want: 6},   // 6
+		{give: triple{calls: 10, minutes: 30, partners: 6}, want: 15}, // 46/3 -> 15.33 -> 15
+	}
+	for _, tt := range tests {
+		if got := tt.give.value(); got != tt.want {
+			t.Errorf("value(%+v) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestLargestRemainderProperties(t *testing.T) {
+	f := func(rawTotal uint16, rawWeights [5]uint8) bool {
+		total := int64(rawTotal % 1000)
+		weights := make([]float64, 5)
+		var sum float64
+		for i, w := range rawWeights {
+			weights[i] = float64(w)
+			sum += float64(w)
+		}
+		if sum == 0 {
+			weights[0] = 1
+			sum = 1
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		alloc := largestRemainder(total, weights)
+		var got int64
+		for _, a := range alloc {
+			if a < 0 {
+				return false
+			}
+			got += a
+		}
+		return got == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargestRemainderExact(t *testing.T) {
+	alloc := largestRemainder(10, []float64{0.5, 0.3, 0.2})
+	if alloc[0] != 5 || alloc[1] != 3 || alloc[2] != 2 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+	if got := largestRemainder(0, []float64{1}); got[0] != 0 {
+		t.Fatal("zero total should allocate nothing")
+	}
+	if got := largestRemainder(5, nil); len(got) != 0 {
+		t.Fatal("empty weights should return empty")
+	}
+}
+
+func TestBaseTripleInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, c := range Categories() {
+		prof := profileFor(c)
+		var daySum int64
+		for day := 0; day < 7; day++ {
+			for i := 0; i < cfg.IntervalsPerDay; i++ {
+				tr := baseTriple(prof, cfg, day, i)
+				if tr.calls < 0 || tr.minutes < 0 || tr.partners < 0 {
+					t.Fatalf("%v day %d interval %d: negative attribute %+v", c, day, i, tr)
+				}
+				if tr.calls == 0 && !tr.isZero() {
+					t.Fatalf("%v: zero calls with non-zero attrs %+v", c, tr)
+				}
+				if tr.partners > tr.calls {
+					t.Fatalf("%v: partners %d > calls %d", c, tr.partners, tr.calls)
+				}
+				if day == 0 {
+					daySum += tr.calls
+				}
+			}
+		}
+		if daySum == 0 {
+			t.Fatalf("category %v generates no weekday calls", c)
+		}
+	}
+}
+
+func TestBaseTripleWeekendFactor(t *testing.T) {
+	cfg := DefaultConfig()
+	prof := profileFor(OfficeWorker) // weekendFactor 0.5
+	weekday, weekend := int64(0), int64(0)
+	for i := 0; i < cfg.IntervalsPerDay; i++ {
+		weekday += baseTriple(prof, cfg, 0, i).calls
+		weekend += baseTriple(prof, cfg, 5, i).calls
+	}
+	if weekend >= weekday {
+		t.Fatalf("office worker weekend volume %d >= weekday %d", weekend, weekday)
+	}
+}
+
+func TestPersonTripleJitterBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Noise = 2
+	person := newPerson(cfg, 1)
+	person.Outlier = false
+	prof := profileFor(person.Category)
+	for day := 0; day < cfg.Days; day++ {
+		for i := 0; i < cfg.IntervalsPerDay; i++ {
+			base := baseTriple(prof, cfg, day, i)
+			got := personTriple(cfg, person, base, day, i)
+			if base.isZero() {
+				if !got.isZero() {
+					t.Fatal("jitter created activity from nothing")
+				}
+				continue
+			}
+			if got.isZero() {
+				continue // calls jittered to zero: allowed
+			}
+			if d := got.calls - base.calls; d > cfg.Noise || d < -cfg.Noise {
+				t.Fatalf("calls jitter %d beyond ±%d", d, cfg.Noise)
+			}
+			if got.partners > got.calls || got.partners < 1 {
+				t.Fatalf("invalid partners %d for calls %d", got.partners, got.calls)
+			}
+			if got.minutes < 0 {
+				t.Fatal("negative minutes")
+			}
+		}
+	}
+}
+
+func TestPersonTripleNoNoiseIsBase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Noise = 0
+	person := newPerson(cfg, 2)
+	prof := profileFor(person.Category)
+	base := baseTriple(prof, cfg, 0, 1)
+	if got := personTriple(cfg, person, base, 0, 1); got != base {
+		t.Fatalf("noise 0: got %+v, want %+v", got, base)
+	}
+}
+
+func TestSplitTripleConservesCalls(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, c := range Categories() {
+		prof := profileFor(c)
+		for i := 0; i < cfg.IntervalsPerDay; i++ {
+			tr := baseTriple(prof, cfg, 0, i)
+			if tr.isZero() {
+				continue
+			}
+			_, fractions := intervalActivity(prof, cfg, i)
+			byRole := splitTriple(tr, fractions, prof.roles)
+			var calls int64
+			for role, rt := range byRole {
+				if rt.calls == 0 {
+					t.Fatalf("%v: zero-call piece emitted for role %v", c, role)
+				}
+				if rt.partners < 1 || rt.partners > rt.calls {
+					t.Fatalf("%v role %v: invalid partners %+v", c, role, rt)
+				}
+				calls += rt.calls
+			}
+			if calls != tr.calls {
+				t.Fatalf("%v interval %d: split calls %d != total %d", c, i, calls, tr.calls)
+			}
+		}
+	}
+}
+
+func TestSplitTripleEmpty(t *testing.T) {
+	if got := splitTriple(triple{}, [numRoles]float64{}, []Role{RoleHome}); len(got) != 0 {
+		t.Fatal("zero triple should split to nothing")
+	}
+	if got := splitTriple(triple{calls: 3, minutes: 3, partners: 1}, [numRoles]float64{}, nil); len(got) != 0 {
+		t.Fatal("no roles should split to nothing")
+	}
+}
+
+func TestIntervalActivityFractionsNormalized(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, c := range Categories() {
+		prof := profileFor(c)
+		var total float64
+		for i := 0; i < cfg.IntervalsPerDay; i++ {
+			w, fr := intervalActivity(prof, cfg, i)
+			total += w
+			if w == 0 {
+				continue
+			}
+			var sum float64
+			for r := 0; r < numRoles; r++ {
+				if fr[r] < -1e-9 {
+					t.Fatalf("%v: negative fraction", c)
+				}
+				sum += fr[r]
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("%v interval %d: fractions sum to %v", c, i, sum)
+			}
+		}
+		if diff := total - prof.diurnalTotal(); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%v: interval weights %v do not cover diurnal total %v", c, total, prof.diurnalTotal())
+		}
+	}
+}
+
+func TestIntervalActivityMinuteResolution(t *testing.T) {
+	// Minute-level intervals (the paper's default granularity) must also
+	// partition the day's activity exactly.
+	cfg := DefaultConfig()
+	cfg.IntervalsPerDay = 1440
+	prof := profileFor(OfficeWorker)
+	var total float64
+	for i := 0; i < cfg.IntervalsPerDay; i++ {
+		w, _ := intervalActivity(prof, cfg, i)
+		total += w
+	}
+	if diff := total - prof.diurnalTotal(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("minute resolution loses activity: %v vs %v", total, prof.diurnalTotal())
+	}
+}

@@ -1,0 +1,699 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/transport"
+	"dimatch/internal/wire"
+)
+
+// Strategy selects how a search is executed across the cluster.
+type Strategy int
+
+const (
+	// StrategyNaive ships every station's data to the center and matches
+	// there (the paper's Approach 1 / "Naïve" curve).
+	StrategyNaive Strategy = iota + 1
+	// StrategyBF runs DI-matching with a plain Bloom filter (the paper's
+	// "BF" curve): stations report bare IDs, the center cannot verify them.
+	StrategyBF
+	// StrategyWBF runs full DI-matching with the Weighted Bloom Filter.
+	StrategyWBF
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategyBF:
+		return "bf"
+	case StrategyWBF:
+		return "wbf"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures searches on a cluster.
+type Options struct {
+	// Params carries the pipeline knobs (samples b, hashes k, ε, seed...).
+	// If Params.Bits is zero the filter is auto-sized per search to TargetFP
+	// over the estimated insertions — the same sizing for BF and WBF, so the
+	// storage comparison is apples to apples.
+	Params core.Params
+	// TopK limits each query's answer; <= 0 returns all qualified persons.
+	TopK int
+	// MinScore drops WBF and naive results scoring below the threshold
+	// (0 keeps everything). A person whose local matches partition the
+	// query's locals scores exactly 1, so thresholds near 1 select complete
+	// matches. The BF baseline has no weights and cannot honor MinScore —
+	// one of its fundamental weaknesses.
+	MinScore float64
+	// Verify enables the verification phase on WBF searches: the center
+	// fetches the ranked candidates' local patterns from the stations,
+	// materializes their globals and keeps only exact Eq. 2 matches. It
+	// trades a second, candidate-sized round trip (still far below the
+	// naive shipment) for eliminating residual false positives — the
+	// "aggregation and verification" step of the paper's Section I.
+	Verify bool
+	// TargetFP is the sizing target used when Params.Bits == 0
+	// (default 0.01).
+	TargetFP float64
+}
+
+// CostReport quantifies one search, feeding Figures 4b-4d.
+type CostReport struct {
+	// BytesDown / MessagesDown is dissemination traffic (center→stations).
+	BytesDown, MessagesDown uint64
+	// BytesUp / MessagesUp is report traffic (stations→center).
+	BytesUp, MessagesUp uint64
+	// FilterBytes is the in-memory footprint of the disseminated filter
+	// (zero for naive) — the extra storage every station must hold.
+	FilterBytes uint64
+	// CenterStorageBytes is what the data center must keep to answer the
+	// query: the whole dataset for naive, the filter plus reports otherwise.
+	CenterStorageBytes uint64
+	// StationRawBytes is the raw local-pattern storage across stations,
+	// identical for all strategies (their own data).
+	StationRawBytes uint64
+	// Elapsed is the wall-clock search duration.
+	Elapsed time.Duration
+	// StationsFailed counts stations that did not answer (failure
+	// injection or closed links).
+	StationsFailed int
+	// ReportsReceived counts candidate tuples received by the center.
+	ReportsReceived int
+}
+
+// TotalBytes returns all traffic the search moved.
+func (c CostReport) TotalBytes() uint64 { return c.BytesDown + c.BytesUp }
+
+// Outcome is one search's full result.
+type Outcome struct {
+	Strategy Strategy
+	// PerQuery maps each query to its ranked results. For StrategyBF the
+	// center cannot attribute candidates to queries (no weights), so every
+	// query receives the same candidate list ranked by reporting-station
+	// count — the baseline's fundamental weakness.
+	PerQuery map[core.QueryID][]core.Result
+	Cost     CostReport
+}
+
+// Persons returns the ranked person IDs for one query.
+func (o *Outcome) Persons(q core.QueryID) []core.PersonID {
+	rs := o.PerQuery[q]
+	out := make([]core.PersonID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Person
+	}
+	return out
+}
+
+// Cluster wires one data center to a set of base stations over metered
+// in-process links, each station served by its own goroutine.
+type Cluster struct {
+	opts    Options
+	length  int
+	station []*Station
+
+	links map[uint32]transport.Link // center end, by station id
+	ids   []uint32                  // ascending station ids
+
+	downMeter *transport.Meter
+	upMeter   *transport.Meter
+
+	mu      sync.Mutex
+	dead    map[uint32]bool
+	started bool
+
+	wg       sync.WaitGroup
+	serveMu  sync.Mutex
+	serveErr []error
+}
+
+// New builds a cluster from per-station local data. All patterns must share
+// one length. The cluster is inert until Start.
+func New(opts Options, stationData map[uint32]map[core.PersonID]pattern.Pattern) (*Cluster, error) {
+	if len(stationData) == 0 {
+		return nil, errors.New("cluster: no stations")
+	}
+	if opts.TargetFP == 0 {
+		opts.TargetFP = 0.01
+	}
+	c := &Cluster{
+		opts:      opts,
+		links:     make(map[uint32]transport.Link, len(stationData)),
+		dead:      make(map[uint32]bool),
+		downMeter: &transport.Meter{},
+		upMeter:   &transport.Meter{},
+	}
+	for id := range stationData {
+		c.ids = append(c.ids, id)
+	}
+	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
+	for _, id := range c.ids {
+		locals := stationData[id]
+		for _, l := range locals {
+			if c.length == 0 {
+				c.length = len(l)
+			}
+			if len(l) != c.length {
+				return nil, fmt.Errorf("cluster: station %d pattern length %d, want %d", id, len(l), c.length)
+			}
+		}
+		center, stationEnd := transport.Pipe(c.downMeter, c.upMeter)
+		c.links[id] = center
+		c.station = append(c.station, NewStation(id, locals, stationEnd))
+	}
+	if c.length == 0 {
+		return nil, errors.New("cluster: stations hold no patterns")
+	}
+	return c, nil
+}
+
+// NewWithLinks builds a data center over externally established links (for
+// example TCP connections to remote station processes). The caller supplies
+// the shared pattern length and the meters its links record into (either
+// may be nil). Start is a no-op — remote stations run their own Serve
+// loops — and Shutdown sends each station a shutdown message and closes the
+// links.
+func NewWithLinks(opts Options, links map[uint32]transport.Link, patternLength int, downMeter, upMeter *transport.Meter) (*Cluster, error) {
+	if len(links) == 0 {
+		return nil, errors.New("cluster: no station links")
+	}
+	if patternLength <= 0 {
+		return nil, fmt.Errorf("cluster: pattern length %d, want > 0", patternLength)
+	}
+	if opts.TargetFP == 0 {
+		opts.TargetFP = 0.01
+	}
+	if downMeter == nil {
+		downMeter = &transport.Meter{}
+	}
+	if upMeter == nil {
+		upMeter = &transport.Meter{}
+	}
+	c := &Cluster{
+		opts:      opts,
+		length:    patternLength,
+		links:     make(map[uint32]transport.Link, len(links)),
+		dead:      make(map[uint32]bool),
+		downMeter: downMeter,
+		upMeter:   upMeter,
+	}
+	for id, link := range links {
+		c.ids = append(c.ids, id)
+		c.links[id] = link
+	}
+	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
+	return c, nil
+}
+
+// ServeStation runs a base station loop over an established link until the
+// center sends a shutdown or the link closes — the body of a remote station
+// process.
+func ServeStation(id uint32, locals map[core.PersonID]pattern.Pattern, link transport.Link) error {
+	return NewStation(id, locals, link).Serve()
+}
+
+// Start launches the station goroutines. It is idempotent.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, s := range c.station {
+		s := s
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if err := s.Serve(); err != nil {
+				c.serveMu.Lock()
+				c.serveErr = append(c.serveErr, err)
+				c.serveMu.Unlock()
+			}
+		}()
+	}
+}
+
+// Stations returns the number of stations (dead or alive).
+func (c *Cluster) Stations() int { return len(c.ids) }
+
+// PatternLength returns the cluster's time-series length.
+func (c *Cluster) PatternLength() int { return c.length }
+
+// KillStation severs one station's link, simulating a failure. The data
+// center is not told: subsequent searches discover the failure when the
+// send fails and count it in CostReport.StationsFailed.
+func (c *Cluster) KillStation(id uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	link, ok := c.links[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown station %d", id)
+	}
+	if c.dead[id] {
+		return nil
+	}
+	c.dead[id] = true
+	return link.Close()
+}
+
+// Shutdown stops all stations and waits for their goroutines to exit.
+func (c *Cluster) Shutdown() error {
+	c.mu.Lock()
+	for _, id := range c.ids {
+		if c.dead[id] {
+			continue
+		}
+		// Best effort: the station may already be gone.
+		_ = c.links[id].Send(wire.ShutdownMessage())
+		_ = c.links[id].Close()
+		c.dead[id] = true
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	c.serveMu.Lock()
+	defer c.serveMu.Unlock()
+	return errors.Join(c.serveErr...)
+}
+
+// allLinks snapshots every station link in station-ID order, including
+// severed ones — the center discovers failures by talking, as it would in a
+// real deployment.
+func (c *Cluster) allLinks() []transport.Link {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]transport.Link, 0, len(c.ids))
+	for _, id := range c.ids {
+		out = append(out, c.links[id])
+	}
+	return out
+}
+
+// Search runs one batch of queries under the given strategy and returns
+// ranked results plus the cost accounting.
+func (c *Cluster) Search(queries []core.Query, strategy Strategy) (*Outcome, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("cluster: no queries")
+	}
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		if q.Length() != c.length {
+			return nil, fmt.Errorf("cluster: query %d length %d, cluster is %d", q.ID, q.Length(), c.length)
+		}
+	}
+
+	bytesDown0, msgsDown0 := c.downMeter.Bytes(), c.downMeter.Messages()
+	bytesUp0, msgsUp0 := c.upMeter.Bytes(), c.upMeter.Messages()
+	start := time.Now()
+
+	var (
+		out *Outcome
+		err error
+	)
+	switch strategy {
+	case StrategyWBF:
+		out, err = c.searchWBF(queries)
+	case StrategyBF:
+		out, err = c.searchBF(queries)
+	case StrategyNaive:
+		out, err = c.searchNaive(queries)
+	default:
+		return nil, fmt.Errorf("cluster: unknown strategy %d", int(strategy))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out.Strategy = strategy
+	out.Cost.Elapsed = time.Since(start)
+	out.Cost.BytesDown = c.downMeter.Bytes() - bytesDown0
+	out.Cost.MessagesDown = c.downMeter.Messages() - msgsDown0
+	out.Cost.BytesUp = c.upMeter.Bytes() - bytesUp0
+	out.Cost.MessagesUp = c.upMeter.Messages() - msgsUp0
+	for _, s := range c.station {
+		out.Cost.StationRawBytes += s.StorageBytes()
+	}
+	return out, nil
+}
+
+// params resolves the search parameters, auto-sizing the filter if needed.
+func (c *Cluster) params(queries []core.Query) (core.Params, error) {
+	p := c.opts.Params
+	if p.Bits != 0 {
+		return p, nil
+	}
+	return core.SizedParams(p, c.length, queries, c.opts.TargetFP)
+}
+
+// fanOut sends one message to every live station and collects one reply per
+// station, invoking handle for each. Stations that fail are counted, not
+// fatal: the search degrades exactly as a real deployment would.
+func (c *Cluster) fanOut(msg wire.Message, handle func(reply wire.Message) error) (failed int, err error) {
+	links := c.allLinks()
+	type replyOrErr struct {
+		m   wire.Message
+		err error
+	}
+	replies := make([]replyOrErr, len(links))
+	var wg sync.WaitGroup
+	for i, l := range links {
+		i, l := i, l
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Send(msg); err != nil {
+				replies[i] = replyOrErr{err: err}
+				return
+			}
+			m, err := l.Recv()
+			replies[i] = replyOrErr{m: m, err: err}
+		}()
+	}
+	wg.Wait()
+	for _, r := range replies {
+		if r.err != nil {
+			failed++
+			continue
+		}
+		if err := handle(r.m); err != nil {
+			return failed, err
+		}
+	}
+	return failed, nil
+}
+
+// searchWBF is the paper's DI-matching pipeline end to end.
+func (c *Cluster) searchWBF(queries []core.Query) (*Outcome, error) {
+	params, err := c.params(queries)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := core.NewEncoder(params, c.length)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range queries {
+		if err := enc.AddQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	filter := enc.Filter()
+	agg := core.NewAggregator(filter)
+
+	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
+	msg := wire.EncodeWBFQuery(filter)
+	var reportBytes uint64
+	failed, err := c.fanOut(msg, func(reply wire.Message) error {
+		batch, err := wire.DecodeReports(reply)
+		if err != nil {
+			return err
+		}
+		reportBytes += uint64(reply.EncodedSize())
+		for _, rep := range batch.Reports {
+			out.Cost.ReportsReceived++
+			if err := agg.Add(rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range queries {
+		out.PerQuery[q.ID] = c.rankWBF(agg, q.ID)
+	}
+	out.Cost.StationsFailed = failed
+	out.Cost.FilterBytes = filter.SizeBytes()
+	out.Cost.CenterStorageBytes = filter.SizeBytes() + reportBytes
+	if c.opts.Verify {
+		if err := c.verifyWBF(queries, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// verifyWBF runs the verification phase: fetch every ranked candidate's
+// local patterns, materialize their globals and drop candidates that fail
+// the exact Eq. 2 check against their query.
+func (c *Cluster) verifyWBF(queries []core.Query, out *Outcome) error {
+	candidates := make(map[core.PersonID]bool)
+	for _, results := range out.PerQuery {
+		for _, r := range results {
+			candidates[r.Person] = true
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	fetch := wire.Fetch{Persons: make([]core.PersonID, 0, len(candidates))}
+	for p := range candidates {
+		fetch.Persons = append(fetch.Persons, p)
+	}
+
+	globals := make(map[core.PersonID]pattern.Pattern, len(candidates))
+	var fetchedBytes uint64
+	failed, err := c.fanOut(wire.EncodeFetch(fetch), func(reply wire.Message) error {
+		data, err := wire.DecodeNaiveData(reply)
+		if err != nil {
+			return err
+		}
+		fetchedBytes += uint64(reply.EncodedSize())
+		for i, p := range data.Persons {
+			g := globals[p]
+			if g == nil {
+				g = make(pattern.Pattern, c.length)
+				globals[p] = g
+			}
+			for j, v := range data.Locals[i] {
+				if j < len(g) {
+					g[j] += v
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if failed > out.Cost.StationsFailed {
+		out.Cost.StationsFailed = failed
+	}
+	out.Cost.CenterStorageBytes += fetchedBytes
+
+	eps := c.opts.Params.Epsilon
+	for _, q := range queries {
+		qGlobal, err := q.Global()
+		if err != nil {
+			return err
+		}
+		results := out.PerQuery[q.ID]
+		kept := results[:0]
+		for _, r := range results {
+			if pattern.Similar(qGlobal, globals[r.Person], eps) {
+				kept = append(kept, r)
+			}
+		}
+		out.PerQuery[q.ID] = kept
+	}
+	return nil
+}
+
+// rankWBF finalizes one query's WBF candidates. With MinScore unset the
+// paper's strict Algorithm 3 applies (delete weight sums above 1, rank
+// descending). With MinScore set, ε-induced attribution error is tolerated
+// symmetrically: candidates scoring within [MinScore, 2-MinScore] are kept
+// and ranked by closeness to the perfect partition score of 1 — a complete
+// match sums to exactly 1, a same-category match with jitter lands just
+// beside it, and a cross-category accident overshoots far past the band.
+func (c *Cluster) rankWBF(agg *core.Aggregator, q core.QueryID) []core.Result {
+	if c.opts.MinScore <= 0 {
+		return agg.TopK(q, c.opts.TopK)
+	}
+	lo, hi := c.opts.MinScore, 2-c.opts.MinScore
+	results := agg.Results(q)
+	kept := results[:0]
+	for _, r := range results {
+		if s := r.Score(); s >= lo && s <= hi {
+			kept = append(kept, r)
+		}
+	}
+	results = kept
+	dist := func(r core.Result) float64 {
+		d := 1 - r.Score()
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	sort.Slice(results, func(i, j int) bool {
+		di, dj := dist(results[i]), dist(results[j])
+		if di != dj {
+			return di < dj
+		}
+		return results[i].Person < results[j].Person
+	})
+	if c.opts.TopK > 0 && len(results) > c.opts.TopK {
+		results = results[:c.opts.TopK]
+	}
+	return results
+}
+
+// searchBF is the Bloom-filter baseline: same pipeline, no weights, so the
+// center can only count how many stations reported each person.
+func (c *Cluster) searchBF(queries []core.Query) (*Outcome, error) {
+	params, err := c.params(queries)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := core.NewBFEncoder(params, c.length)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range queries {
+		if err := enc.AddQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	filter := enc.Filter()
+
+	counts := make(map[core.PersonID]int)
+	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
+	msg := wire.EncodeBFQuery(wire.BFQuery{Filter: filter, Params: params, Length: c.length})
+	var reportBytes uint64
+	failed, err := c.fanOut(msg, func(reply wire.Message) error {
+		batch, err := wire.DecodeBFMatches(reply)
+		if err != nil {
+			return err
+		}
+		reportBytes += uint64(reply.EncodedSize())
+		for _, p := range batch.Persons {
+			out.Cost.ReportsReceived++
+			counts[p]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ranked := make([]core.Result, 0, len(counts))
+	stations := int64(len(c.ids))
+	for p, n := range counts {
+		ranked = append(ranked, core.Result{
+			Person:      p,
+			Numerator:   int64(n),
+			Denominator: stations,
+			Stations:    n,
+		})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Numerator != ranked[j].Numerator {
+			return ranked[i].Numerator > ranked[j].Numerator
+		}
+		return ranked[i].Person < ranked[j].Person
+	})
+	if c.opts.TopK > 0 && len(ranked) > c.opts.TopK {
+		ranked = ranked[:c.opts.TopK]
+	}
+	for _, q := range queries {
+		out.PerQuery[q.ID] = ranked
+	}
+	out.Cost.StationsFailed = failed
+	out.Cost.FilterBytes = filter.SizeBytes()
+	out.Cost.CenterStorageBytes = filter.SizeBytes() + reportBytes
+	return out, nil
+}
+
+// searchNaive ships everything and matches centrally with the exact Eq. 2
+// predicate. Precision is 1 by construction; the cost is the point.
+func (c *Cluster) searchNaive(queries []core.Query) (*Outcome, error) {
+	globals := make(map[core.PersonID]pattern.Pattern)
+	var shippedBytes uint64
+	failed, err := c.fanOut(wire.ShipAllMessage(), func(reply wire.Message) error {
+		data, err := wire.DecodeNaiveData(reply)
+		if err != nil {
+			return err
+		}
+		shippedBytes += uint64(reply.EncodedSize())
+		for i, p := range data.Persons {
+			g := globals[p]
+			if g == nil {
+				g = make(pattern.Pattern, c.length)
+				globals[p] = g
+			}
+			for j, v := range data.Locals[i] {
+				g[j] += v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	eps := c.opts.Params.Epsilon
+	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
+	for _, q := range queries {
+		qGlobal, err := q.Global()
+		if err != nil {
+			return nil, err
+		}
+		type cand struct {
+			person core.PersonID
+			dist   int64
+		}
+		var cands []cand
+		for p, g := range globals {
+			d, err := pattern.MaxAbsDiff(qGlobal, g)
+			if err != nil {
+				continue // length mismatch: cannot match
+			}
+			if d > eps {
+				continue
+			}
+			if c.opts.MinScore > 0 {
+				if score := float64(eps-d+1) / float64(eps+1); score < c.opts.MinScore {
+					continue
+				}
+			}
+			cands = append(cands, cand{person: p, dist: d})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			return cands[i].person < cands[j].person
+		})
+		if c.opts.TopK > 0 && len(cands) > c.opts.TopK {
+			cands = cands[:c.opts.TopK]
+		}
+		rs := make([]core.Result, len(cands))
+		for i, cd := range cands {
+			rs[i] = core.Result{
+				Person:      cd.person,
+				Numerator:   eps - cd.dist + 1,
+				Denominator: eps + 1,
+				Stations:    len(c.ids),
+			}
+		}
+		out.PerQuery[q.ID] = rs
+	}
+	out.Cost.StationsFailed = failed
+	out.Cost.ReportsReceived = len(globals)
+	out.Cost.CenterStorageBytes = shippedBytes
+	return out, nil
+}

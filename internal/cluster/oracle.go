@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"sort"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+)
+
+// Oracle computes the exact IPM answer (Eq. 2 over materialized globals)
+// directly from the raw station data, bypassing the distributed machinery.
+// It is the ground-truth reference the naive strategy must equal and the
+// recall baseline for the filter strategies.
+func Oracle(stationData map[uint32]map[core.PersonID]pattern.Pattern, query core.Query, eps int64, topK int) ([]core.PersonID, error) {
+	if err := query.Validate(); err != nil {
+		return nil, err
+	}
+	qGlobal, err := query.Global()
+	if err != nil {
+		return nil, err
+	}
+	globals := make(map[core.PersonID]pattern.Pattern)
+	for _, locals := range stationData {
+		for p, l := range locals {
+			g := globals[p]
+			if g == nil {
+				g = make(pattern.Pattern, len(l))
+				globals[p] = g
+			}
+			for i, v := range l {
+				if i < len(g) {
+					g[i] += v
+				}
+			}
+		}
+	}
+	type cand struct {
+		person core.PersonID
+		dist   int64
+	}
+	var cands []cand
+	for p, g := range globals {
+		d, err := pattern.MaxAbsDiff(qGlobal, g)
+		if err != nil {
+			continue
+		}
+		if d <= eps {
+			cands = append(cands, cand{person: p, dist: d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].person < cands[j].person
+	})
+	if topK > 0 && len(cands) > topK {
+		cands = cands[:topK]
+	}
+	out := make([]core.PersonID, len(cands))
+	for i, c := range cands {
+		out[i] = c.person
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+// Package cluster assembles the distributed system of the paper: one data
+// center node N0 and l base station nodes N1..Nl, each base station holding
+// the local patterns of the persons it observed. Stations run as goroutines
+// (the paper used one thread per base station) connected to the center by
+// metered message links, so a search measures real serialized traffic.
+//
+// Three end-to-end strategies are implemented, matching the paper's
+// comparison set: StrategyNaive ships all data to the center, StrategyBF
+// runs DI-matching with a plain Bloom filter, StrategyWBF runs full
+// DI-matching with the Weighted Bloom Filter.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/transport"
+	"dimatch/internal/wire"
+)
+
+// Station is one base station node: a local pattern store plus a serve loop
+// answering the data center over a link.
+type Station struct {
+	id   uint32
+	link transport.Link
+
+	// persons and locals are parallel: the station's resident patterns,
+	// person-ID ascending for deterministic replies.
+	persons []core.PersonID
+	locals  []pattern.Pattern
+}
+
+// NewStation builds a station from its local pattern store. All-zero
+// patterns are dropped: a person with no measurable activity at the station
+// has no local pattern there (and would otherwise spuriously probe the
+// filters at accumulated value zero).
+func NewStation(id uint32, locals map[core.PersonID]pattern.Pattern, link transport.Link) *Station {
+	s := &Station{id: id, link: link}
+	s.persons = make([]core.PersonID, 0, len(locals))
+	for p, l := range locals {
+		if l.Sum() == 0 {
+			continue
+		}
+		s.persons = append(s.persons, p)
+	}
+	sort.Slice(s.persons, func(i, j int) bool { return s.persons[i] < s.persons[j] })
+	s.locals = make([]pattern.Pattern, len(s.persons))
+	for i, p := range s.persons {
+		s.locals[i] = locals[p]
+	}
+	return s
+}
+
+// ID returns the station identifier.
+func (s *Station) ID() uint32 { return s.id }
+
+// Residents returns the number of stored local patterns.
+func (s *Station) Residents() int { return len(s.persons) }
+
+// StorageBytes returns the bytes the station dedicates to its raw local
+// patterns (8 bytes per value), the baseline storage every strategy pays.
+func (s *Station) StorageBytes() uint64 {
+	var n uint64
+	for _, l := range s.locals {
+		n += 8 * uint64(len(l))
+	}
+	return n
+}
+
+// Serve processes center messages until a shutdown message arrives or the
+// link closes. It is the goroutine body of a station node.
+func (s *Station) Serve() error {
+	for {
+		msg, err := s.link.Recv()
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("station %d: %w", s.id, err)
+		}
+		var reply *wire.Message
+		switch msg.Kind {
+		case wire.KindWBFQuery:
+			reply, err = s.handleWBF(msg)
+		case wire.KindBFQuery:
+			reply, err = s.handleBF(msg)
+		case wire.KindShipAll:
+			reply, err = s.handleShipAll()
+		case wire.KindFetch:
+			reply, err = s.handleFetch(msg)
+		case wire.KindShutdown:
+			return nil
+		default:
+			err = fmt.Errorf("station %d: unexpected message %v", s.id, msg.Kind)
+		}
+		if err != nil {
+			return err
+		}
+		if reply != nil {
+			if err := s.link.Send(*reply); err != nil {
+				return fmt.Errorf("station %d: %w", s.id, err)
+			}
+		}
+	}
+}
+
+// handleWBF runs Algorithm 2 over every resident pattern and reports the
+// qualifying (person, weights) pairs.
+func (s *Station) handleWBF(msg wire.Message) (*wire.Message, error) {
+	filter, err := wire.DecodeWBFQuery(msg)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	matcher := core.NewMatcher(filter)
+	var reports []core.Report
+	for i, local := range s.locals {
+		if len(local) != filter.Length() {
+			continue // pattern from a different window; cannot qualify
+		}
+		ids, ok, err := matcher.Match(local)
+		if err != nil {
+			return nil, fmt.Errorf("station %d: %w", s.id, err)
+		}
+		if !ok {
+			continue
+		}
+		// Algorithm 2 returns "the weight": one entry per query, the one
+		// whose magnitude matches this piece.
+		selected, err := core.SelectClosestWeights(filter, ids, local.Sum())
+		if err != nil {
+			return nil, fmt.Errorf("station %d: %w", s.id, err)
+		}
+		reports = append(reports, core.Report{
+			Person:    s.persons[i],
+			WeightIDs: selected,
+		})
+	}
+	reply := wire.EncodeReports(wire.Reports{Station: s.id, Reports: reports})
+	return &reply, nil
+}
+
+// handleBF is the baseline: an all-bits-set pattern is reported by bare ID.
+func (s *Station) handleBF(msg wire.Message) (*wire.Message, error) {
+	q, err := wire.DecodeBFQuery(msg)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	matcher, err := core.NewBFMatcher(q.Filter, q.Params, q.Length)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	var persons []core.PersonID
+	for i, local := range s.locals {
+		if len(local) != q.Length {
+			continue
+		}
+		ok, err := matcher.Match(local)
+		if err != nil {
+			return nil, fmt.Errorf("station %d: %w", s.id, err)
+		}
+		if ok {
+			persons = append(persons, s.persons[i])
+		}
+	}
+	reply := wire.EncodeBFMatches(wire.BFMatches{Station: s.id, Persons: persons})
+	return &reply, nil
+}
+
+// handleFetch ships the local patterns of the requested persons only (the
+// verification phase: the center double-checks its top candidates).
+func (s *Station) handleFetch(msg wire.Message) (*wire.Message, error) {
+	req, err := wire.DecodeFetch(msg)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	wanted := make(map[core.PersonID]bool, len(req.Persons))
+	for _, p := range req.Persons {
+		wanted[p] = true
+	}
+	var (
+		persons []core.PersonID
+		locals  []pattern.Pattern
+	)
+	for i, p := range s.persons {
+		if wanted[p] {
+			persons = append(persons, p)
+			locals = append(locals, s.locals[i])
+		}
+	}
+	reply, err := wire.EncodeNaiveData(wire.NaiveData{
+		Station: s.id,
+		Persons: persons,
+		Locals:  locals,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	return &reply, nil
+}
+
+// handleShipAll ships the whole local store (the naive strategy).
+func (s *Station) handleShipAll() (*wire.Message, error) {
+	reply, err := wire.EncodeNaiveData(wire.NaiveData{
+		Station: s.id,
+		Persons: s.persons,
+		Locals:  s.locals,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	return &reply, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"dimatch/internal/pattern"
+)
+
+func TestQueryValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		q       Query
+		wantErr bool
+	}{
+		{
+			name: "paper running example",
+			q:    Query{ID: 1, Locals: []pattern.Pattern{{1, 2, 3}, {2, 2, 2}}},
+		},
+		{
+			name: "single local",
+			q:    Query{ID: 2, Locals: []pattern.Pattern{{3, 4, 5}}},
+		},
+		{name: "no locals", q: Query{ID: 3}, wantErr: true},
+		{
+			name:    "length mismatch",
+			q:       Query{ID: 4, Locals: []pattern.Pattern{{1, 2}, {1, 2, 3}}},
+			wantErr: true,
+		},
+		{
+			name:    "negative values",
+			q:       Query{ID: 5, Locals: []pattern.Pattern{{1, -2, 3}}},
+			wantErr: true,
+		},
+		{
+			name:    "all zero",
+			q:       Query{ID: 6, Locals: []pattern.Pattern{{0, 0, 0}, {0, 0, 0}}},
+			wantErr: true,
+		},
+		{
+			name:    "empty patterns",
+			q:       Query{ID: 7, Locals: []pattern.Pattern{{}}},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.q.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestQueryValidateTooManyLocals(t *testing.T) {
+	locals := make([]pattern.Pattern, pattern.MaxLocals+1)
+	for i := range locals {
+		locals[i] = pattern.Pattern{1}
+	}
+	q := Query{ID: 1, Locals: locals}
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected error for too many locals")
+	}
+}
+
+func TestQueryGlobal(t *testing.T) {
+	q := Query{ID: 1, Locals: []pattern.Pattern{{1, 2, 3}, {2, 2, 2}}}
+	g, err := q.Global()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(pattern.Pattern{3, 4, 5}) {
+		t.Fatalf("Global = %v, want {3,4,5}", g)
+	}
+	if q.Length() != 3 {
+		t.Fatalf("Length = %d", q.Length())
+	}
+	if (Query{}).Length() != 0 {
+		t.Fatal("empty query Length should be 0")
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+
+	"dimatch/internal/pattern"
+)
+
+func testParams() Params {
+	return Params{
+		Bits:      1 << 14,
+		Hashes:    4,
+		Samples:   3,
+		Epsilon:   0,
+		Tolerance: ToleranceScaled,
+		Seed:      7,
+	}
+}
+
+// buildPaperFilter encodes the paper's running example: global {3,4,5} with
+// locals {1,2,3} and {2,2,2}.
+func buildPaperFilter(t *testing.T, p Params) *Filter {
+	t.Helper()
+	enc, err := NewEncoder(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{ID: 1, Locals: []pattern.Pattern{{1, 2, 3}, {2, 2, 2}}}
+	if err := enc.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	return enc.Filter()
+}
+
+func TestFilterWeightTable(t *testing.T) {
+	f := buildPaperFilter(t, testParams())
+	ws := f.Weights()
+	if len(ws) != 3 {
+		t.Fatalf("weight table has %d rows, want 3 (= 2^2 - 1 combinations)", len(ws))
+	}
+	// Numerators: {1,2,3} -> 6, {2,2,2} -> 6, both -> 12; denominator 12.
+	byMask := make(map[pattern.Subset]WeightEntry, 3)
+	for _, w := range ws {
+		byMask[w.Mask] = w
+		if w.Denominator != 12 {
+			t.Fatalf("denominator = %d, want 12", w.Denominator)
+		}
+		if w.Query != 1 {
+			t.Fatalf("query = %d, want 1", w.Query)
+		}
+	}
+	if byMask[0b01].Numerator != 6 || byMask[0b10].Numerator != 6 || byMask[0b11].Numerator != 12 {
+		t.Fatalf("numerators wrong: %+v", byMask)
+	}
+	if got := byMask[0b11].Value(); got != 1.0 {
+		t.Fatalf("full combination weight = %v, want 1", got)
+	}
+	if got := byMask[0b01].Value(); got != 0.5 {
+		t.Fatalf("local weight = %v, want 0.5", got)
+	}
+}
+
+func TestFilterProbeKnownValues(t *testing.T) {
+	f := buildPaperFilter(t, testParams())
+	// Accumulated forms: {1,3,6}, {2,4,6}, {3,7,12}; with Samples=3 and
+	// length 3 every position is sampled.
+	ids, ok := f.probe(0, 1, nil)
+	if !ok || len(ids) == 0 {
+		t.Fatal("accumulated value 1 at slot 0 should be present")
+	}
+	if _, ok := f.probe(0, 100, nil); ok {
+		t.Fatal("value 100 should be absent")
+	}
+}
+
+func TestFilterZeroWeightCombinationSkipped(t *testing.T) {
+	p := testParams()
+	enc, err := NewEncoder(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second local is all zeros: combinations {1} and {0,1} have equal
+	// patterns; {1} alone has numerator 0 and must be skipped.
+	q := Query{ID: 9, Locals: []pattern.Pattern{{1, 2}, {0, 0}}}
+	if err := enc.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range enc.Filter().Weights() {
+		if w.Numerator == 0 {
+			t.Fatalf("zero-weight combination %s made it into the table", w.Mask)
+		}
+	}
+}
+
+func TestFilterRoundTripThroughParts(t *testing.T) {
+	p := testParams()
+	p.Epsilon = 1
+	f := buildPaperFilter(t, p)
+	bitIdx, ids := f.Slots()
+	g, err := FromParts(p, f.Length(), f.Words(), bitIdx, ids, f.Weights(), f.Inserted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstructed filter must agree with the original on every probe
+	// over a sweep covering present and absent values.
+	for slot := 0; slot < 3; slot++ {
+		for v := int64(0); v < 40; v++ {
+			wa, oka := f.probe(slot, v, nil)
+			wb, okb := g.probe(slot, v, nil)
+			if oka != okb || len(wa) != len(wb) {
+				t.Fatalf("probe(%d,%d) diverged after round trip", slot, v)
+			}
+			for i := range wa {
+				if wa[i] != wb[i] {
+					t.Fatalf("probe(%d,%d) weights diverged", slot, v)
+				}
+			}
+		}
+	}
+	if g.Inserted() != f.Inserted() {
+		t.Fatal("inserted count lost")
+	}
+}
+
+func TestFromPartsRejectsCorruption(t *testing.T) {
+	p := testParams()
+	f := buildPaperFilter(t, p)
+	bitIdx, ids := f.Slots()
+	words := f.Words()
+	weights := f.Weights()
+
+	tests := []struct {
+		name   string
+		mutate func(bi []uint64, id [][]WeightID, ws []WeightEntry) ([]uint64, [][]WeightID, []WeightEntry)
+	}{
+		{
+			name: "slot count mismatch",
+			mutate: func(bi []uint64, id [][]WeightID, ws []WeightEntry) ([]uint64, [][]WeightID, []WeightEntry) {
+				return bi[:len(bi)-1], id, ws
+			},
+		},
+		{
+			name: "dangling pointer",
+			mutate: func(bi []uint64, id [][]WeightID, ws []WeightEntry) ([]uint64, [][]WeightID, []WeightEntry) {
+				id[0] = []WeightID{99}
+				return bi, id, ws
+			},
+		},
+		{
+			name: "unsorted list",
+			mutate: func(bi []uint64, id [][]WeightID, ws []WeightEntry) ([]uint64, [][]WeightID, []WeightEntry) {
+				id[0] = []WeightID{1, 0}
+				return bi, id, ws
+			},
+		},
+		{
+			name: "empty list",
+			mutate: func(bi []uint64, id [][]WeightID, ws []WeightEntry) ([]uint64, [][]WeightID, []WeightEntry) {
+				id[0] = nil
+				return bi, id, ws
+			},
+		},
+		{
+			name: "slot on unset bit",
+			mutate: func(bi []uint64, id [][]WeightID, ws []WeightEntry) ([]uint64, [][]WeightID, []WeightEntry) {
+				// Find an unset bit and claim a slot there.
+				for cand := uint64(0); cand < p.Bits; cand++ {
+					used := false
+					for _, b := range bi {
+						if b == cand {
+							used = true
+							break
+						}
+					}
+					if !used {
+						bi[0] = cand
+						break
+					}
+				}
+				return bi, id, ws
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			bi := append([]uint64(nil), bitIdx...)
+			id := make([][]WeightID, len(ids))
+			for i := range ids {
+				id[i] = append([]WeightID(nil), ids[i]...)
+			}
+			ws := append([]WeightEntry(nil), weights...)
+			bi, id, ws = tt.mutate(bi, id, ws)
+			if _, err := FromParts(p, f.Length(), words, bi, id, ws, f.Inserted()); err == nil {
+				t.Fatal("expected corruption to be rejected")
+			}
+		})
+	}
+}
+
+func TestFilterSizeBytes(t *testing.T) {
+	f := buildPaperFilter(t, testParams())
+	if f.SizeBytes() <= f.Params().Bits/8 {
+		t.Fatal("SizeBytes should exceed the raw bit array (slots + weights)")
+	}
+}
+
+func TestWeightLookup(t *testing.T) {
+	f := buildPaperFilter(t, testParams())
+	w, err := f.Weight(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Denominator != 12 {
+		t.Fatalf("weight 0 = %+v", w)
+	}
+	if _, err := f.Weight(WeightID(len(f.Weights()))); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []WeightID
+		want []WeightID
+	}{
+		{name: "disjoint", a: []WeightID{1, 3}, b: []WeightID{2, 4}, want: []WeightID{}},
+		{name: "subset", a: []WeightID{1, 2, 3}, b: []WeightID{2}, want: []WeightID{2}},
+		{name: "identical", a: []WeightID{5, 9}, b: []WeightID{5, 9}, want: []WeightID{5, 9}},
+		{name: "empty a", a: nil, b: []WeightID{1}, want: []WeightID{}},
+		{name: "interleaved", a: []WeightID{1, 4, 6, 9}, b: []WeightID{0, 4, 9, 12}, want: []WeightID{4, 9}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := intersectSorted(append([]WeightID(nil), tt.a...), tt.b)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestNewFilterValidation(t *testing.T) {
+	if _, err := newFilter(Params{}, 3); err == nil {
+		t.Fatal("expected invalid params error")
+	}
+	if _, err := newFilter(testParams(), 0); err == nil {
+		t.Fatal("expected invalid length error")
+	}
+}

@@ -1,0 +1,114 @@
+// Package metrics implements the evaluation measures of the paper's
+// Section V: precision, recall and F1 over retrieved-vs-relevant person
+// sets (Table II, Figure 4a), plus the CDF helper behind Figure 1b.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"dimatch/internal/core"
+)
+
+// Confusion counts retrieval outcomes. True negatives are not tracked; none
+// of the paper's measures need them.
+type Confusion struct {
+	TP int // retrieved and relevant
+	FP int // retrieved but not relevant
+	FN int // relevant but not retrieved
+}
+
+// Evaluate scores a retrieved set against the relevant (ground truth) set.
+func Evaluate(retrieved, relevant []core.PersonID) Confusion {
+	rel := make(map[core.PersonID]bool, len(relevant))
+	for _, p := range relevant {
+		rel[p] = true
+	}
+	var c Confusion
+	seen := make(map[core.PersonID]bool, len(retrieved))
+	for _, p := range retrieved {
+		if seen[p] {
+			continue // duplicates in a ranking count once
+		}
+		seen[p] = true
+		if rel[p] {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	for _, p := range relevant {
+		if !seen[p] {
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Add accumulates another confusion (micro-averaging across queries).
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// Precision returns TP/(TP+FP); 1 when nothing was retrieved (vacuous).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN); 1 when nothing was relevant (vacuous).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the three measures the way Table II reports them.
+func (c Confusion) String() string {
+	return fmt.Sprintf("precision=%.2f recall=%.2f f1=%.2f", c.Precision(), c.Recall(), c.F1())
+}
+
+// CDFPoint is one step of an empirical distribution function.
+type CDFPoint struct {
+	X int     // value
+	P float64 // P(X <= x)
+}
+
+// CDF computes the empirical distribution of integer observations, one
+// point per distinct value (Figure 1b plots this over the number of similar
+// local patterns).
+func CDF(observations []int) []CDFPoint {
+	if len(observations) == 0 {
+		return nil
+	}
+	counts := make(map[int]int)
+	for _, v := range observations {
+		counts[v]++
+	}
+	values := make([]int, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	out := make([]CDFPoint, 0, len(values))
+	cum := 0
+	for _, v := range values {
+		cum += counts[v]
+		out = append(out, CDFPoint{X: v, P: float64(cum) / float64(len(observations))})
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dimatch/internal/core"
+)
+
+func ids(vs ...uint64) []core.PersonID {
+	out := make([]core.PersonID, len(vs))
+	for i, v := range vs {
+		out[i] = core.PersonID(v)
+	}
+	return out
+}
+
+func TestEvaluateBasic(t *testing.T) {
+	tests := []struct {
+		name      string
+		retrieved []core.PersonID
+		relevant  []core.PersonID
+		want      Confusion
+	}{
+		{
+			name:      "perfect",
+			retrieved: ids(1, 2, 3),
+			relevant:  ids(1, 2, 3),
+			want:      Confusion{TP: 3},
+		},
+		{
+			name:      "one fp one fn",
+			retrieved: ids(1, 2, 4),
+			relevant:  ids(1, 2, 3),
+			want:      Confusion{TP: 2, FP: 1, FN: 1},
+		},
+		{
+			name:      "nothing retrieved",
+			retrieved: nil,
+			relevant:  ids(1),
+			want:      Confusion{FN: 1},
+		},
+		{
+			name:      "nothing relevant",
+			retrieved: ids(1),
+			relevant:  nil,
+			want:      Confusion{FP: 1},
+		},
+		{
+			name:      "duplicates count once",
+			retrieved: ids(1, 1, 1),
+			relevant:  ids(1),
+			want:      Confusion{TP: 1},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Evaluate(tt.retrieved, tt.relevant); got != tt.want {
+				t.Fatalf("Evaluate = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeasures(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 2}
+	if got := c.Precision(); got != 0.8 {
+		t.Fatalf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 0.8 {
+		t.Fatalf("Recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("F1 = %v", got)
+	}
+	var empty Confusion
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Fatal("vacuous precision/recall should be 1")
+	}
+	if (Confusion{FP: 1, FN: 1}).F1() != 0 {
+		t.Fatal("all-wrong F1 should be 0")
+	}
+	if !strings.Contains(c.String(), "precision=0.80") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3}
+	a.Add(Confusion{TP: 4, FP: 5, FN: 6})
+	if a != (Confusion{TP: 5, FP: 7, FN: 9}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestPropertyMeasuresInRange(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn)}
+		for _, v := range []float64{c.Precision(), c.Recall(), c.F1()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	points := CDF([]int{0, 1, 1, 2, 4})
+	want := []CDFPoint{{0, 0.2}, {1, 0.6}, {2, 0.8}, {4, 1.0}}
+	if len(points) != len(want) {
+		t.Fatalf("CDF = %v", points)
+	}
+	for i := range want {
+		if points[i].X != want[i].X || math.Abs(points[i].P-want[i].P) > 1e-12 {
+			t.Fatalf("CDF[%d] = %+v, want %+v", i, points[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Fatal("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		obs := make([]int, len(raw))
+		for i, v := range raw {
+			obs[i] = int(v % 10)
+		}
+		points := CDF(obs)
+		prev := 0.0
+		for _, p := range points {
+			if p.P < prev || p.P > 1+1e-12 {
+				return false
+			}
+			prev = p.P
+		}
+		return len(obs) == 0 || math.Abs(points[len(points)-1].P-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

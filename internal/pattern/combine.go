@@ -1,0 +1,110 @@
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// MaxLocals bounds the number of local patterns a query set may carry.
+// Combinations are enumerated as bitmasks over the locals, and the count of
+// combinations (2^e - 1) must stay tractable; the paper's scenarios have a
+// handful of locals (home, office, shopping, ...), so 20 is generous.
+const MaxLocals = 20
+
+// Subset is a bitmask over the local patterns of a query set: bit j selects
+// local j. The zero Subset is empty and never a valid combination.
+type Subset uint32
+
+// Contains reports whether local j is in the subset.
+func (s Subset) Contains(j int) bool { return s&(1<<uint(j)) != 0 }
+
+// Card returns the number of locals in the subset.
+func (s Subset) Card() int { return bits.OnesCount32(uint32(s)) }
+
+// Full returns the subset containing all e locals.
+func Full(e int) Subset { return Subset(1<<uint(e)) - 1 }
+
+// String renders the subset as e.g. {0,2,3}.
+func (s Subset) String() string {
+	out := "{"
+	first := true
+	for j := 0; j < 32; j++ {
+		if !s.Contains(j) {
+			continue
+		}
+		if !first {
+			out += ","
+		}
+		out += fmt.Sprint(j)
+		first = false
+	}
+	return out + "}"
+}
+
+// EnumerateSubsets returns every non-empty subset mask of e locals, in
+// increasing mask order. The count is exactly 2^e - 1, matching the paper's
+// Ψ = Σ_{j=1..l} C(l,j) comparison count (Eq. 4).
+func EnumerateSubsets(e int) ([]Subset, error) {
+	if e <= 0 || e > MaxLocals {
+		return nil, fmt.Errorf("pattern: EnumerateSubsets e=%d, want 1..%d", e, MaxLocals)
+	}
+	out := make([]Subset, 0, (1<<uint(e))-1)
+	for m := Subset(1); m < 1<<uint(e); m++ {
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Combine returns the element-wise sum of the locals selected by mask.
+// All locals must share one length and mask must be non-empty and within
+// range.
+func Combine(locals []Pattern, mask Subset) (Pattern, error) {
+	if mask == 0 {
+		return nil, errors.New("pattern: Combine with empty subset")
+	}
+	if int(mask) >= 1<<uint(len(locals)) {
+		return nil, fmt.Errorf("pattern: subset %s references locals beyond %d", mask, len(locals))
+	}
+	var out Pattern
+	for j := 0; j < len(locals); j++ {
+		if !mask.Contains(j) {
+			continue
+		}
+		if out == nil {
+			out = locals[j].Clone()
+			continue
+		}
+		if len(locals[j]) != len(out) {
+			return nil, fmt.Errorf("%w: local %d has length %d, want %d", ErrLengthMismatch, j, len(locals[j]), len(out))
+		}
+		for i, v := range locals[j] {
+			out[i] += v
+		}
+	}
+	return out, nil
+}
+
+// WeightNumerator returns the exact integer weight numerator of the
+// combination selected by mask: the sum of all values of the combined
+// pattern, which equals the maximum of its accumulated form. The weight the
+// paper assigns is numerator / WeightNumerator(all locals).
+//
+// Because value sums are additive over disjoint subsets, so are weight
+// numerators — the invariant that makes the ranker's "sum of weights == 1"
+// test identify correctly partitioned matches.
+func WeightNumerator(locals []Pattern, mask Subset) (int64, error) {
+	if mask == 0 {
+		return 0, errors.New("pattern: WeightNumerator with empty subset")
+	}
+	if int(mask) >= 1<<uint(len(locals)) {
+		return 0, fmt.Errorf("pattern: subset %s references locals beyond %d", mask, len(locals))
+	}
+	var num int64
+	for j := 0; j < len(locals); j++ {
+		if mask.Contains(j) {
+			num += locals[j].Sum()
+		}
+	}
+	return num, nil
+}

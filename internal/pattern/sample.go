@@ -1,0 +1,58 @@
+package pattern
+
+import "fmt"
+
+// SampleIndexes returns b deterministic, evenly spaced sample positions for
+// a pattern of the given length, always including the last position (the
+// maximum of an accumulated pattern, which carries the pattern's weight
+// numerator).
+//
+// Determinism matters: the data center hashes sampled query values into the
+// filter and base stations hash sampled data values against it, so both
+// sides must pick identical positions. The paper calls this "uniform
+// sampling" of b values (Algorithm 1, line 6).
+//
+// If b >= length every index is returned. b and length must be positive.
+func SampleIndexes(length, b int) ([]int, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("pattern: SampleIndexes length %d, want > 0", length)
+	}
+	if b <= 0 {
+		return nil, fmt.Errorf("pattern: SampleIndexes b %d, want > 0", b)
+	}
+	if b >= length {
+		idx := make([]int, length)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
+	}
+	idx := make([]int, b)
+	// Evenly spaced: position j maps to round((j+1)*length/b) - 1, which
+	// lands the final sample exactly on length-1.
+	for j := 0; j < b; j++ {
+		idx[j] = (j+1)*length/b - 1
+	}
+	// Spacing guarantees strict monotonicity for b < length except when the
+	// integer grid collides; deduplicate defensively while preserving order.
+	out := idx[:1]
+	for _, v := range idx[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// SampleAt extracts the values of p at the given indexes. Indexes must be
+// valid positions in p.
+func (p Pattern) SampleAt(indexes []int) ([]int64, error) {
+	out := make([]int64, len(indexes))
+	for i, idx := range indexes {
+		if idx < 0 || idx >= len(p) {
+			return nil, fmt.Errorf("pattern: sample index %d out of range [0,%d)", idx, len(p))
+		}
+		out[i] = p[idx]
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleIndexesBasic(t *testing.T) {
+	tests := []struct {
+		name   string
+		length int
+		b      int
+		want   []int
+	}{
+		{name: "b divides length", length: 12, b: 4, want: []int{2, 5, 8, 11}},
+		{name: "b equals length", length: 5, b: 5, want: []int{0, 1, 2, 3, 4}},
+		{name: "b exceeds length", length: 3, b: 10, want: []int{0, 1, 2}},
+		{name: "single sample is last", length: 9, b: 1, want: []int{8}},
+		{name: "length 1", length: 1, b: 4, want: []int{0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SampleIndexes(tt.length, tt.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSampleIndexesErrors(t *testing.T) {
+	if _, err := SampleIndexes(0, 3); err == nil {
+		t.Fatal("expected error for zero length")
+	}
+	if _, err := SampleIndexes(5, 0); err == nil {
+		t.Fatal("expected error for zero b")
+	}
+	if _, err := SampleIndexes(-1, -1); err == nil {
+		t.Fatal("expected error for negative inputs")
+	}
+}
+
+func TestSampleIndexesProperties(t *testing.T) {
+	f := func(rawLen, rawB uint8) bool {
+		length := int(rawLen)%200 + 1
+		b := int(rawB)%32 + 1
+		idx, err := SampleIndexes(length, b)
+		if err != nil {
+			return false
+		}
+		// Last position always sampled: it carries the accumulated maximum.
+		if idx[len(idx)-1] != length-1 {
+			return false
+		}
+		// Strictly increasing and in range.
+		for i, v := range idx {
+			if v < 0 || v >= length {
+				return false
+			}
+			if i > 0 && v <= idx[i-1] {
+				return false
+			}
+		}
+		// Never more samples than requested or than available.
+		return len(idx) <= b && len(idx) <= length
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleIndexesDeterministic(t *testing.T) {
+	a, err := SampleIndexes(97, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleIndexes(97, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SampleIndexes is not deterministic")
+		}
+	}
+}
+
+func TestSampleAt(t *testing.T) {
+	p := Pattern{10, 20, 30, 40}
+	got, err := p.SampleAt([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[1] != 40 {
+		t.Fatalf("SampleAt = %v", got)
+	}
+	if _, err := p.SampleAt([]int{4}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := p.SampleAt([]int{-1}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}

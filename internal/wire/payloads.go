@@ -1,0 +1,376 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"dimatch/internal/bloom"
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+)
+
+// ---- WBF query dissemination ----
+
+// EncodeWBFQuery renders a filter (and the top-K the center wants back,
+// informationally) for dissemination to stations.
+func EncodeWBFQuery(f *core.Filter) Message {
+	p := f.Params()
+	var w writer
+	w.u64(p.Bits)
+	w.uvarint(uint64(p.Hashes))
+	w.uvarint(uint64(p.Samples))
+	w.uvarint(uint64(p.Epsilon))
+	w.u8(uint8(p.Tolerance))
+	w.u64(p.Seed)
+	w.u8(boolByte(p.PositionSalted))
+	w.uvarint(uint64(f.Length()))
+	w.uvarint(f.Inserted())
+
+	words := f.Words()
+	w.uvarint(uint64(len(words)))
+	for _, word := range words {
+		w.u64(word)
+	}
+
+	weights := f.Weights()
+	w.uvarint(uint64(len(weights)))
+	for _, e := range weights {
+		w.uvarint(uint64(e.Query))
+		w.uvarint(uint64(e.Mask))
+		w.uvarint(uint64(e.Numerator))
+		w.uvarint(uint64(e.Denominator))
+	}
+
+	bitIdx, ids := f.Slots()
+	w.uvarint(uint64(len(bitIdx)))
+	prev := uint64(0)
+	for i, idx := range bitIdx {
+		w.uvarint(idx - prev) // indexes ascend; delta-encode
+		prev = idx
+		w.uvarint(uint64(len(ids[i])))
+		prevID := uint64(0)
+		for _, id := range ids[i] {
+			w.uvarint(uint64(id) - prevID) // ids ascend within a slot
+			prevID = uint64(id)
+		}
+	}
+	return Message{Kind: KindWBFQuery, Payload: w.buf}
+}
+
+// DecodeWBFQuery reconstructs the filter.
+func DecodeWBFQuery(m Message) (*core.Filter, error) {
+	if m.Kind != KindWBFQuery {
+		return nil, fmt.Errorf("wire: decoding %v as wbf-query", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	var p core.Params
+	p.Bits = r.u64()
+	p.Hashes = int(r.uvarint())
+	p.Samples = int(r.uvarint())
+	p.Epsilon = int64(r.uvarint())
+	p.Tolerance = core.ToleranceMode(r.u8())
+	p.Seed = r.u64()
+	p.PositionSalted = r.u8() != 0
+	length := int(r.uvarint())
+	inserted := r.uvarint()
+
+	nWords := r.count(8)
+	words := make([]uint64, nWords)
+	for i := range words {
+		words[i] = r.u64()
+	}
+
+	nWeights := r.count(4)
+	weights := make([]core.WeightEntry, nWeights)
+	for i := range weights {
+		weights[i] = core.WeightEntry{
+			Query:       core.QueryID(r.uvarint()),
+			Mask:        pattern.Subset(r.uvarint()),
+			Numerator:   int64(r.uvarint()),
+			Denominator: int64(r.uvarint()),
+		}
+	}
+
+	nSlots := r.count(3)
+	bitIdx := make([]uint64, nSlots)
+	ids := make([][]core.WeightID, nSlots)
+	prev := uint64(0)
+	for i := 0; i < nSlots; i++ {
+		prev += r.uvarint()
+		bitIdx[i] = prev
+		listLen := r.count(1)
+		list := make([]core.WeightID, listLen)
+		prevID := uint64(0)
+		for j := range list {
+			prevID += r.uvarint()
+			list[j] = core.WeightID(prevID)
+		}
+		ids[i] = list
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return core.FromParts(p, length, words, bitIdx, ids, weights, inserted)
+}
+
+// ---- BF query dissemination ----
+
+// BFQuery bundles the baseline filter with the pipeline parameters stations
+// need to process it identically.
+type BFQuery struct {
+	Filter *bloom.Filter
+	Params core.Params
+	Length int
+}
+
+// EncodeBFQuery renders the baseline dissemination message.
+func EncodeBFQuery(q BFQuery) Message {
+	p := q.Params
+	var w writer
+	w.u64(p.Bits)
+	w.uvarint(uint64(p.Hashes))
+	w.uvarint(uint64(p.Samples))
+	w.uvarint(uint64(p.Epsilon))
+	w.u8(uint8(p.Tolerance))
+	w.u64(p.Seed)
+	w.u8(boolByte(p.PositionSalted))
+	w.uvarint(uint64(q.Length))
+	w.uvarint(q.Filter.N())
+	words := q.Filter.Words()
+	w.uvarint(uint64(len(words)))
+	for _, word := range words {
+		w.u64(word)
+	}
+	return Message{Kind: KindBFQuery, Payload: w.buf}
+}
+
+// DecodeBFQuery reconstructs the baseline query.
+func DecodeBFQuery(m Message) (BFQuery, error) {
+	if m.Kind != KindBFQuery {
+		return BFQuery{}, fmt.Errorf("wire: decoding %v as bf-query", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	var p core.Params
+	p.Bits = r.u64()
+	p.Hashes = int(r.uvarint())
+	p.Samples = int(r.uvarint())
+	p.Epsilon = int64(r.uvarint())
+	p.Tolerance = core.ToleranceMode(r.u8())
+	p.Seed = r.u64()
+	p.PositionSalted = r.u8() != 0
+	length := int(r.uvarint())
+	n := r.uvarint()
+	nWords := r.count(8)
+	words := make([]uint64, nWords)
+	for i := range words {
+		words[i] = r.u64()
+	}
+	if err := r.done(); err != nil {
+		return BFQuery{}, err
+	}
+	f, err := bloom.FromParts(words, p.Bits, p.Hashes, p.Seed, n)
+	if err != nil {
+		return BFQuery{}, err
+	}
+	return BFQuery{Filter: f, Params: p, Length: length}, nil
+}
+
+// ---- station reports ----
+
+// Reports is one station's batch of WBF match reports.
+type Reports struct {
+	Station uint32
+	Reports []core.Report
+}
+
+// EncodeReports renders a station's (person, weights) matches.
+func EncodeReports(rs Reports) Message {
+	var w writer
+	w.uvarint(uint64(rs.Station))
+	w.uvarint(uint64(len(rs.Reports)))
+	for _, rep := range rs.Reports {
+		w.uvarint(uint64(rep.Person))
+		w.uvarint(uint64(len(rep.WeightIDs)))
+		for _, id := range rep.WeightIDs {
+			w.uvarint(uint64(id))
+		}
+	}
+	return Message{Kind: KindReports, Payload: w.buf}
+}
+
+// DecodeReports parses a report batch.
+func DecodeReports(m Message) (Reports, error) {
+	if m.Kind != KindReports {
+		return Reports{}, fmt.Errorf("wire: decoding %v as reports", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := Reports{Station: uint32(r.uvarint())}
+	n := r.count(2)
+	out.Reports = make([]core.Report, 0, n)
+	for i := 0; i < n; i++ {
+		rep := core.Report{Person: core.PersonID(r.uvarint())}
+		ids := r.count(1)
+		rep.WeightIDs = make([]core.WeightID, ids)
+		for j := range rep.WeightIDs {
+			rep.WeightIDs[j] = core.WeightID(r.uvarint())
+		}
+		out.Reports = append(out.Reports, rep)
+	}
+	if err := r.done(); err != nil {
+		return Reports{}, err
+	}
+	return out, nil
+}
+
+// ---- BF matches ----
+
+// BFMatches is the baseline's report: bare person IDs, no weights.
+type BFMatches struct {
+	Station uint32
+	Persons []core.PersonID
+}
+
+// EncodeBFMatches renders the baseline match list.
+func EncodeBFMatches(b BFMatches) Message {
+	var w writer
+	w.uvarint(uint64(b.Station))
+	w.uvarint(uint64(len(b.Persons)))
+	for _, p := range b.Persons {
+		w.uvarint(uint64(p))
+	}
+	return Message{Kind: KindBFMatches, Payload: w.buf}
+}
+
+// DecodeBFMatches parses the baseline match list.
+func DecodeBFMatches(m Message) (BFMatches, error) {
+	if m.Kind != KindBFMatches {
+		return BFMatches{}, fmt.Errorf("wire: decoding %v as bf-matches", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := BFMatches{Station: uint32(r.uvarint())}
+	n := r.count(1)
+	out.Persons = make([]core.PersonID, n)
+	for i := range out.Persons {
+		out.Persons[i] = core.PersonID(r.uvarint())
+	}
+	if err := r.done(); err != nil {
+		return BFMatches{}, err
+	}
+	return out, nil
+}
+
+// ---- naive data shipment ----
+
+// NaiveData is a station's full local dataset, shipped for centralized
+// matching (the paper's Approach 1).
+type NaiveData struct {
+	Station uint32
+	Persons []core.PersonID
+	Locals  []pattern.Pattern
+}
+
+// EncodeNaiveData renders the shipment.
+func EncodeNaiveData(d NaiveData) (Message, error) {
+	if len(d.Persons) != len(d.Locals) {
+		return Message{}, fmt.Errorf("wire: %d persons but %d locals", len(d.Persons), len(d.Locals))
+	}
+	var w writer
+	w.uvarint(uint64(d.Station))
+	w.uvarint(uint64(len(d.Persons)))
+	for i, p := range d.Persons {
+		w.uvarint(uint64(p))
+		w.uvarint(uint64(len(d.Locals[i])))
+		for _, v := range d.Locals[i] {
+			w.uvarint(zigzag(v))
+		}
+	}
+	return Message{Kind: KindNaiveData, Payload: w.buf}, nil
+}
+
+// DecodeNaiveData parses the shipment.
+func DecodeNaiveData(m Message) (NaiveData, error) {
+	if m.Kind != KindNaiveData {
+		return NaiveData{}, fmt.Errorf("wire: decoding %v as naive-data", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := NaiveData{Station: uint32(r.uvarint())}
+	n := r.count(2)
+	out.Persons = make([]core.PersonID, 0, n)
+	out.Locals = make([]pattern.Pattern, 0, n)
+	for i := 0; i < n; i++ {
+		out.Persons = append(out.Persons, core.PersonID(r.uvarint()))
+		l := r.count(1)
+		pat := make(pattern.Pattern, l)
+		for j := range pat {
+			pat[j] = unzigzag(r.uvarint())
+		}
+		out.Locals = append(out.Locals, pat)
+	}
+	if err := r.done(); err != nil {
+		return NaiveData{}, err
+	}
+	return out, nil
+}
+
+// ---- verification fetch ----
+
+// Fetch asks a station for the local patterns of specific persons, so the
+// center can verify its top candidates exactly ("... sent to the data
+// center for aggregation and verification", Section I).
+type Fetch struct {
+	Persons []core.PersonID
+}
+
+// EncodeFetch renders the request. Person IDs are sent sorted and
+// delta-encoded.
+func EncodeFetch(f Fetch) Message {
+	sorted := append([]core.PersonID(nil), f.Persons...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var w writer
+	w.uvarint(uint64(len(sorted)))
+	prev := uint64(0)
+	for _, p := range sorted {
+		w.uvarint(uint64(p) - prev)
+		prev = uint64(p)
+	}
+	return Message{Kind: KindFetch, Payload: w.buf}
+}
+
+// DecodeFetch parses the request.
+func DecodeFetch(m Message) (Fetch, error) {
+	if m.Kind != KindFetch {
+		return Fetch{}, fmt.Errorf("wire: decoding %v as fetch", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	n := r.count(1)
+	out := Fetch{Persons: make([]core.PersonID, n)}
+	prev := uint64(0)
+	for i := range out.Persons {
+		prev += r.uvarint()
+		out.Persons[i] = core.PersonID(prev)
+	}
+	if err := r.done(); err != nil {
+		return Fetch{}, err
+	}
+	return out, nil
+}
+
+// ---- trivial messages ----
+
+// ShipAllMessage asks a station to ship its complete local data.
+func ShipAllMessage() Message { return Message{Kind: KindShipAll} }
+
+// ShutdownMessage tells a station loop to exit.
+func ShutdownMessage() Message { return Message{Kind: KindShutdown} }
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// zigzag maps signed to unsigned so small-magnitude values stay short.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

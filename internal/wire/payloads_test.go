@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"testing"
+
+	"dimatch/internal/bloom"
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+)
+
+func buildFilter(t *testing.T) *core.Filter {
+	t.Helper()
+	params := core.Params{
+		Bits:           1 << 12,
+		Hashes:         3,
+		Samples:        3,
+		Epsilon:        1,
+		Tolerance:      core.ToleranceScaled,
+		Seed:           99,
+		PositionSalted: true,
+	}
+	enc, err := core.NewEncoder(params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []core.Query{
+		{ID: 1, Locals: []pattern.Pattern{{1, 2, 3}, {2, 2, 2}}},
+		{ID: 7, Locals: []pattern.Pattern{{4, 0, 4}}},
+	}
+	for _, q := range queries {
+		if err := enc.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return enc.Filter()
+}
+
+func TestWBFQueryRoundTrip(t *testing.T) {
+	f := buildFilter(t)
+	m := EncodeWBFQuery(f)
+	if m.Kind != KindWBFQuery {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	got, err := DecodeWBFQuery(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params() != f.Params() {
+		t.Fatalf("params: %+v vs %+v", got.Params(), f.Params())
+	}
+	if got.Length() != f.Length() || got.Inserted() != f.Inserted() {
+		t.Fatal("length/inserted lost")
+	}
+	if len(got.Weights()) != len(f.Weights()) {
+		t.Fatal("weight table size changed")
+	}
+	for i, w := range f.Weights() {
+		if got.Weights()[i] != w {
+			t.Fatalf("weight %d: %+v vs %+v", i, got.Weights()[i], w)
+		}
+	}
+	// Matching behaviour is preserved: the decoded filter gives identical
+	// verdicts on a probe sweep.
+	m1 := core.NewMatcher(f)
+	m2 := core.NewMatcher(got)
+	for _, cand := range []pattern.Pattern{{1, 2, 3}, {2, 2, 2}, {3, 4, 5}, {4, 0, 4}, {9, 9, 9}, {0, 0, 1}} {
+		ids1, ok1, err1 := m1.Match(cand)
+		ids2, ok2, err2 := m2.Match(cand)
+		if (err1 == nil) != (err2 == nil) || ok1 != ok2 || len(ids1) != len(ids2) {
+			t.Fatalf("verdict diverged for %v", cand)
+		}
+		for i := range ids1 {
+			if ids1[i] != ids2[i] {
+				t.Fatalf("weights diverged for %v", cand)
+			}
+		}
+	}
+}
+
+func TestWBFQueryDecodeWrongKind(t *testing.T) {
+	if _, err := DecodeWBFQuery(Message{Kind: KindShipAll}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestWBFQueryDecodeCorrupt(t *testing.T) {
+	m := EncodeWBFQuery(buildFilter(t))
+	for cut := 0; cut < len(m.Payload); cut += 7 {
+		trunc := Message{Kind: KindWBFQuery, Payload: m.Payload[:cut]}
+		if _, err := DecodeWBFQuery(trunc); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBFQueryRoundTrip(t *testing.T) {
+	bf, err := bloom.New(1<<10, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 50; v++ {
+		bf.Add(v * 3)
+	}
+	params := core.Params{Bits: 1 << 10, Hashes: 4, Samples: 5, Epsilon: 2, Tolerance: core.ToleranceAbsolute, Seed: 5}
+	m := EncodeBFQuery(BFQuery{Filter: bf, Params: params, Length: 9})
+	got, err := DecodeBFQuery(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params != params || got.Length != 9 {
+		t.Fatalf("params/length lost: %+v", got)
+	}
+	if got.Filter.N() != bf.N() {
+		t.Fatal("insert count lost")
+	}
+	for v := int64(0); v < 200; v++ {
+		if got.Filter.Contains(v) != bf.Contains(v) {
+			t.Fatalf("verdict diverged for %d", v)
+		}
+	}
+	if _, err := DecodeBFQuery(Message{Kind: KindReports}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestReportsRoundTrip(t *testing.T) {
+	in := Reports{
+		Station: 42,
+		Reports: []core.Report{
+			{Person: 1, WeightIDs: []core.WeightID{0, 5, 9}},
+			{Person: 1 << 40, WeightIDs: []core.WeightID{3}},
+			{Person: 7, WeightIDs: nil},
+		},
+	}
+	got, err := DecodeReports(EncodeReports(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Station != in.Station || len(got.Reports) != len(in.Reports) {
+		t.Fatalf("got %+v", got)
+	}
+	for i, rep := range in.Reports {
+		if got.Reports[i].Person != rep.Person || len(got.Reports[i].WeightIDs) != len(rep.WeightIDs) {
+			t.Fatalf("report %d: %+v vs %+v", i, got.Reports[i], rep)
+		}
+		for j, id := range rep.WeightIDs {
+			if got.Reports[i].WeightIDs[j] != id {
+				t.Fatalf("report %d id %d differs", i, j)
+			}
+		}
+	}
+	if _, err := DecodeReports(Message{Kind: KindShipAll}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestBFMatchesRoundTrip(t *testing.T) {
+	in := BFMatches{Station: 3, Persons: []core.PersonID{5, 1, 1 << 50}}
+	got, err := DecodeBFMatches(EncodeBFMatches(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Station != 3 || len(got.Persons) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range in.Persons {
+		if got.Persons[i] != in.Persons[i] {
+			t.Fatal("persons differ")
+		}
+	}
+	if _, err := DecodeBFMatches(Message{Kind: KindShipAll}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestNaiveDataRoundTrip(t *testing.T) {
+	in := NaiveData{
+		Station: 9,
+		Persons: []core.PersonID{1, 2},
+		Locals:  []pattern.Pattern{{0, 3, 7}, {5, 0, 0}},
+	}
+	m, err := EncodeNaiveData(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNaiveData(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Station != 9 || len(got.Persons) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range in.Locals {
+		if got.Persons[i] != in.Persons[i] || !got.Locals[i].Equal(in.Locals[i]) {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+	if _, err := EncodeNaiveData(NaiveData{Persons: []core.PersonID{1}}); err == nil {
+		t.Fatal("mismatched persons/locals accepted")
+	}
+	if _, err := DecodeNaiveData(Message{Kind: KindShipAll}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestDecodersNeverPanicOnMutatedPayloads(t *testing.T) {
+	// Stations decode filters from the network; arbitrary corruption must
+	// surface as errors, never panics or runaway allocations.
+	base := EncodeWBFQuery(buildFilter(t))
+	decoders := []func(Message) error{
+		func(m Message) error { _, err := DecodeWBFQuery(m); return err },
+		func(m Message) error {
+			_, err := DecodeBFQuery(Message{Kind: KindBFQuery, Payload: m.Payload})
+			return err
+		},
+		func(m Message) error {
+			_, err := DecodeReports(Message{Kind: KindReports, Payload: m.Payload})
+			return err
+		},
+		func(m Message) error {
+			_, err := DecodeBFMatches(Message{Kind: KindBFMatches, Payload: m.Payload})
+			return err
+		},
+		func(m Message) error {
+			_, err := DecodeNaiveData(Message{Kind: KindNaiveData, Payload: m.Payload})
+			return err
+		},
+		func(m Message) error { _, err := DecodeFetch(Message{Kind: KindFetch, Payload: m.Payload}); return err },
+	}
+	// Deterministic byte mutations across the payload.
+	for step := 1; step < 97; step += 3 {
+		payload := append([]byte(nil), base.Payload...)
+		for i := step; i < len(payload); i += 101 {
+			payload[i] ^= byte(step)
+		}
+		m := Message{Kind: KindWBFQuery, Payload: payload}
+		for di, dec := range decoders {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("decoder %d panicked on mutation step %d: %v", di, step, r)
+					}
+				}()
+				_ = dec(m) // error or success are both fine; panics are not
+			}()
+		}
+	}
+}
+
+func TestFetchRoundTrip(t *testing.T) {
+	in := Fetch{Persons: []core.PersonID{42, 7, 7000, 1}}
+	got, err := DecodeFetch(EncodeFetch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs come back sorted (the encoding delta-compresses them).
+	want := []core.PersonID{1, 7, 42, 7000}
+	if len(got.Persons) != len(want) {
+		t.Fatalf("got %v", got.Persons)
+	}
+	for i := range want {
+		if got.Persons[i] != want[i] {
+			t.Fatalf("got %v, want %v", got.Persons, want)
+		}
+	}
+	if _, err := DecodeFetch(Message{Kind: KindShipAll}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	// Empty fetch round-trips.
+	empty, err := DecodeFetch(EncodeFetch(Fetch{}))
+	if err != nil || len(empty.Persons) != 0 {
+		t.Fatalf("empty fetch: %v, %v", empty, err)
+	}
+}
+
+func TestTrivialMessages(t *testing.T) {
+	if ShipAllMessage().Kind != KindShipAll {
+		t.Fatal("ShipAllMessage kind")
+	}
+	if ShutdownMessage().Kind != KindShutdown {
+		t.Fatal("ShutdownMessage kind")
+	}
+}
+
+func TestWBFQueryCompactness(t *testing.T) {
+	// The dissemination message must be far smaller than the naive shipment
+	// of even a modest station's data — the whole point of the scheme.
+	f := buildFilter(t)
+	m := EncodeWBFQuery(f)
+	if m.EncodedSize() > 1<<16 {
+		t.Fatalf("WBF query frame unexpectedly large: %d bytes", m.EncodedSize())
+	}
+}

@@ -1,0 +1,271 @@
+// Package wire defines the binary message format exchanged between the
+// data center and base stations. Every message knows its encoded size, which
+// is what the communication-cost experiments (Figure 4c) meter: the paper's
+// central claim is that shipping a filter out and (ID, weight) pairs back is
+// orders of magnitude cheaper than shipping raw pattern data in.
+//
+// Frame layout (little endian):
+//
+//	magic   uint16  0xD1A7 ("DI-matching")
+//	version uint8   1
+//	kind    uint8
+//	length  uint32  payload byte count
+//	payload [length]byte
+//
+// Payloads use unsigned varints for counts and small integers, raw 64-bit
+// words for bit arrays.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates message payloads.
+type Kind uint8
+
+// Message kinds. The three query kinds correspond to the three strategies
+// under evaluation (WBF, BF baseline, naive baseline).
+const (
+	// KindWBFQuery disseminates a Weighted Bloom Filter to stations.
+	KindWBFQuery Kind = iota + 1
+	// KindBFQuery disseminates a plain Bloom filter plus pipeline params.
+	KindBFQuery
+	// KindShipAll asks a station to ship its entire local dataset (naive).
+	KindShipAll
+	// KindReports carries (person, weight-pointers) matches to the center.
+	KindReports
+	// KindBFMatches carries bare person IDs (BF baseline has no weights).
+	KindBFMatches
+	// KindNaiveData carries raw (person, local pattern) tuples.
+	KindNaiveData
+	// KindFetch asks a station for specific persons' local patterns (the
+	// verification phase); the station answers with KindNaiveData.
+	KindFetch
+	// KindShutdown tells a station loop to exit cleanly.
+	KindShutdown
+
+	maxKind = KindShutdown
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWBFQuery:
+		return "wbf-query"
+	case KindBFQuery:
+		return "bf-query"
+	case KindShipAll:
+		return "ship-all"
+	case KindReports:
+		return "reports"
+	case KindBFMatches:
+		return "bf-matches"
+	case KindNaiveData:
+		return "naive-data"
+	case KindFetch:
+		return "fetch"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+const (
+	magic      = uint16(0xD1A7)
+	version    = uint8(1)
+	headerSize = 8
+	// MaxPayload bounds a single frame; large enough for city-scale naive
+	// shipments, small enough to reject corrupt length fields.
+	MaxPayload = 1 << 30
+)
+
+// Errors returned by frame decoding.
+var (
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadKind     = errors.New("wire: unknown message kind")
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrOversized   = errors.New("wire: payload exceeds limit")
+	errShortBuffer = errors.New("wire: short buffer")
+)
+
+// Message is one framed unit on a link.
+type Message struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// EncodedSize returns the full frame size in bytes — the unit the cost
+// meters count.
+func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
+
+// Encode renders the frame.
+func (m Message) Encode() []byte {
+	out := make([]byte, headerSize+len(m.Payload))
+	binary.LittleEndian.PutUint16(out[0:2], magic)
+	out[2] = version
+	out[3] = uint8(m.Kind)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(m.Payload)))
+	copy(out[headerSize:], m.Payload)
+	return out
+}
+
+// Decode parses a frame from b, which must contain exactly one frame.
+func Decode(b []byte) (Message, error) {
+	if len(b) < headerSize {
+		return Message{}, ErrTruncated
+	}
+	if binary.LittleEndian.Uint16(b[0:2]) != magic {
+		return Message{}, ErrBadMagic
+	}
+	if b[2] != version {
+		return Message{}, ErrBadVersion
+	}
+	kind := Kind(b[3])
+	if kind == 0 || kind > maxKind {
+		return Message{}, ErrBadKind
+	}
+	n := binary.LittleEndian.Uint32(b[4:8])
+	if n > MaxPayload {
+		return Message{}, ErrOversized
+	}
+	if len(b) != headerSize+int(n) {
+		return Message{}, ErrTruncated
+	}
+	payload := make([]byte, n)
+	copy(payload, b[headerSize:])
+	return Message{Kind: kind, Payload: payload}, nil
+}
+
+// WriteMessage writes one frame to w.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := w.Write(m.Encode())
+	return err
+}
+
+// ReadMessage reads exactly one frame from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	if binary.LittleEndian.Uint16(hdr[0:2]) != magic {
+		return Message{}, ErrBadMagic
+	}
+	if hdr[2] != version {
+		return Message{}, ErrBadVersion
+	}
+	kind := Kind(hdr[3])
+	if kind == 0 || kind > maxKind {
+		return Message{}, ErrBadKind
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > MaxPayload {
+		return Message{}, ErrOversized
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return Message{Kind: kind, Payload: payload}, nil
+}
+
+// ---- payload buffer helpers ----
+
+// writer accumulates a payload.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+
+func (w *writer) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// reader consumes a payload, remembering the first error.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(errShortBuffer)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(errShortBuffer)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail(errShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// count reads a length prefix and sanity-checks it against a per-element
+// minimum size, so corrupt counts cannot trigger huge allocations.
+func (r *reader) count(minElemBytes int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	remaining := len(r.buf) - r.off
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if v > uint64(remaining/minElemBytes)+1 {
+		r.fail(fmt.Errorf("wire: count %d implausible for %d remaining bytes", v, remaining))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}

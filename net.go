@@ -1,0 +1,52 @@
+package dimatch
+
+import (
+	"dimatch/internal/cluster"
+	"dimatch/internal/transport"
+)
+
+// Networked-deployment vocabulary: the same data center logic can drive
+// base stations over real TCP connections instead of in-process pipes.
+type (
+	// Link is one end of an ordered message pipe between the data center
+	// and a base station.
+	Link = transport.Link
+	// Meter counts traffic crossing a set of links.
+	Meter = transport.Meter
+	// Listener accepts station connections on the data center side.
+	Listener = transport.Listener
+)
+
+// Listen starts a TCP listener for incoming station links (e.g.
+// "127.0.0.1:0"). Accepted links record their sends (dissemination) on
+// sendMeter and their receives (station reports) on recvMeter; either may
+// be nil.
+func Listen(addr string, sendMeter, recvMeter *Meter) (*Listener, error) {
+	return transport.Listen(addr, sendMeter, recvMeter)
+}
+
+// Dial connects a base station to the data center, metering this end's
+// sends and receives (either meter may be nil).
+func Dial(addr string, sendMeter, recvMeter *Meter) (Link, error) {
+	return transport.Dial(addr, sendMeter, recvMeter)
+}
+
+// NewClusterWithLinks builds a data center over externally established
+// links (one per remote station) sharing the given pattern length. The
+// meters, if non-nil, should be the ones the links record into so cost
+// reports are populated.
+func NewClusterWithLinks(opts Options, links map[uint32]Link, patternLength int, downMeter, upMeter *Meter) (*Cluster, error) {
+	inner, err := cluster.NewWithLinks(opts, links, patternLength, downMeter, upMeter)
+	if err != nil {
+		return nil, err
+	}
+	inner.Start()
+	return &Cluster{inner: inner}, nil
+}
+
+// ServeStation runs a base station loop over an established link until the
+// center sends a shutdown or the link closes — the body of a remote station
+// process.
+func ServeStation(id uint32, locals map[PersonID]Pattern, link Link) error {
+	return cluster.ServeStation(id, locals, link)
+}

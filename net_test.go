@@ -1,0 +1,123 @@
+package dimatch
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTCPClusterEndToEnd runs a real networked deployment on localhost: a
+// data center listening on TCP, three base station goroutines dialing in,
+// and a WBF search across them.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	cfg := DefaultCityConfig()
+	cfg.Persons = 60
+	cfg.Stations = 16
+	city, err := GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := StationData(city)
+
+	// A link's meter records that end's sends: accepted (center-side) links
+	// carry dissemination, dialed (station-side) links carry reports.
+	var downMeter, upMeter Meter
+	ln, err := Listen("127.0.0.1:0", &downMeter, &upMeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Stations dial in and serve; their IDs travel out of band (the demo
+	// convention: dial order == sorted station order).
+	ids := make([]uint32, 0, len(data))
+	for id := range data {
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	accepted := make(map[uint32]Link, len(ids))
+	var acceptErr error
+	var acceptWg sync.WaitGroup
+	acceptWg.Add(1)
+	go func() {
+		defer acceptWg.Done()
+		for range ids {
+			link, err := ln.Accept()
+			if err != nil {
+				acceptErr = err
+				return
+			}
+			// First frame identifies the station (its reports carry the ID;
+			// for the demo we match by dial order).
+			accepted[uint32(len(accepted))] = link
+		}
+	}()
+
+	sorted := append([]uint32(nil), ids...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for _, id := range sorted {
+		id := id
+		link, err := Dial(ln.Addr(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ServeStation(id, data[id], link); err != nil {
+				t.Errorf("station %d: %v", id, err)
+			}
+		}()
+	}
+	acceptWg.Wait()
+	if acceptErr != nil {
+		t.Fatal(acceptErr)
+	}
+
+	// The accept loop assigned sequential keys in accept order; remap to
+	// real station ids by dial order (deterministic here because dials are
+	// sequential).
+	links := make(map[uint32]Link, len(accepted))
+	for i, id := range sorted {
+		links[id] = accepted[uint32(i)]
+	}
+
+	c, err := NewClusterWithLinks(Options{
+		Params:   Params{Samples: 8, Epsilon: 1, Seed: 42, PositionSalted: true},
+		MinScore: 0.9,
+	}, links, city.Length(), &downMeter, &upMeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query := QueryFromPerson(city, 1, 0)
+	out, err := c.Search([]Query{query}, StrategyWBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Persons(1)) == 0 {
+		t.Fatal("TCP search returned nothing")
+	}
+	found := false
+	for _, p := range out.Persons(1) {
+		if p == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reference person missing from their own query's results")
+	}
+	if out.Cost.BytesUp == 0 {
+		t.Fatal("uplink traffic not metered over TCP")
+	}
+
+	if err := c.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait() // stations exit on shutdown message
+}
