@@ -6,6 +6,7 @@
 package dimatch
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -126,7 +127,7 @@ func BenchmarkSearchNaive(b *testing.B) {
 	c, queries := figure4Cluster(b, 3000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Search(queries, StrategyNaive); err != nil {
+		if _, err := c.Search(context.Background(), queries, WithStrategy(StrategyNaive)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkSearchBF(b *testing.B) {
 	c, queries := figure4Cluster(b, 3000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Search(queries, StrategyBF); err != nil {
+		if _, err := c.Search(context.Background(), queries, WithStrategy(StrategyBF)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -148,7 +149,7 @@ func BenchmarkSearchWBF(b *testing.B) {
 	c, queries := figure4Cluster(b, 3000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Search(queries, StrategyWBF); err != nil {
+		if _, err := c.Search(context.Background(), queries, WithStrategy(StrategyWBF)); err != nil {
 			b.Fatal(err)
 		}
 	}

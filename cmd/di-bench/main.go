@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing] [-quick]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience] [-quick] [-strategy wbf]
 //
 // The default -run all executes every experiment at full scale (a few
-// minutes); -quick shrinks the workloads for a fast smoke run.
+// minutes); -quick shrinks the workloads for a fast smoke run. -strategy
+// selects which strategy the resilience experiment degrades (naive, bf or
+// wbf).
 package main
 
 import (
@@ -15,22 +17,29 @@ import (
 	"os"
 	"strings"
 
+	"dimatch"
 	"dimatch/internal/bench"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience")
-		quick = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
+		run      = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience")
+		quick    = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
+		strategy = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
 	)
 	flag.Parse()
-	if err := runExperiments(*run, *quick); err != nil {
+	strat, err := dimatch.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "di-bench:", err)
+		os.Exit(1)
+	}
+	if err := runExperiments(*run, *quick, strat); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(run string, quick bool) error {
+func runExperiments(run string, quick bool, strat dimatch.Strategy) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -157,7 +166,7 @@ func runExperiments(run string, quick bool) error {
 		if quick {
 			cfg.Persons = 120
 		}
-		rows, err := bench.Resilience(cfg, nil)
+		rows, err := bench.Resilience(cfg, nil, strat)
 		if err != nil {
 			return err
 		}

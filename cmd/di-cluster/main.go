@@ -19,9 +19,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dimatch"
 )
@@ -37,6 +39,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "synthetic city seed (must match across nodes)")
 		ref      = flag.Uint64("ref", 0, "center: reference person to search for")
 		topK     = flag.Int("topk", 10, "center: result size")
+		strategy = flag.String("strategy", "wbf", "center: search strategy (naive, bf, wbf)")
+		timeout  = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
 	)
 	flag.Parse()
 
@@ -47,7 +51,11 @@ func main() {
 	var err error
 	switch *role {
 	case "center":
-		err = runCenter(cfg, *listen, *stations, dimatch.PersonID(*ref), *topK)
+		var strat dimatch.Strategy
+		strat, err = dimatch.ParseStrategy(*strategy)
+		if err == nil {
+			err = runCenter(cfg, *listen, *stations, dimatch.PersonID(*ref), *topK, strat, *timeout)
+		}
 	case "station":
 		err = runStation(cfg, *connect, uint32(*station), *stations)
 	default:
@@ -63,7 +71,7 @@ func main() {
 // Stations identify themselves by sending their index as the first byte
 // sequence of the demo protocol — here simplified: accept order must match
 // station start order, so start stations 0..n-1 in sequence.
-func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref dimatch.PersonID, topK int) error {
+func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref dimatch.PersonID, topK int, strat dimatch.Strategy, timeout time.Duration) error {
 	city, err := dimatch.GenerateCity(cfg)
 	if err != nil {
 		return err
@@ -98,12 +106,19 @@ func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref 
 	}
 	defer c.Shutdown() //nolint:errcheck // demo teardown
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	query := dimatch.QueryFromPerson(city, 1, ref)
-	out, err := c.Search([]dimatch.Query{query}, dimatch.StrategyWBF)
+	out, err := c.Search(ctx, []dimatch.Query{query},
+		dimatch.WithStrategy(strat), dimatch.WithTopK(topK))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("center: top-%d persons similar to %d:\n", topK, ref)
+	fmt.Printf("center: %s top-%d persons similar to %d:\n", strat, topK, ref)
 	for _, r := range out.PerQuery[1] {
 		fmt.Printf("  person %-6d weight %.3f (%d stations)\n", r.Person, r.Score(), r.Stations)
 	}

@@ -1,6 +1,8 @@
 package dimatch
 
 import (
+	"context"
+
 	"dimatch/internal/cluster"
 	"dimatch/internal/core"
 	"dimatch/internal/metrics"
@@ -26,8 +28,11 @@ type (
 	// Result is one ranked answer: person, exact weight fraction, and the
 	// number of stations that reported them.
 	Result = core.Result
-	// Options configures a cluster's searches (params, top-K, sizing).
+	// Options configures a cluster's default search knobs (params, top-K,
+	// sizing); every knob can be overridden per call with a SearchOption.
 	Options = cluster.Options
+	// SearchOption configures a single Search call.
+	SearchOption = cluster.SearchOption
 	// Strategy selects naive / BF / WBF execution.
 	Strategy = cluster.Strategy
 	// Outcome is a search's ranked results plus cost accounting.
@@ -45,6 +50,45 @@ const (
 	StrategyNaive = cluster.StrategyNaive
 	StrategyBF    = cluster.StrategyBF
 	StrategyWBF   = cluster.StrategyWBF
+)
+
+// ParseStrategy is the inverse of Strategy.String: it maps "naive", "bf" and
+// "wbf" (case-insensitively) to the strategy constants — the canonical way
+// for CLIs to turn a flag into a Strategy.
+func ParseStrategy(s string) (Strategy, error) { return cluster.ParseStrategy(s) }
+
+// Per-call search options, re-exported. Each overrides the corresponding
+// cluster Options default for one Search call.
+
+// WithStrategy selects the execution strategy (default StrategyWBF).
+func WithStrategy(s Strategy) SearchOption { return cluster.WithStrategy(s) }
+
+// WithTopK limits each query's answer; <= 0 returns all qualified persons.
+func WithTopK(k int) SearchOption { return cluster.WithTopK(k) }
+
+// WithVerify toggles the WBF verification phase for this call.
+func WithVerify(v bool) SearchOption { return cluster.WithVerify(v) }
+
+// WithMinScore drops WBF and naive results scoring below the threshold.
+func WithMinScore(s float64) SearchOption { return cluster.WithMinScore(s) }
+
+// WithTargetFP overrides the auto-sizing false-positive target.
+func WithTargetFP(fp float64) SearchOption { return cluster.WithTargetFP(fp) }
+
+// Sentinel errors returned by Search, re-exported for errors.Is checks.
+var (
+	// ErrNoQueries reports an empty query batch.
+	ErrNoQueries = cluster.ErrNoQueries
+	// ErrLengthMismatch reports a query whose time-series length does not
+	// match the cluster's.
+	ErrLengthMismatch = cluster.ErrLengthMismatch
+	// ErrClusterClosed reports a Search after Shutdown.
+	ErrClusterClosed = cluster.ErrClusterClosed
+	// ErrCancelled reports a cancelled or timed-out search; it wraps the
+	// context's error.
+	ErrCancelled = cluster.ErrCancelled
+	// ErrUnknownStrategy reports a strategy outside the known set.
+	ErrUnknownStrategy = cluster.ErrUnknownStrategy
 )
 
 // Tolerance modes, re-exported. ToleranceScaled guarantees no false
@@ -75,10 +119,28 @@ func NewCluster(opts Options, stationData map[uint32]map[PersonID]Pattern) (*Clu
 	return &Cluster{inner: inner}, nil
 }
 
-// Search runs one batch of queries under a strategy and returns ranked
-// results and cost accounting.
-func (c *Cluster) Search(queries []Query, strategy Strategy) (*Outcome, error) {
-	return c.inner.Search(queries, strategy)
+// Search runs one batch of queries and returns ranked results and cost
+// accounting. With no options it runs a WBF search under the cluster's
+// Options; per-call options (WithStrategy, WithTopK, WithVerify,
+// WithMinScore, WithTargetFP) override those defaults for this call only.
+//
+// Search honors ctx — cancellation or timeout abandons the in-flight
+// fan-out round and returns an error wrapping ErrCancelled and ctx.Err()
+// without disturbing the station links — and any number of Search calls may
+// run concurrently over one cluster: each link serializes outgoing frames
+// and routes replies back to the owning search by wire request ID.
+func (c *Cluster) Search(ctx context.Context, queries []Query, opts ...SearchOption) (*Outcome, error) {
+	return c.inner.Search(ctx, queries, opts...)
+}
+
+// SearchWithStrategy runs one batch under a fixed strategy with the
+// cluster's default options and no cancellation — the pre-context API.
+//
+// Deprecated: Use Search with WithStrategy, which adds context support and
+// per-call options. SearchWithStrategy remains only so existing callers can
+// migrate incrementally.
+func (c *Cluster) SearchWithStrategy(queries []Query, strategy Strategy) (*Outcome, error) {
+	return c.inner.Search(context.Background(), queries, cluster.WithStrategy(strategy))
 }
 
 // Stations returns the number of base stations.

@@ -1,6 +1,7 @@
 package dimatch
 
 import (
+	"context"
 	"testing"
 )
 
@@ -38,7 +39,7 @@ func TestQuickstartFlow(t *testing.T) {
 
 	const ref = PersonID(0)
 	query := QueryFromPerson(city, 1, ref)
-	out, err := c.Search([]Query{query}, StrategyWBF)
+	out, err := c.Search(context.Background(), []Query{query}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestStrategiesAgreeOnTruePositives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := c.Search([]Query{query}, StrategyNaive)
+	naive, err := c.Search(context.Background(), []Query{query}, WithStrategy(StrategyNaive))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestStrategiesAgreeOnTruePositives(t *testing.T) {
 	// WBF must find every oracle answer (no false negatives under scaled
 	// tolerance) as long as the answer's pieces align with the query split —
 	// which the generator guarantees for same-category persons.
-	wbf, err := c.Search([]Query{query}, StrategyWBF)
+	wbf, err := c.Search(context.Background(), []Query{query}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +142,11 @@ func TestCostOrderingOnCity(t *testing.T) {
 		}
 		defer c.Shutdown()
 		query := QueryFromPerson(city, 1, 0)
-		n, err := c.Search([]Query{query}, StrategyNaive)
+		n, err := c.Search(context.Background(), []Query{query}, WithStrategy(StrategyNaive))
 		if err != nil {
 			t.Fatal(err)
 		}
-		w, err := c.Search([]Query{query}, StrategyWBF)
+		w, err := c.Search(context.Background(), []Query{query}, WithStrategy(StrategyWBF))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -31,8 +31,20 @@
 //	data := ...  // map[stationID]map[PersonID]Pattern
 //	c, err := dimatch.NewCluster(dimatch.Options{TopK: 10}, data)
 //	defer c.Shutdown()
-//	out, err := c.Search([]dimatch.Query{{ID: 1, Locals: locals}}, dimatch.StrategyWBF)
+//	out, err := c.Search(ctx, []dimatch.Query{{ID: 1, Locals: locals}})
 //	for _, r := range out.PerQuery[1] { fmt.Println(r.Person, r.Score()) }
+//
+// Search honors its context — a cancellation or deadline abandons the
+// in-flight fan-out round and returns an error wrapping ErrCancelled
+// without disturbing the station links — and is safe to call from any
+// number of goroutines over one cluster: every station link multiplexes
+// concurrent searches by wire request ID. Per-call options override the
+// cluster's defaults for a single search:
+//
+//	out, err := c.Search(ctx, queries,
+//		dimatch.WithStrategy(dimatch.StrategyBF),
+//		dimatch.WithTopK(5),
+//		dimatch.WithVerify(true))
 //
 // A deterministic city-scale synthetic CDR generator (GenerateCity) stands
 // in for the paper's proprietary dataset, and StrategyNaive / StrategyBF

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"dimatch"
 )
@@ -42,11 +44,28 @@ func main() {
 	fmt.Printf("preferred customer %d has data at %d stations; %d persons share their segment\n\n",
 		preferred, len(query.Locals), len(relevant))
 
-	for _, strat := range []dimatch.Strategy{dimatch.StrategyNaive, dimatch.StrategyBF, dimatch.StrategyWBF} {
-		out, err := c.Search([]dimatch.Query{query}, strat)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// The three strategies run concurrently over the same cluster: each
+	// Search multiplexes its own requests over the shared station links and
+	// gets back only its own replies.
+	strategies := []dimatch.Strategy{dimatch.StrategyNaive, dimatch.StrategyBF, dimatch.StrategyWBF}
+	outcomes := make([]*dimatch.Outcome, len(strategies))
+	var wg sync.WaitGroup
+	for i, strat := range strategies {
+		i, strat := i, strat
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := c.Search(context.Background(), []dimatch.Query{query}, dimatch.WithStrategy(strat))
+			if err != nil {
+				log.Fatal(err)
+			}
+			outcomes[i] = out
+		}()
+	}
+	wg.Wait()
+
+	for i, strat := range strategies {
+		out := outcomes[i]
 		var retrieved []dimatch.PersonID
 		for _, p := range out.Persons(1) {
 			if p != preferred {

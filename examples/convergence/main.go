@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 		for i, ref := range refs {
 			queries[i] = dimatch.QueryFromPerson(city, dimatch.QueryID(i+1), ref)
 		}
-		out, err := c.Search(queries, dimatch.StrategyWBF)
+		out, err := c.Search(context.Background(), queries, dimatch.WithStrategy(dimatch.StrategyWBF))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,9 @@ func main() {
 		ID:     1,
 		Locals: []dimatch.Pattern{{1, 2, 3}, {2, 2, 2}},
 	}
-	out, err := c.Search([]dimatch.Query{query}, dimatch.StrategyWBF)
+	// Search is context-aware: pass a deadline or cancellation as needed.
+	// With no options it runs the WBF strategy under the cluster defaults.
+	out, err := c.Search(context.Background(), []dimatch.Query{query})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 	"sync"
+	"time"
 
 	"dimatch"
 )
@@ -74,8 +76,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// A real deployment bounds every search: if stations stall, the context
+	// deadline abandons the round without poisoning the links.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	const ref = dimatch.PersonID(3)
-	out, err := c.Search([]dimatch.Query{dimatch.QueryFromPerson(city, 1, ref)}, dimatch.StrategyWBF)
+	out, err := c.Search(ctx, []dimatch.Query{dimatch.QueryFromPerson(city, 1, ref)},
+		dimatch.WithStrategy(dimatch.StrategyWBF))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module dimatch
+
+go 1.22

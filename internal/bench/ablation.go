@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -69,7 +70,7 @@ func runVariant(cfg AblationConfig, name string, params core.Params, minScore fl
 	for i, ref := range refs {
 		queries[i] = queryFor(d, core.QueryID(i+1), ref)
 	}
-	out, err := cl.Search(queries, cluster.StrategyWBF)
+	out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(cluster.StrategyWBF))
 	if err != nil {
 		return AblationRow{}, err
 	}

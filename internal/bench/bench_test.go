@@ -241,7 +241,7 @@ func TestAblationTolerance(t *testing.T) {
 }
 
 func TestResilienceDegradesGracefully(t *testing.T) {
-	rows, err := Resilience(AblationConfig{Persons: 120}, []int{0, 8, 24})
+	rows, err := Resilience(AblationConfig{Persons: 120}, []int{0, 8, 24}, cluster.StrategyWBF)
 	if err != nil {
 		t.Fatal(err)
 	}

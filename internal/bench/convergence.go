@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -129,7 +130,7 @@ func Convergence(cfg ConvergenceConfig) ([]ConvergencePoint, error) {
 			for i, ref := range refs {
 				queries[i] = queryFor(d, core.QueryID(i+1), ref)
 			}
-			out, err := cl.Search(queries, cluster.StrategyWBF)
+			out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(cluster.StrategyWBF))
 			if err != nil {
 				_ = cl.Shutdown()
 				return nil, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -157,7 +158,7 @@ func Figure4(cfg Figure4Config) ([]Figure4Point, error) {
 			CenterStorage:      make(map[cluster.Strategy]uint64, 3),
 		}
 		for _, strat := range figure4Strategies {
-			out, err := cl.Search(queries, strat)
+			out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(strat))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,11 +22,14 @@ type ResilienceRow struct {
 }
 
 // Resilience measures graceful degradation (DESIGN.md §6): base stations
-// are killed one group at a time and the same queries re-run. Losing a
-// station loses the local pieces it held — affected persons' weight sums
-// fall below 1, so recall decays while precision holds (the surviving
-// evidence is still exact).
-func Resilience(cfg AblationConfig, killSteps []int) ([]ResilienceRow, error) {
+// are killed one group at a time and the same queries re-run under strat
+// (zero selects the WBF default). Losing a station loses the local pieces
+// it held — affected persons' weight sums fall below 1, so recall decays
+// while precision holds (the surviving evidence is still exact).
+func Resilience(cfg AblationConfig, killSteps []int, strat cluster.Strategy) ([]ResilienceRow, error) {
+	if strat == 0 {
+		strat = cluster.StrategyWBF
+	}
 	cfg = cfg.withDefaults()
 	if len(killSteps) == 0 {
 		killSteps = []int{0, 4, 8, 16, 32}
@@ -76,7 +80,7 @@ func Resilience(cfg AblationConfig, killSteps []int) ([]ResilienceRow, error) {
 			}
 			killed++
 		}
-		out, err := cl.Search(queries, cluster.StrategyWBF)
+		out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(strat))
 		if err != nil {
 			return nil, err
 		}

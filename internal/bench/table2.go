@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -114,7 +115,7 @@ func TableII(cfg TableIIConfig) ([]TableIIRow, error) {
 		for i, ref := range refs {
 			queries[i] = queryFor(d, core.QueryID(i+1), ref)
 		}
-		out, err := cl.Search(queries, cluster.StrategyWBF)
+		out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(cluster.StrategyWBF))
 		if err != nil {
 			_ = cl.Shutdown()
 			return nil, err

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"dimatch/internal/core"
@@ -74,7 +75,7 @@ func startCluster(t *testing.T, opts Options, data map[uint32]map[core.PersonID]
 
 func TestWBFSearchPaperScenario(t *testing.T) {
 	c := startCluster(t, testOptions(), paperScenario())
-	out, err := c.Search([]core.Query{paperQuery()}, StrategyWBF)
+	out, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestNaiveMatchesOracle(t *testing.T) {
 	data := paperScenario()
 	c := startCluster(t, testOptions(), data)
 	q := paperQuery()
-	out, err := c.Search([]core.Query{q}, StrategyNaive)
+	out, err := c.Search(context.Background(), []core.Query{q}, WithStrategy(StrategyNaive))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +144,11 @@ func TestBFSearchSupersetOfWBF(t *testing.T) {
 	data := paperScenario()
 	c := startCluster(t, testOptions(), data)
 	q := paperQuery()
-	wbf, err := c.Search([]core.Query{q}, StrategyWBF)
+	wbf, err := c.Search(context.Background(), []core.Query{q}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bf, err := c.Search([]core.Query{q}, StrategyBF)
+	bf, err := c.Search(context.Background(), []core.Query{q}, WithStrategy(StrategyBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +179,11 @@ func TestCommunicationOrdering(t *testing.T) {
 	c := startCluster(t, testOptions(), paperScenario())
 	q := []core.Query{paperQuery()}
 
-	naive, err := c.Search(q, StrategyNaive)
+	naive, err := c.Search(context.Background(), q, WithStrategy(StrategyNaive))
 	if err != nil {
 		t.Fatal(err)
 	}
-	wbf, err := c.Search(q, StrategyWBF)
+	wbf, err := c.Search(context.Background(), q, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,17 +194,17 @@ func TestCommunicationOrdering(t *testing.T) {
 
 func TestSearchValidation(t *testing.T) {
 	c := startCluster(t, testOptions(), paperScenario())
-	if _, err := c.Search(nil, StrategyWBF); err == nil {
+	if _, err := c.Search(context.Background(), nil, WithStrategy(StrategyWBF)); err == nil {
 		t.Fatal("empty query batch accepted")
 	}
-	if _, err := c.Search([]core.Query{{ID: 1}}, StrategyWBF); err == nil {
+	if _, err := c.Search(context.Background(), []core.Query{{ID: 1}}, WithStrategy(StrategyWBF)); err == nil {
 		t.Fatal("invalid query accepted")
 	}
 	badLen := core.Query{ID: 1, Locals: []pattern.Pattern{{1, 2}}}
-	if _, err := c.Search([]core.Query{badLen}, StrategyWBF); err == nil {
+	if _, err := c.Search(context.Background(), []core.Query{badLen}, WithStrategy(StrategyWBF)); err == nil {
 		t.Fatal("length-mismatched query accepted")
 	}
-	if _, err := c.Search([]core.Query{paperQuery()}, Strategy(99)); err == nil {
+	if _, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(Strategy(99))); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }
@@ -237,7 +238,7 @@ func TestKillStationDegradesGracefully(t *testing.T) {
 	if err := c.KillStation(99); err == nil {
 		t.Fatal("unknown station accepted")
 	}
-	out, err := c.Search([]core.Query{paperQuery()}, StrategyWBF)
+	out, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestAutoSizing(t *testing.T) {
 	opts.Params.Bits = 0 // request auto-sizing
 	opts.Params.Hashes = 0
 	c := startCluster(t, opts, paperScenario())
-	out, err := c.Search([]core.Query{paperQuery()}, StrategyWBF)
+	out, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestTopKTruncation(t *testing.T) {
 	opts.TopK = 1
 	c := startCluster(t, opts, paperScenario())
 	for _, strat := range []Strategy{StrategyWBF, StrategyBF, StrategyNaive} {
-		out, err := c.Search([]core.Query{paperQuery()}, strat)
+		out, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(strat))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -304,7 +305,7 @@ func TestEpsilonToleranceEndToEnd(t *testing.T) {
 		},
 	}
 	c := startCluster(t, opts, data)
-	out, err := c.Search([]core.Query{paperQuery()}, StrategyWBF)
+	out, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestMultiQuerySearch(t *testing.T) {
 		paperQuery(),
 		{ID: 2, Locals: []pattern.Pattern{{7, 1, 9}}}, // person 13's pattern
 	}
-	out, err := c.Search(queries, StrategyWBF)
+	out, err := c.Search(context.Background(), queries, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestRepeatedSearches(t *testing.T) {
 	c := startCluster(t, testOptions(), paperScenario())
 	for i := 0; i < 3; i++ {
 		for _, strat := range []Strategy{StrategyWBF, StrategyBF, StrategyNaive} {
-			if _, err := c.Search([]core.Query{paperQuery()}, strat); err != nil {
+			if _, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(strat)); err != nil {
 				t.Fatalf("round %d %v: %v", i, strat, err)
 			}
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -40,7 +41,8 @@ func (s Strategy) String() string {
 	}
 }
 
-// Options configures searches on a cluster.
+// Options configures a cluster's default search knobs. Every knob can be
+// overridden per call with a SearchOption.
 type Options struct {
 	// Params carries the pipeline knobs (samples b, hashes k, ε, seed...).
 	// If Params.Bits is zero the filter is auto-sized per search to TargetFP
@@ -67,7 +69,10 @@ type Options struct {
 	TargetFP float64
 }
 
-// CostReport quantifies one search, feeding Figures 4b-4d.
+// CostReport quantifies one search, feeding Figures 4b-4d. Counts are
+// per-search: concurrent searches over the same cluster each see only their
+// own traffic. Traffic covers completed exchanges; a station that fails
+// mid-exchange is counted in StationsFailed, not in the byte tallies.
 type CostReport struct {
 	// BytesDown / MessagesDown is dissemination traffic (center→stations).
 	BytesDown, MessagesDown uint64
@@ -115,14 +120,17 @@ func (o *Outcome) Persons(q core.QueryID) []core.PersonID {
 	return out
 }
 
-// Cluster wires one data center to a set of base stations over metered
-// in-process links, each station served by its own goroutine.
+// Cluster wires one data center to a set of base stations over metered,
+// request-multiplexed links, each in-process station served by its own
+// goroutine. Any number of Search calls may run concurrently: each link's
+// mux serializes outgoing frames and routes replies back to the owning
+// search by wire request ID.
 type Cluster struct {
 	opts    Options
 	length  int
 	station []*Station
 
-	links map[uint32]transport.Link // center end, by station id
+	muxes map[uint32]*transport.Mux // center end, by station id
 	ids   []uint32                  // ascending station ids
 
 	downMeter *transport.Meter
@@ -131,6 +139,7 @@ type Cluster struct {
 	mu      sync.Mutex
 	dead    map[uint32]bool
 	started bool
+	closed  bool
 
 	wg       sync.WaitGroup
 	serveMu  sync.Mutex
@@ -148,7 +157,7 @@ func New(opts Options, stationData map[uint32]map[core.PersonID]pattern.Pattern)
 	}
 	c := &Cluster{
 		opts:      opts,
-		links:     make(map[uint32]transport.Link, len(stationData)),
+		muxes:     make(map[uint32]*transport.Mux, len(stationData)),
 		dead:      make(map[uint32]bool),
 		downMeter: &transport.Meter{},
 		upMeter:   &transport.Meter{},
@@ -164,14 +173,16 @@ func New(opts Options, stationData map[uint32]map[core.PersonID]pattern.Pattern)
 				c.length = len(l)
 			}
 			if len(l) != c.length {
-				return nil, fmt.Errorf("cluster: station %d pattern length %d, want %d", id, len(l), c.length)
+				c.closeMuxes()
+				return nil, fmt.Errorf("%w: station %d pattern length %d, want %d", ErrLengthMismatch, id, len(l), c.length)
 			}
 		}
 		center, stationEnd := transport.Pipe(c.downMeter, c.upMeter)
-		c.links[id] = center
+		c.muxes[id] = transport.NewMux(center)
 		c.station = append(c.station, NewStation(id, locals, stationEnd))
 	}
 	if c.length == 0 {
+		c.closeMuxes()
 		return nil, errors.New("cluster: stations hold no patterns")
 	}
 	return c, nil
@@ -182,7 +193,8 @@ func New(opts Options, stationData map[uint32]map[core.PersonID]pattern.Pattern)
 // the shared pattern length and the meters its links record into (either
 // may be nil). Start is a no-op — remote stations run their own Serve
 // loops — and Shutdown sends each station a shutdown message and closes the
-// links.
+// links. The cluster takes ownership of the links: each is wrapped in a
+// request mux, so callers must not Recv on them afterwards.
 func NewWithLinks(opts Options, links map[uint32]transport.Link, patternLength int, downMeter, upMeter *transport.Meter) (*Cluster, error) {
 	if len(links) == 0 {
 		return nil, errors.New("cluster: no station links")
@@ -202,14 +214,14 @@ func NewWithLinks(opts Options, links map[uint32]transport.Link, patternLength i
 	c := &Cluster{
 		opts:      opts,
 		length:    patternLength,
-		links:     make(map[uint32]transport.Link, len(links)),
+		muxes:     make(map[uint32]*transport.Mux, len(links)),
 		dead:      make(map[uint32]bool),
 		downMeter: downMeter,
 		upMeter:   upMeter,
 	}
 	for id, link := range links {
 		c.ids = append(c.ids, id)
-		c.links[id] = link
+		c.muxes[id] = transport.NewMux(link)
 	}
 	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
 	return c, nil
@@ -251,12 +263,13 @@ func (c *Cluster) Stations() int { return len(c.ids) }
 func (c *Cluster) PatternLength() int { return c.length }
 
 // KillStation severs one station's link, simulating a failure. The data
-// center is not told: subsequent searches discover the failure when the
-// send fails and count it in CostReport.StationsFailed.
+// center is not told: subsequent (and in-flight) searches discover the
+// failure when their exchange fails and count it in
+// CostReport.StationsFailed.
 func (c *Cluster) KillStation(id uint32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	link, ok := c.links[id]
+	mux, ok := c.muxes[id]
 	if !ok {
 		return fmt.Errorf("cluster: unknown station %d", id)
 	}
@@ -264,139 +277,219 @@ func (c *Cluster) KillStation(id uint32) error {
 		return nil
 	}
 	c.dead[id] = true
-	return link.Close()
+	return mux.Close()
 }
 
+// closeMuxes closes every mux (and thus every link) without shutdown
+// frames — construction-failure cleanup.
+func (c *Cluster) closeMuxes() {
+	for _, m := range c.muxes {
+		_ = m.Close()
+	}
+}
+
+// shutdownGrace bounds how long Shutdown waits for a station to accept its
+// shutdown frame before closing the link out from under it. A stalled link
+// (dead TCP peer, abandoned send holding the mux's send slot) would
+// otherwise block Shutdown forever.
+const shutdownGrace = 100 * time.Millisecond
+
 // Shutdown stops all stations and waits for their goroutines to exit.
+// Subsequent Search calls return ErrClusterClosed. The cluster lock is not
+// held while frames are sent, so concurrent Search and KillStation calls
+// cannot deadlock against a stalled station; each station gets a bounded
+// grace to accept the shutdown frame, after which its link is closed (which
+// also unblocks any send stalled on it).
 func (c *Cluster) Shutdown() error {
 	c.mu.Lock()
+	c.closed = true
+	var toStop []*transport.Mux
 	for _, id := range c.ids {
 		if c.dead[id] {
 			continue
 		}
-		// Best effort: the station may already be gone.
-		_ = c.links[id].Send(wire.ShutdownMessage())
-		_ = c.links[id].Close()
 		c.dead[id] = true
+		toStop = append(toStop, c.muxes[id])
 	}
 	c.mu.Unlock()
+
+	var stopWg sync.WaitGroup
+	for _, m := range toStop {
+		m := m
+		stopWg.Add(1)
+		go func() {
+			defer stopWg.Done()
+			// Best effort: the station may already be gone, or the link may
+			// be stalled — Close below unblocks a stalled send.
+			sent := make(chan struct{})
+			go func() {
+				_ = m.Send(wire.ShutdownMessage())
+				close(sent)
+			}()
+			select {
+			case <-sent:
+			case <-time.After(shutdownGrace):
+			}
+			_ = m.Close()
+		}()
+	}
+	stopWg.Wait()
 	c.wg.Wait()
 	c.serveMu.Lock()
 	defer c.serveMu.Unlock()
 	return errors.Join(c.serveErr...)
 }
 
-// allLinks snapshots every station link in station-ID order, including
+// allMuxes snapshots every station mux in station-ID order, including
 // severed ones — the center discovers failures by talking, as it would in a
 // real deployment.
-func (c *Cluster) allLinks() []transport.Link {
+func (c *Cluster) allMuxes() []*transport.Mux {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]transport.Link, 0, len(c.ids))
+	out := make([]*transport.Mux, 0, len(c.ids))
 	for _, id := range c.ids {
-		out = append(out, c.links[id])
+		out = append(out, c.muxes[id])
 	}
 	return out
 }
 
-// Search runs one batch of queries under the given strategy and returns
-// ranked results plus the cost accounting.
-func (c *Cluster) Search(queries []core.Query, strategy Strategy) (*Outcome, error) {
+// Search runs one batch of queries and returns ranked results plus cost
+// accounting. The variadic options override the cluster's defaults for this
+// call only (strategy, top-K, verification, score threshold, sizing target);
+// with no options it runs a WBF search under the cluster Options.
+//
+// Search honors ctx: cancellation or timeout abandons the in-flight fan-out
+// round and returns an error wrapping both ErrCancelled and ctx.Err(),
+// leaving the links usable for subsequent searches. Any number of Search
+// calls may run concurrently over one cluster.
+func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...SearchOption) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := c.searchDefaults()
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if len(queries) == 0 {
-		return nil, errors.New("cluster: no queries")
+		return nil, ErrNoQueries
 	}
 	for _, q := range queries {
 		if err := q.Validate(); err != nil {
 			return nil, err
 		}
 		if q.Length() != c.length {
-			return nil, fmt.Errorf("cluster: query %d length %d, cluster is %d", q.ID, q.Length(), c.length)
+			return nil, fmt.Errorf("%w: query %d length %d, cluster is %d", ErrLengthMismatch, q.ID, q.Length(), c.length)
 		}
 	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClusterClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
 
-	bytesDown0, msgsDown0 := c.downMeter.Bytes(), c.downMeter.Messages()
-	bytesUp0, msgsUp0 := c.upMeter.Bytes(), c.upMeter.Messages()
 	start := time.Now()
-
 	var (
 		out *Outcome
 		err error
 	)
-	switch strategy {
+	switch cfg.strategy {
 	case StrategyWBF:
-		out, err = c.searchWBF(queries)
+		out, err = c.searchWBF(ctx, cfg, queries)
 	case StrategyBF:
-		out, err = c.searchBF(queries)
+		out, err = c.searchBF(ctx, cfg, queries)
 	case StrategyNaive:
-		out, err = c.searchNaive(queries)
+		out, err = c.searchNaive(ctx, cfg, queries)
 	default:
-		return nil, fmt.Errorf("cluster: unknown strategy %d", int(strategy))
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStrategy, int(cfg.strategy))
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	out.Strategy = strategy
+	out.Strategy = cfg.strategy
 	out.Cost.Elapsed = time.Since(start)
-	out.Cost.BytesDown = c.downMeter.Bytes() - bytesDown0
-	out.Cost.MessagesDown = c.downMeter.Messages() - msgsDown0
-	out.Cost.BytesUp = c.upMeter.Bytes() - bytesUp0
-	out.Cost.MessagesUp = c.upMeter.Messages() - msgsUp0
 	for _, s := range c.station {
 		out.Cost.StationRawBytes += s.StorageBytes()
 	}
 	return out, nil
 }
 
-// params resolves the search parameters, auto-sizing the filter if needed.
-func (c *Cluster) params(queries []core.Query) (core.Params, error) {
-	p := c.opts.Params
-	if p.Bits != 0 {
-		return p, nil
-	}
-	return core.SizedParams(p, c.length, queries, c.opts.TargetFP)
-}
-
-// fanOut sends one message to every live station and collects one reply per
-// station, invoking handle for each. Stations that fail are counted, not
-// fatal: the search degrades exactly as a real deployment would.
-func (c *Cluster) fanOut(msg wire.Message, handle func(reply wire.Message) error) (failed int, err error) {
-	links := c.allLinks()
+// fanOut sends one request to every station concurrently and waits for all
+// replies (or failures), invoking handle for each reply in station-ID order.
+// Per-search traffic is tallied directly into cost, covering completed
+// exchanges (request out, reply back); a station that dies mid-exchange
+// contributes only to StationsFailed. Unlike shared-meter deltas, the tally
+// is unaffected by other searches running concurrently on the same links.
+//
+// Stations that fail are counted, not fatal: the search degrades exactly as
+// a real deployment would. Every reply is drained and accounted even if
+// handle returns an error partway, so StationsFailed stays truthful; the
+// first handle error is returned after the drain. A cancelled context
+// abandons the round and returns an error wrapping ErrCancelled.
+func (c *Cluster) fanOut(ctx context.Context, msg wire.Message, cost *CostReport, handle func(reply wire.Message) error) (failed int, err error) {
+	muxes := c.allMuxes()
 	type replyOrErr struct {
 		m   wire.Message
 		err error
 	}
-	replies := make([]replyOrErr, len(links))
+	replies := make([]replyOrErr, len(muxes))
 	var wg sync.WaitGroup
-	for i, l := range links {
-		i, l := i, l
+	for i, mx := range muxes {
+		i, mx := i, mx
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := l.Send(msg); err != nil {
-				replies[i] = replyOrErr{err: err}
-				return
-			}
-			m, err := l.Recv()
+			m, err := mx.Roundtrip(ctx, msg)
 			replies[i] = replyOrErr{m: m, err: err}
 		}()
 	}
 	wg.Wait()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return 0, fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+	}
+	allFailed := true
+	for _, r := range replies {
+		if r.err == nil {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed && len(replies) > 0 {
+		// Distinguish a Shutdown racing this search from genuine total
+		// station loss: the former must not read as an empty success.
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return 0, ErrClusterClosed
+		}
+	}
+
+	requestSize := uint64(msg.EncodedSize())
+	var handleErr error
 	for _, r := range replies {
 		if r.err != nil {
 			failed++
 			continue
 		}
-		if err := handle(r.m); err != nil {
-			return failed, err
+		cost.BytesDown += requestSize
+		cost.MessagesDown++
+		cost.BytesUp += uint64(r.m.EncodedSize())
+		cost.MessagesUp++
+		if handleErr == nil {
+			handleErr = handle(r.m)
 		}
 	}
-	return failed, nil
+	return failed, handleErr
 }
 
 // searchWBF is the paper's DI-matching pipeline end to end.
-func (c *Cluster) searchWBF(queries []core.Query) (*Outcome, error) {
-	params, err := c.params(queries)
+func (c *Cluster) searchWBF(ctx context.Context, cfg searchConfig, queries []core.Query) (*Outcome, error) {
+	params, err := c.resolveParams(cfg, queries)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +508,7 @@ func (c *Cluster) searchWBF(queries []core.Query) (*Outcome, error) {
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
 	msg := wire.EncodeWBFQuery(filter)
 	var reportBytes uint64
-	failed, err := c.fanOut(msg, func(reply wire.Message) error {
+	failed, err := c.fanOut(ctx, msg, &out.Cost, func(reply wire.Message) error {
 		batch, err := wire.DecodeReports(reply)
 		if err != nil {
 			return err
@@ -433,13 +526,13 @@ func (c *Cluster) searchWBF(queries []core.Query) (*Outcome, error) {
 		return nil, err
 	}
 	for _, q := range queries {
-		out.PerQuery[q.ID] = c.rankWBF(agg, q.ID)
+		out.PerQuery[q.ID] = rankWBF(cfg, agg, q.ID)
 	}
 	out.Cost.StationsFailed = failed
 	out.Cost.FilterBytes = filter.SizeBytes()
 	out.Cost.CenterStorageBytes = filter.SizeBytes() + reportBytes
-	if c.opts.Verify {
-		if err := c.verifyWBF(queries, out); err != nil {
+	if cfg.verify {
+		if err := c.verifyWBF(ctx, cfg, queries, out); err != nil {
 			return nil, err
 		}
 	}
@@ -449,7 +542,7 @@ func (c *Cluster) searchWBF(queries []core.Query) (*Outcome, error) {
 // verifyWBF runs the verification phase: fetch every ranked candidate's
 // local patterns, materialize their globals and drop candidates that fail
 // the exact Eq. 2 check against their query.
-func (c *Cluster) verifyWBF(queries []core.Query, out *Outcome) error {
+func (c *Cluster) verifyWBF(ctx context.Context, cfg searchConfig, queries []core.Query, out *Outcome) error {
 	candidates := make(map[core.PersonID]bool)
 	for _, results := range out.PerQuery {
 		for _, r := range results {
@@ -466,7 +559,7 @@ func (c *Cluster) verifyWBF(queries []core.Query, out *Outcome) error {
 
 	globals := make(map[core.PersonID]pattern.Pattern, len(candidates))
 	var fetchedBytes uint64
-	failed, err := c.fanOut(wire.EncodeFetch(fetch), func(reply wire.Message) error {
+	failed, err := c.fanOut(ctx, wire.EncodeFetch(fetch), &out.Cost, func(reply wire.Message) error {
 		data, err := wire.DecodeNaiveData(reply)
 		if err != nil {
 			return err
@@ -494,7 +587,7 @@ func (c *Cluster) verifyWBF(queries []core.Query, out *Outcome) error {
 	}
 	out.Cost.CenterStorageBytes += fetchedBytes
 
-	eps := c.opts.Params.Epsilon
+	eps := cfg.params.Epsilon
 	for _, q := range queries {
 		qGlobal, err := q.Global()
 		if err != nil {
@@ -519,11 +612,11 @@ func (c *Cluster) verifyWBF(queries []core.Query, out *Outcome) error {
 // and ranked by closeness to the perfect partition score of 1 — a complete
 // match sums to exactly 1, a same-category match with jitter lands just
 // beside it, and a cross-category accident overshoots far past the band.
-func (c *Cluster) rankWBF(agg *core.Aggregator, q core.QueryID) []core.Result {
-	if c.opts.MinScore <= 0 {
-		return agg.TopK(q, c.opts.TopK)
+func rankWBF(cfg searchConfig, agg *core.Aggregator, q core.QueryID) []core.Result {
+	if cfg.minScore <= 0 {
+		return agg.TopK(q, cfg.topK)
 	}
-	lo, hi := c.opts.MinScore, 2-c.opts.MinScore
+	lo, hi := cfg.minScore, 2-cfg.minScore
 	results := agg.Results(q)
 	kept := results[:0]
 	for _, r := range results {
@@ -546,16 +639,16 @@ func (c *Cluster) rankWBF(agg *core.Aggregator, q core.QueryID) []core.Result {
 		}
 		return results[i].Person < results[j].Person
 	})
-	if c.opts.TopK > 0 && len(results) > c.opts.TopK {
-		results = results[:c.opts.TopK]
+	if cfg.topK > 0 && len(results) > cfg.topK {
+		results = results[:cfg.topK]
 	}
 	return results
 }
 
 // searchBF is the Bloom-filter baseline: same pipeline, no weights, so the
 // center can only count how many stations reported each person.
-func (c *Cluster) searchBF(queries []core.Query) (*Outcome, error) {
-	params, err := c.params(queries)
+func (c *Cluster) searchBF(ctx context.Context, cfg searchConfig, queries []core.Query) (*Outcome, error) {
+	params, err := c.resolveParams(cfg, queries)
 	if err != nil {
 		return nil, err
 	}
@@ -574,7 +667,7 @@ func (c *Cluster) searchBF(queries []core.Query) (*Outcome, error) {
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
 	msg := wire.EncodeBFQuery(wire.BFQuery{Filter: filter, Params: params, Length: c.length})
 	var reportBytes uint64
-	failed, err := c.fanOut(msg, func(reply wire.Message) error {
+	failed, err := c.fanOut(ctx, msg, &out.Cost, func(reply wire.Message) error {
 		batch, err := wire.DecodeBFMatches(reply)
 		if err != nil {
 			return err
@@ -606,8 +699,8 @@ func (c *Cluster) searchBF(queries []core.Query) (*Outcome, error) {
 		}
 		return ranked[i].Person < ranked[j].Person
 	})
-	if c.opts.TopK > 0 && len(ranked) > c.opts.TopK {
-		ranked = ranked[:c.opts.TopK]
+	if cfg.topK > 0 && len(ranked) > cfg.topK {
+		ranked = ranked[:cfg.topK]
 	}
 	for _, q := range queries {
 		out.PerQuery[q.ID] = ranked
@@ -620,10 +713,11 @@ func (c *Cluster) searchBF(queries []core.Query) (*Outcome, error) {
 
 // searchNaive ships everything and matches centrally with the exact Eq. 2
 // predicate. Precision is 1 by construction; the cost is the point.
-func (c *Cluster) searchNaive(queries []core.Query) (*Outcome, error) {
+func (c *Cluster) searchNaive(ctx context.Context, cfg searchConfig, queries []core.Query) (*Outcome, error) {
 	globals := make(map[core.PersonID]pattern.Pattern)
 	var shippedBytes uint64
-	failed, err := c.fanOut(wire.ShipAllMessage(), func(reply wire.Message) error {
+	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
+	failed, err := c.fanOut(ctx, wire.ShipAllMessage(), &out.Cost, func(reply wire.Message) error {
 		data, err := wire.DecodeNaiveData(reply)
 		if err != nil {
 			return err
@@ -645,8 +739,7 @@ func (c *Cluster) searchNaive(queries []core.Query) (*Outcome, error) {
 		return nil, err
 	}
 
-	eps := c.opts.Params.Epsilon
-	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
+	eps := cfg.params.Epsilon
 	for _, q := range queries {
 		qGlobal, err := q.Global()
 		if err != nil {
@@ -665,8 +758,8 @@ func (c *Cluster) searchNaive(queries []core.Query) (*Outcome, error) {
 			if d > eps {
 				continue
 			}
-			if c.opts.MinScore > 0 {
-				if score := float64(eps-d+1) / float64(eps+1); score < c.opts.MinScore {
+			if cfg.minScore > 0 {
+				if score := float64(eps-d+1) / float64(eps+1); score < cfg.minScore {
 					continue
 				}
 			}
@@ -678,8 +771,8 @@ func (c *Cluster) searchNaive(queries []core.Query) (*Outcome, error) {
 			}
 			return cands[i].person < cands[j].person
 		})
-		if c.opts.TopK > 0 && len(cands) > c.opts.TopK {
-			cands = cands[:c.opts.TopK]
+		if cfg.topK > 0 && len(cands) > cfg.topK {
+			cands = cands[:cfg.topK]
 		}
 		rs := make([]core.Result, len(cands))
 		for i, cd := range cands {

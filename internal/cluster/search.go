@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dimatch/internal/core"
+)
+
+// Sentinel errors returned by Search. They wrap into the errors.Is chain so
+// callers can branch without string matching.
+var (
+	// ErrNoQueries is returned when Search is called with an empty batch.
+	ErrNoQueries = errors.New("cluster: no queries")
+	// ErrLengthMismatch is returned when a query's time-series length does
+	// not match the cluster's.
+	ErrLengthMismatch = errors.New("cluster: query length mismatch")
+	// ErrClusterClosed is returned by Search after Shutdown.
+	ErrClusterClosed = errors.New("cluster: cluster closed")
+	// ErrCancelled is returned when the search's context is cancelled or
+	// times out; it wraps the context's error.
+	ErrCancelled = errors.New("cluster: search cancelled")
+	// ErrUnknownStrategy is returned for a strategy outside the known set.
+	ErrUnknownStrategy = errors.New("cluster: unknown strategy")
+)
+
+// ParseStrategy is the inverse of Strategy.String: it maps "naive", "bf" and
+// "wbf" (case-insensitively) to the strategy constants.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "naive":
+		return StrategyNaive, nil
+	case "bf":
+		return StrategyBF, nil
+	case "wbf":
+		return StrategyWBF, nil
+	default:
+		return 0, fmt.Errorf("%w: %q (want naive, bf or wbf)", ErrUnknownStrategy, s)
+	}
+}
+
+// searchConfig is one search's resolved knobs: the cluster Options provide
+// the defaults, per-call SearchOptions override them.
+type searchConfig struct {
+	strategy Strategy
+	params   core.Params
+	topK     int
+	minScore float64
+	verify   bool
+	targetFP float64
+}
+
+// SearchOption configures a single Search call.
+type SearchOption func(*searchConfig)
+
+// WithStrategy selects the execution strategy (default StrategyWBF).
+func WithStrategy(s Strategy) SearchOption {
+	return func(c *searchConfig) { c.strategy = s }
+}
+
+// WithTopK limits each query's answer; <= 0 returns all qualified persons.
+func WithTopK(k int) SearchOption {
+	return func(c *searchConfig) { c.topK = k }
+}
+
+// WithMinScore drops WBF and naive results scoring below the threshold
+// (0 keeps everything). See Options.MinScore for the semantics.
+func WithMinScore(s float64) SearchOption {
+	return func(c *searchConfig) { c.minScore = s }
+}
+
+// WithVerify enables (or disables) the verification phase on WBF searches
+// for this call. See Options.Verify for the semantics.
+func WithVerify(v bool) SearchOption {
+	return func(c *searchConfig) { c.verify = v }
+}
+
+// WithTargetFP overrides the false-positive sizing target used when
+// Params.Bits is zero. Values <= 0 fall back to the default 0.01.
+func WithTargetFP(fp float64) SearchOption {
+	return func(c *searchConfig) { c.targetFP = fp }
+}
+
+// searchDefaults resolves the cluster-level Options into a per-call config.
+func (c *Cluster) searchDefaults() searchConfig {
+	return searchConfig{
+		strategy: StrategyWBF,
+		params:   c.opts.Params,
+		topK:     c.opts.TopK,
+		minScore: c.opts.MinScore,
+		verify:   c.opts.Verify,
+		targetFP: c.opts.TargetFP,
+	}
+}
+
+// resolveParams returns the search parameters, auto-sizing the filter to the
+// config's false-positive target if Bits is unset. Non-positive targets are
+// clamped to the 0.01 default by the sizing math itself.
+func (c *Cluster) resolveParams(cfg searchConfig, queries []core.Query) (core.Params, error) {
+	p := cfg.params
+	if p.Bits != 0 {
+		return p, nil
+	}
+	return core.SizedParams(p, c.length, queries, cfg.targetFP)
+}

@@ -70,7 +70,10 @@ func (s *Station) StorageBytes() uint64 {
 }
 
 // Serve processes center messages until a shutdown message arrives or the
-// link closes. It is the goroutine body of a station node.
+// link closes. It is the goroutine body of a station node. Every reply
+// echoes its request's wire ID, which is what lets the center run many
+// searches over this link concurrently: its dispatcher routes each reply to
+// the search that asked.
 func (s *Station) Serve() error {
 	for {
 		msg, err := s.link.Recv()
@@ -99,7 +102,7 @@ func (s *Station) Serve() error {
 			return err
 		}
 		if reply != nil {
-			if err := s.link.Send(*reply); err != nil {
+			if err := s.link.Send(reply.WithRequest(msg.Request)); err != nil {
 				return fmt.Errorf("station %d: %w", s.id, err)
 			}
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"dimatch/internal/core"
@@ -42,7 +43,7 @@ func TestVerifyRemovesFalsePositives(t *testing.T) {
 
 	// Without verification the artifact is reported.
 	c := startCluster(t, opts, data)
-	out, err := c.Search([]core.Query{query}, StrategyWBF)
+	out, err := c.Search(context.Background(), []core.Query{query}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestVerifyRemovesFalsePositives(t *testing.T) {
 	// With verification it is gone and the true matches survive.
 	opts.Verify = true
 	cv := startCluster(t, opts, data)
-	out, err = cv.Search([]core.Query{query}, StrategyWBF)
+	out, err = cv.Search(context.Background(), []core.Query{query}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,12 +80,12 @@ func TestVerifyAccountsCostsAndKeepsExactMatches(t *testing.T) {
 	verified.Verify = true
 
 	c1 := startCluster(t, base, paperScenario())
-	plain, err := c1.Search([]core.Query{paperQuery()}, StrategyWBF)
+	plain, err := c1.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
 	c2 := startCluster(t, verified, paperScenario())
-	ver, err := c2.Search([]core.Query{paperQuery()}, StrategyWBF)
+	ver, err := c2.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestVerifyNoCandidatesIsNoop(t *testing.T) {
 	c := startCluster(t, opts, paperScenario())
 	// A query matching nobody.
 	q := core.Query{ID: 5, Locals: []pattern.Pattern{{90, 90, 90}}}
-	out, err := c.Search([]core.Query{q}, StrategyWBF)
+	out, err := c.Search(context.Background(), []core.Query{q}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestVerifyPartialMatchSurvives(t *testing.T) {
 		1: {10: {1, 2, 3}},
 		2: {10: {2, 2, 2}},
 	})
-	out, err := c.Search([]core.Query{paperQuery()}, StrategyWBF)
+	out, err := c.Search(context.Background(), []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}

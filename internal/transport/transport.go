@@ -101,6 +101,15 @@ func Pipe(meterA, meterB *Meter) (Link, Link) {
 
 func (l *chanLink) Send(m wire.Message) error {
 	frame := m.Encode()
+	// Check for closure first: the combined select below would otherwise be
+	// free to pick the buffered send even on a link already closed.
+	select {
+	case <-l.done:
+		return ErrClosed
+	case <-l.peerDone:
+		return ErrClosed
+	default:
+	}
 	select {
 	case <-l.done:
 		return ErrClosed

@@ -4,13 +4,21 @@
 // central claim is that shipping a filter out and (ID, weight) pairs back is
 // orders of magnitude cheaper than shipping raw pattern data in.
 //
-// Frame layout (little endian):
+// Frame layout, version 2 (little endian):
 //
-//	magic   uint16  0xD1A7 ("DI-matching")
-//	version uint8   1
-//	kind    uint8
-//	length  uint32  payload byte count
-//	payload [length]byte
+//	magic     uint16  0xD1A7 ("DI-matching")
+//	version   uint8   2
+//	kind      uint8
+//	requestID uint32  correlates a reply with the request that caused it
+//	length    uint32  payload byte count
+//	payload   [length]byte
+//
+// The request ID is what lets many searches share one link: the data center
+// stamps every outgoing request with a fresh ID, stations echo it on their
+// reply, and a per-link dispatcher routes each reply to the owning search.
+// ID 0 is reserved for fire-and-forget frames (shutdown) that expect no
+// reply. Version-1 frames (no requestID field) are still decoded — they read
+// back with request ID 0 — so old peers can at least shut down cleanly.
 //
 // Payloads use unsigned varints for counts and small integers, raw 64-bit
 // words for bit arrays.
@@ -74,9 +82,11 @@ func (k Kind) String() string {
 }
 
 const (
-	magic      = uint16(0xD1A7)
-	version    = uint8(1)
-	headerSize = 8
+	magic        = uint16(0xD1A7)
+	version1     = uint8(1)
+	version2     = uint8(2)
+	headerSizeV1 = 8
+	headerSize   = 12
 	// MaxPayload bounds a single frame; large enough for city-scale naive
 	// shipments, small enough to reject corrupt length fields.
 	MaxPayload = 1 << 30
@@ -92,52 +102,87 @@ var (
 	errShortBuffer = errors.New("wire: short buffer")
 )
 
-// Message is one framed unit on a link.
+// Message is one framed unit on a link. Request correlates a reply with the
+// request that caused it; 0 marks fire-and-forget frames.
 type Message struct {
 	Kind    Kind
+	Request uint32
 	Payload []byte
+}
+
+// WithRequest returns a copy of the message stamped with the given request
+// ID. The payload is shared, not copied.
+func (m Message) WithRequest(id uint32) Message {
+	m.Request = id
+	return m
 }
 
 // EncodedSize returns the full frame size in bytes — the unit the cost
 // meters count.
 func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
 
-// Encode renders the frame.
+// Encode renders the frame (always version 2).
 func (m Message) Encode() []byte {
 	out := make([]byte, headerSize+len(m.Payload))
 	binary.LittleEndian.PutUint16(out[0:2], magic)
-	out[2] = version
+	out[2] = version2
 	out[3] = uint8(m.Kind)
-	binary.LittleEndian.PutUint32(out[4:8], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(out[4:8], m.Request)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(m.Payload)))
 	copy(out[headerSize:], m.Payload)
 	return out
 }
 
+// parseHeader validates the fixed fields shared by Decode and ReadMessage.
+// It returns the decoded kind/request/length plus the version's header size.
+func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, size int, err error) {
+	if binary.LittleEndian.Uint16(hdr[0:2]) != magic {
+		return 0, 0, 0, 0, ErrBadMagic
+	}
+	switch hdr[2] {
+	case version2:
+		size = headerSize
+		request = binary.LittleEndian.Uint32(hdr[4:8])
+		n = binary.LittleEndian.Uint32(hdr[8:12])
+	case version1:
+		size = headerSizeV1
+		n = binary.LittleEndian.Uint32(hdr[4:8])
+	default:
+		return 0, 0, 0, 0, ErrBadVersion
+	}
+	kind = Kind(hdr[3])
+	if kind == 0 || kind > maxKind {
+		return 0, 0, 0, 0, ErrBadKind
+	}
+	if n > MaxPayload {
+		return 0, 0, 0, 0, ErrOversized
+	}
+	return kind, request, n, size, nil
+}
+
 // Decode parses a frame from b, which must contain exactly one frame.
+// Version-1 and version-2 frames are both accepted.
 func Decode(b []byte) (Message, error) {
-	if len(b) < headerSize {
+	if len(b) < headerSizeV1 {
 		return Message{}, ErrTruncated
 	}
-	if binary.LittleEndian.Uint16(b[0:2]) != magic {
-		return Message{}, ErrBadMagic
+	hdr := b
+	if len(hdr) > headerSize {
+		hdr = hdr[:headerSize]
 	}
-	if b[2] != version {
-		return Message{}, ErrBadVersion
+	if len(hdr) < headerSize && len(b) >= 3 && b[2] == version2 {
+		return Message{}, ErrTruncated
 	}
-	kind := Kind(b[3])
-	if kind == 0 || kind > maxKind {
-		return Message{}, ErrBadKind
+	kind, request, n, size, err := parseHeader(hdr)
+	if err != nil {
+		return Message{}, err
 	}
-	n := binary.LittleEndian.Uint32(b[4:8])
-	if n > MaxPayload {
-		return Message{}, ErrOversized
-	}
-	if len(b) != headerSize+int(n) {
+	if len(b) != size+int(n) {
 		return Message{}, ErrTruncated
 	}
 	payload := make([]byte, n)
-	copy(payload, b[headerSize:])
-	return Message{Kind: kind, Payload: payload}, nil
+	copy(payload, b[size:])
+	return Message{Kind: kind, Request: request, Payload: payload}, nil
 }
 
 // WriteMessage writes one frame to w.
@@ -146,31 +191,33 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
-// ReadMessage reads exactly one frame from r.
+// ReadMessage reads exactly one frame from r, accepting version-1 and
+// version-2 frames.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// Read the version-1 prefix first: both layouts share magic, version and
+	// kind, and a v1 frame may legitimately end 4 bytes before a v2 header
+	// would.
+	if _, err := io.ReadFull(r, hdr[:headerSizeV1]); err != nil {
 		return Message{}, err
 	}
 	if binary.LittleEndian.Uint16(hdr[0:2]) != magic {
 		return Message{}, ErrBadMagic
 	}
-	if hdr[2] != version {
-		return Message{}, ErrBadVersion
+	if hdr[2] == version2 {
+		if _, err := io.ReadFull(r, hdr[headerSizeV1:]); err != nil {
+			return Message{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
 	}
-	kind := Kind(hdr[3])
-	if kind == 0 || kind > maxKind {
-		return Message{}, ErrBadKind
-	}
-	n := binary.LittleEndian.Uint32(hdr[4:8])
-	if n > MaxPayload {
-		return Message{}, ErrOversized
+	kind, request, n, _, err := parseHeader(hdr[:])
+	if err != nil {
+		return Message{}, err
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Message{}, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
-	return Message{Kind: kind, Payload: payload}, nil
+	return Message{Kind: kind, Request: request, Payload: payload}, nil
 }
 
 // ---- payload buffer helpers ----

@@ -8,16 +8,55 @@ import (
 )
 
 func TestFrameRoundTrip(t *testing.T) {
-	m := Message{Kind: KindReports, Payload: []byte{1, 2, 3}}
+	m := Message{Kind: KindReports, Request: 7, Payload: []byte{1, 2, 3}}
 	got, err := Decode(m.Encode())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Kind != m.Kind || !bytes.Equal(got.Payload, m.Payload) {
+	if got.Kind != m.Kind || got.Request != 7 || !bytes.Equal(got.Payload, m.Payload) {
 		t.Fatalf("round trip: %+v", got)
 	}
 	if m.EncodedSize() != len(m.Encode()) {
 		t.Fatal("EncodedSize disagrees with Encode")
+	}
+}
+
+func TestWithRequest(t *testing.T) {
+	m := Message{Kind: KindShipAll}.WithRequest(41)
+	if m.Request != 41 {
+		t.Fatalf("Request = %d", m.Request)
+	}
+	got, err := Decode(m.Encode())
+	if err != nil || got.Request != 41 {
+		t.Fatalf("decoded %+v, %v", got, err)
+	}
+}
+
+// TestDecodeVersion1Frame checks the compatibility path: a version-1 frame
+// (8-byte header, no request ID) still decodes, reading back with Request 0.
+func TestDecodeVersion1Frame(t *testing.T) {
+	payload := []byte("v1")
+	v1 := make([]byte, headerSizeV1+len(payload))
+	v1[0] = 0xA7
+	v1[1] = 0xD1
+	v1[2] = version1
+	v1[3] = uint8(KindReports)
+	v1[4] = uint8(len(payload))
+	copy(v1[headerSizeV1:], payload)
+
+	got, err := Decode(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindReports || got.Request != 0 || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("v1 decode: %+v", got)
+	}
+	stream, err := ReadMessage(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Kind != KindReports || stream.Request != 0 || !bytes.Equal(stream.Payload, payload) {
+		t.Fatalf("v1 stream decode: %+v", stream)
 	}
 }
 
@@ -34,7 +73,8 @@ func TestFrameErrors(t *testing.T) {
 		{name: "bad version", mutate: func(b []byte) []byte { b[2] = 9; return b }, want: ErrBadVersion},
 		{name: "zero kind", mutate: func(b []byte) []byte { b[3] = 0; return b }, want: ErrBadKind},
 		{name: "unknown kind", mutate: func(b []byte) []byte { b[3] = 200; return b }, want: ErrBadKind},
-		{name: "length mismatch", mutate: func(b []byte) []byte { b[4] = 5; return b }, want: ErrTruncated},
+		{name: "length mismatch", mutate: func(b []byte) []byte { b[8] = 5; return b }, want: ErrTruncated},
+		{name: "truncated v2 header", mutate: func(b []byte) []byte { return b[:10] }, want: ErrTruncated},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -49,8 +89,8 @@ func TestFrameErrors(t *testing.T) {
 func TestReadWriteMessage(t *testing.T) {
 	var buf bytes.Buffer
 	msgs := []Message{
-		{Kind: KindShipAll},
-		{Kind: KindReports, Payload: []byte("abc")},
+		{Kind: KindShipAll, Request: 1},
+		{Kind: KindReports, Request: 2, Payload: []byte("abc")},
 		{Kind: KindShutdown},
 	}
 	for _, m := range msgs {
@@ -63,7 +103,7 @@ func TestReadWriteMessage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Kind != want.Kind || !bytes.Equal(got.Payload, want.Payload) {
+		if got.Kind != want.Kind || got.Request != want.Request || !bytes.Equal(got.Payload, want.Payload) {
 			t.Fatalf("got %+v, want %+v", got, want)
 		}
 	}
@@ -90,11 +130,11 @@ func TestKindStrings(t *testing.T) {
 }
 
 func TestPropertyFrameRoundTrip(t *testing.T) {
-	f := func(kindRaw uint8, payload []byte) bool {
+	f := func(kindRaw uint8, request uint32, payload []byte) bool {
 		kind := Kind(kindRaw%uint8(maxKind)) + 1
-		m := Message{Kind: kind, Payload: payload}
+		m := Message{Kind: kind, Request: request, Payload: payload}
 		got, err := Decode(m.Encode())
-		return err == nil && got.Kind == kind && bytes.Equal(got.Payload, payload)
+		return err == nil && got.Kind == kind && got.Request == request && bytes.Equal(got.Payload, payload)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

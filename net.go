@@ -33,8 +33,11 @@ func Dial(addr string, sendMeter, recvMeter *Meter) (Link, error) {
 
 // NewClusterWithLinks builds a data center over externally established
 // links (one per remote station) sharing the given pattern length. The
-// meters, if non-nil, should be the ones the links record into so cost
-// reports are populated.
+// meters, if non-nil, should be the ones the links record into so they
+// reflect aggregate link traffic (per-search CostReports are tallied
+// independently). The cluster takes ownership of the links — each is
+// wrapped in a request mux so concurrent searches can share it — and the
+// caller must not use them afterwards.
 func NewClusterWithLinks(opts Options, links map[uint32]Link, patternLength int, downMeter, upMeter *Meter) (*Cluster, error) {
 	inner, err := cluster.NewWithLinks(opts, links, patternLength, downMeter, upMeter)
 	if err != nil {

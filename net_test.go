@@ -1,6 +1,7 @@
 package dimatch
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -96,7 +97,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 
 	query := QueryFromPerson(city, 1, 0)
-	out, err := c.Search([]Query{query}, StrategyWBF)
+	out, err := c.Search(context.Background(), []Query{query}, WithStrategy(StrategyWBF))
 	if err != nil {
 		t.Fatal(err)
 	}
