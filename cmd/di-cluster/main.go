@@ -16,6 +16,13 @@
 // The center waits for all stations, searches for customers similar to a
 // reference person, prints the ranked answer plus cost accounting, and
 // shuts the stations down.
+//
+// With -churn the command instead runs a single-process live-cluster demo
+// of the lifecycle API: it starts a cluster missing one station, measures
+// precision/recall, then — while background searches keep running — grows
+// the cluster with AddStation, ingests a brand-new person, evicts them
+// again and finally removes the station, printing precision/recall after
+// every step.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"dimatch"
@@ -41,6 +49,7 @@ func main() {
 		topK     = flag.Int("topk", 10, "center: result size")
 		strategy = flag.String("strategy", "wbf", "center: search strategy (naive, bf, wbf)")
 		timeout  = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
+		churn    = flag.Bool("churn", false, "run the in-process live-mutation demo (ignores -role)")
 	)
 	flag.Parse()
 
@@ -49,6 +58,13 @@ func main() {
 	cfg.Seed = *seed
 
 	var err error
+	if *churn {
+		if err := runChurn(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "di-cluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch *role {
 	case "center":
 		var strat dimatch.Strategy
@@ -149,6 +165,163 @@ func runStation(cfg dimatch.CityConfig, connectAddr string, index uint32, statio
 		return err
 	}
 	fmt.Printf("station %d: shut down (sent %d B of reports)\n", index, up.Bytes())
+	return nil
+}
+
+// runChurn is the live-cluster demo: one process, real mutations, searches
+// in flight the whole time.
+func runChurn(cfg dimatch.CityConfig) error {
+	city, err := dimatch.GenerateCity(cfg)
+	if err != nil {
+		return err
+	}
+	data := dimatch.StationData(city)
+
+	ref, ok := dimatch.CleanReference(city, dimatch.OfficeWorker)
+	if !ok {
+		return fmt.Errorf("no clean reference in category %v", dimatch.OfficeWorker)
+	}
+	relevant := dimatch.RelevantSet(city, ref)
+	query := dimatch.QueryFromPerson(city, 1, ref)
+
+	// Hold out the station carrying the most relevant persons' pieces: its
+	// absence visibly dents recall, its arrival visibly restores it.
+	heldOut, best := uint32(0), -1
+	for s, locals := range data {
+		n := 0
+		for _, p := range relevant {
+			if _, ok := locals[p]; ok {
+				n++
+			}
+		}
+		if n > best {
+			heldOut, best = s, n
+		}
+	}
+	initial := make(map[uint32]map[dimatch.PersonID]dimatch.Pattern, len(data)-1)
+	for s, locals := range data {
+		if s != heldOut {
+			initial[s] = locals
+		}
+	}
+
+	// TopK 0 returns every qualified person: the demo's precision/recall
+	// then reflect the cluster's contents, not a ranking cutoff.
+	c, err := dimatch.NewCluster(dimatch.Options{
+		Params:   dimatch.Params{Samples: 8, Epsilon: 1, Seed: cfg.Seed, PositionSalted: true},
+		MinScore: 0.9,
+		Verify:   true,
+	}, initial)
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown() //nolint:errcheck // demo teardown
+	ctx := context.Background()
+
+	report := func(phase string) error {
+		out, err := c.Search(ctx, []dimatch.Query{query})
+		if err != nil {
+			return err
+		}
+		conf := dimatch.Evaluate(out.Persons(1), relevant)
+		fmt.Printf("%-28s stations=%-3d precision=%.3f recall=%.3f (failed=%d)\n",
+			phase, c.Stations(), conf.Precision(), conf.Recall(), out.Cost.StationsFailed)
+		return nil
+	}
+
+	fmt.Printf("churn demo: %d persons, %d stations, station %d held out (%d relevant pieces)\n",
+		cfg.Persons, len(data), heldOut, best)
+	if err := report("before churn:"); err != nil {
+		return err
+	}
+
+	// Background searches run across every mutation below.
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		searches int
+		bgErr    error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Search(ctx, []dimatch.Query{query}); err != nil {
+				bgErr = err
+				return
+			}
+			searches++
+		}
+	}()
+
+	// Grow: the held-out station joins the running cluster.
+	if err := c.AddStation(ctx, heldOut, data[heldOut]); err != nil {
+		return err
+	}
+	if err := report("after AddStation:"); err != nil {
+		return err
+	}
+
+	// Ingest: a newcomer cloned from the reference appears at the
+	// reference's stations; a search for the reference pattern now also
+	// retrieves them.
+	newcomer := dimatch.PersonID(uint64(cfg.Persons) + 1_000_000)
+	refLocals := dimatch.PersonLocals(city, ref)
+	for s, l := range refLocals {
+		if err := c.Ingest(ctx, s, map[dimatch.PersonID]dimatch.Pattern{newcomer: l.Clone()}); err != nil {
+			return err
+		}
+	}
+	out, err := c.Search(ctx, []dimatch.Query{query})
+	if err != nil {
+		return err
+	}
+	got := false
+	for _, p := range out.Persons(1) {
+		got = got || p == newcomer
+	}
+	fmt.Printf("%-28s newcomer retrieved=%v\n", "after Ingest:", got)
+
+	// Evict the newcomer everywhere; they must disappear.
+	for s := range refLocals {
+		if err := c.Evict(ctx, s, []dimatch.PersonID{newcomer}); err != nil {
+			return err
+		}
+	}
+	out, err = c.Search(ctx, []dimatch.Query{query})
+	if err != nil {
+		return err
+	}
+	got = false
+	for _, p := range out.Persons(1) {
+		got = got || p == newcomer
+	}
+	fmt.Printf("%-28s newcomer retrieved=%v\n", "after Evict:", got)
+
+	// Shrink: the station leaves again.
+	if err := c.RemoveStation(ctx, heldOut); err != nil {
+		return err
+	}
+	if err := report("after RemoveStation:"); err != nil {
+		return err
+	}
+
+	close(stop)
+	wg.Wait()
+	if bgErr != nil {
+		return fmt.Errorf("background search: %w", bgErr)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d background searches during churn; final stats: %d residents, %d B across %d stations (epoch %d)\n",
+		searches, st.TotalResidents(), st.TotalStorageBytes(), len(st.Stations), st.Epoch)
 	return nil
 }
 

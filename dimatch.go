@@ -43,6 +43,12 @@ type (
 	Confusion = metrics.Confusion
 	// ToleranceMode selects how ε maps into the accumulated domain.
 	ToleranceMode = core.ToleranceMode
+	// ClusterStats is a cluster-wide storage snapshot fetched from the
+	// stations over the wire, cached per membership epoch.
+	ClusterStats = cluster.Stats
+	// StationStats is one station's resident count and storage bytes, as
+	// reported by the station itself.
+	StationStats = cluster.StationStats
 )
 
 // Strategies, re-exported.
@@ -89,6 +95,10 @@ var (
 	ErrCancelled = cluster.ErrCancelled
 	// ErrUnknownStrategy reports a strategy outside the known set.
 	ErrUnknownStrategy = cluster.ErrUnknownStrategy
+	// ErrUnknownStation reports a lifecycle call naming a non-member station.
+	ErrUnknownStation = cluster.ErrUnknownStation
+	// ErrStationExists reports an AddStation id that is already a member.
+	ErrStationExists = cluster.ErrStationExists
 )
 
 // Tolerance modes, re-exported. ToleranceScaled guarantees no false
@@ -143,7 +153,48 @@ func (c *Cluster) SearchWithStrategy(queries []Query, strategy Strategy) (*Outco
 	return c.inner.Search(context.Background(), queries, cluster.WithStrategy(strategy))
 }
 
-// Stations returns the number of base stations.
+// Ingest adds (or replaces) resident patterns at one station of a running
+// cluster — the center routing freshly observed call data to the station
+// that saw it. The mutation travels the station's own request/reply loop,
+// so it applies between exchanges and never races an in-flight search.
+// Pattern lengths must match the cluster's (ErrLengthMismatch otherwise);
+// all-zero patterns are dropped by the station.
+func (c *Cluster) Ingest(ctx context.Context, stationID uint32, patterns map[PersonID]Pattern) error {
+	return c.inner.Ingest(ctx, stationID, patterns)
+}
+
+// Evict removes residents from one station of a running cluster — expired
+// retention windows, opted-out subscribers, or data handed off elsewhere.
+// Persons the station does not hold are ignored.
+func (c *Cluster) Evict(ctx context.Context, stationID uint32, persons []PersonID) error {
+	return c.inner.Evict(ctx, stationID, persons)
+}
+
+// AddStation grows a running cluster with a new in-process station holding
+// the given local patterns (which may be empty). Searches already in flight
+// complete against the membership they started with; later searches fan out
+// to the new station too. Returns ErrStationExists if the id is taken and
+// ErrLengthMismatch if a pattern's length differs from the cluster's.
+func (c *Cluster) AddStation(ctx context.Context, id uint32, locals map[PersonID]Pattern) error {
+	return c.inner.AddStation(ctx, id, locals)
+}
+
+// RemoveStation shrinks a running cluster: the station leaves the
+// membership, receives a best-effort shutdown frame and its link is closed.
+// A search in flight over the previous membership sees the departure as a
+// failed exchange (CostReport.StationsFailed), never as an error.
+func (c *Cluster) RemoveStation(ctx context.Context, id uint32) error {
+	return c.inner.RemoveStation(ctx, id)
+}
+
+// Stats fetches every station's resident count and storage bytes over the
+// wire. The snapshot is cached per membership epoch: repeated calls between
+// mutations answer from the cache, and any mutation triggers a refetch.
+func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
+	return c.inner.Stats(ctx)
+}
+
+// Stations returns the number of member base stations.
 func (c *Cluster) Stations() int { return c.inner.Stations() }
 
 // PatternLength returns the cluster's time-series length.

@@ -46,8 +46,30 @@
 //		dimatch.WithTopK(5),
 //		dimatch.WithVerify(true))
 //
+// # Live clusters
+//
+// A running cluster is mutable while searches are in flight. Ingest and
+// Evict change a station's resident patterns — the mutation travels the
+// station's own request/reply loop, so it applies between exchanges and
+// never races a search:
+//
+//	err = c.Ingest(ctx, stationID, map[dimatch.PersonID]dimatch.Pattern{
+//		4711: {0, 3, 1}, // freshly observed call data
+//	})
+//	err = c.Evict(ctx, stationID, []dimatch.PersonID{4711})
+//
+// AddStation (in-process), AddStationLink (remote, e.g. an accepted TCP
+// connection) and RemoveStation grow and shrink the membership, which is
+// kept in an epoch-versioned snapshot: a search pins the epoch current at
+// its start and fans out over exactly that station set, so a concurrent
+// membership change never disturbs it — an overlapping removal is counted
+// in CostReport.StationsFailed, never surfaced as an error. Stats fetches
+// every station's resident count and storage bytes over the wire, cached
+// per epoch.
+//
 // A deterministic city-scale synthetic CDR generator (GenerateCity) stands
 // in for the paper's proprietary dataset, and StrategyNaive / StrategyBF
-// reproduce the paper's two baselines for comparison. See DESIGN.md for the
+// reproduce the paper's two baselines for comparison. See README.md for
+// the architecture sketch and strategy comparison, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-vs-measured record.
 package dimatch

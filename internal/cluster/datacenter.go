@@ -85,7 +85,10 @@ type CostReport struct {
 	// query: the whole dataset for naive, the filter plus reports otherwise.
 	CenterStorageBytes uint64
 	// StationRawBytes is the raw local-pattern storage across stations,
-	// identical for all strategies (their own data).
+	// identical for all strategies (their own data). The stations report it
+	// themselves over the wire (cached per membership epoch), so in-process
+	// and link-backed clusters measure the same figure; a station that fails
+	// the stats exchange contributes 0.
 	StationRawBytes uint64
 	// Elapsed is the wall-clock search duration.
 	Elapsed time.Duration
@@ -120,23 +123,143 @@ func (o *Outcome) Persons(q core.QueryID) []core.PersonID {
 	return out
 }
 
+// StationStats is one station's resident data, as reported by the station
+// itself over the wire.
+type StationStats struct {
+	// Station is the reporting station's ID.
+	Station uint32
+	// Residents is the number of local patterns the station holds.
+	Residents int
+	// StorageBytes is the raw bytes those patterns occupy (8 per value).
+	StorageBytes uint64
+	// PatternLength is the time-series length the station serves (0 when it
+	// holds no patterns).
+	PatternLength int
+}
+
+// Stats is a cluster-wide storage snapshot fetched from the stations over
+// the wire (one KindStats exchange per station, cached per membership
+// epoch). Stations appear in ascending-ID order; a station that failed the
+// exchange is counted in StationsFailed and omitted from Stations.
+type Stats struct {
+	// Epoch is the membership epoch the snapshot belongs to; it advances on
+	// every mutation (ingest, evict, add/remove station, failure injection).
+	Epoch uint64
+	// Stations holds the per-station figures, ascending by station ID.
+	Stations []StationStats
+	// StationsFailed counts stations that did not answer the exchange.
+	StationsFailed int
+}
+
+// TotalResidents sums the resident counts across reporting stations.
+func (s *Stats) TotalResidents() int {
+	n := 0
+	for _, st := range s.Stations {
+		n += st.Residents
+	}
+	return n
+}
+
+// TotalStorageBytes sums the raw pattern storage across reporting stations.
+func (s *Stats) TotalStorageBytes() uint64 {
+	var n uint64
+	for _, st := range s.Stations {
+		n += st.StorageBytes
+	}
+	return n
+}
+
+// epoch is one immutable snapshot of cluster membership. Every search pins
+// the epoch current at its start and fans out over exactly that station
+// set, so membership mutations can swap in the next epoch while searches
+// are in flight without racing them. ids ascend; muxes is parallel.
+type epoch struct {
+	version uint64
+	ids     []uint32
+	muxes   []*transport.Mux
+
+	// stats caches the stations' KindStats replies for this epoch. Every
+	// mutation installs a fresh epoch, so a filled cache can never go
+	// stale.
+	statsMu sync.Mutex
+	stats   *Stats
+}
+
+// find returns the index of id in the epoch's membership, or -1.
+func (ep *epoch) find(id uint32) int {
+	i := sort.Search(len(ep.ids), func(i int) bool { return ep.ids[i] >= id })
+	if i < len(ep.ids) && ep.ids[i] == id {
+		return i
+	}
+	return -1
+}
+
+// cachedStats returns the epoch's stats snapshot, or nil before the first
+// successful fetch.
+func (ep *epoch) cachedStats() *Stats {
+	ep.statsMu.Lock()
+	defer ep.statsMu.Unlock()
+	return ep.stats
+}
+
+// seedStats pre-fills the epoch's cache from a predecessor epoch's snapshot
+// with one station's entry replaced (or inserted, keeping ascending order)
+// by a fresh reply. A fetch that already won the race is left in place.
+func (ep *epoch) seedStats(prev *Stats, fresh wire.StatsReply) {
+	entry := StationStats{
+		Station:       fresh.Station,
+		Residents:     int(fresh.Residents),
+		StorageBytes:  fresh.StorageBytes,
+		PatternLength: int(fresh.Length),
+	}
+	stations := make([]StationStats, 0, len(prev.Stations)+1)
+	inserted := false
+	for _, s := range prev.Stations {
+		if s.Station == fresh.Station {
+			continue
+		}
+		if !inserted && s.Station > fresh.Station {
+			stations = append(stations, entry)
+			inserted = true
+		}
+		stations = append(stations, s)
+	}
+	if !inserted {
+		stations = append(stations, entry)
+	}
+	st := &Stats{Epoch: ep.version, Stations: stations}
+	if missing := len(ep.ids) - len(stations); missing > 0 {
+		st.StationsFailed = missing
+	}
+	ep.statsMu.Lock()
+	if ep.stats == nil {
+		ep.stats = st
+	}
+	ep.statsMu.Unlock()
+}
+
 // Cluster wires one data center to a set of base stations over metered,
 // request-multiplexed links, each in-process station served by its own
 // goroutine. Any number of Search calls may run concurrently: each link's
 // mux serializes outgoing frames and routes replies back to the owning
 // search by wire request ID.
+//
+// The cluster is live: Ingest and Evict mutate a station's resident
+// patterns, AddStation/AddStationLink and RemoveStation grow and shrink the
+// membership, all while searches are in flight. Membership lives in an
+// epoch-versioned snapshot: an in-flight search works over the epoch it
+// started with, a mutation installs the next one.
 type Cluster struct {
-	opts    Options
-	length  int
-	station []*Station
-
-	muxes map[uint32]*transport.Mux // center end, by station id
-	ids   []uint32                  // ascending station ids
+	opts   Options
+	length int
 
 	downMeter *transport.Meter
 	upMeter   *transport.Meter
 
 	mu      sync.Mutex
+	ep      *epoch
+	epochs  uint64     // version counter feeding ep.version
+	pending []*Station // in-process stations awaiting Start
 	dead    map[uint32]bool
 	started bool
 	closed  bool
@@ -157,34 +280,40 @@ func New(opts Options, stationData map[uint32]map[core.PersonID]pattern.Pattern)
 	}
 	c := &Cluster{
 		opts:      opts,
-		muxes:     make(map[uint32]*transport.Mux, len(stationData)),
 		dead:      make(map[uint32]bool),
 		downMeter: &transport.Meter{},
 		upMeter:   &transport.Meter{},
 	}
+	ids := make([]uint32, 0, len(stationData))
 	for id := range stationData {
-		c.ids = append(c.ids, id)
+		ids = append(ids, id)
 	}
-	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
-	for _, id := range c.ids {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	muxes := make([]*transport.Mux, 0, len(ids))
+	fail := func(err error) (*Cluster, error) {
+		for _, m := range muxes {
+			_ = m.Close()
+		}
+		return nil, err
+	}
+	for _, id := range ids {
 		locals := stationData[id]
 		for _, l := range locals {
 			if c.length == 0 {
 				c.length = len(l)
 			}
 			if len(l) != c.length {
-				c.closeMuxes()
-				return nil, fmt.Errorf("%w: station %d pattern length %d, want %d", ErrLengthMismatch, id, len(l), c.length)
+				return fail(fmt.Errorf("%w: station %d pattern length %d, want %d", ErrLengthMismatch, id, len(l), c.length))
 			}
 		}
 		center, stationEnd := transport.Pipe(c.downMeter, c.upMeter)
-		c.muxes[id] = transport.NewMux(center)
-		c.station = append(c.station, NewStation(id, locals, stationEnd))
+		muxes = append(muxes, transport.NewMux(center))
+		c.pending = append(c.pending, NewStation(id, locals, stationEnd))
 	}
 	if c.length == 0 {
-		c.closeMuxes()
-		return nil, errors.New("cluster: stations hold no patterns")
+		return fail(errors.New("cluster: stations hold no patterns"))
 	}
+	c.installEpochLocked(ids, muxes)
 	return c, nil
 }
 
@@ -214,17 +343,42 @@ func NewWithLinks(opts Options, links map[uint32]transport.Link, patternLength i
 	c := &Cluster{
 		opts:      opts,
 		length:    patternLength,
-		muxes:     make(map[uint32]*transport.Mux, len(links)),
 		dead:      make(map[uint32]bool),
 		downMeter: downMeter,
 		upMeter:   upMeter,
+		// Remote stations run their own Serve loops: the cluster is live
+		// from construction (Start stays an idempotent no-op), and stations
+		// added later via AddStation are served immediately.
+		started: true,
 	}
-	for id, link := range links {
-		c.ids = append(c.ids, id)
-		c.muxes[id] = transport.NewMux(link)
+	ids := make([]uint32, 0, len(links))
+	for id := range links {
+		ids = append(ids, id)
 	}
-	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	muxes := make([]*transport.Mux, 0, len(ids))
+	for _, id := range ids {
+		muxes = append(muxes, transport.NewMux(links[id]))
+	}
+	c.installEpochLocked(ids, muxes)
 	return c, nil
+}
+
+// installEpochLocked makes (ids, muxes) the live membership snapshot with a
+// fresh, empty stats cache. Callers hold c.mu (or own the cluster
+// exclusively during construction). Passing the previous epoch's slices
+// unchanged is how ingest/evict/kill invalidate the stats cache without
+// touching membership.
+func (c *Cluster) installEpochLocked(ids []uint32, muxes []*transport.Mux) {
+	c.epochs++
+	c.ep = &epoch{version: c.epochs, ids: ids, muxes: muxes}
+}
+
+// currentEpoch returns the live membership snapshot.
+func (c *Cluster) currentEpoch() *epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ep
 }
 
 // ServeStation runs a base station loop over an established link until the
@@ -232,6 +386,19 @@ func NewWithLinks(opts Options, links map[uint32]transport.Link, patternLength i
 // process.
 func ServeStation(id uint32, locals map[core.PersonID]pattern.Pattern, link transport.Link) error {
 	return NewStation(id, locals, link).Serve()
+}
+
+// serveLocked launches one in-process station goroutine. Callers hold c.mu.
+func (c *Cluster) serveLocked(s *Station) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if err := s.Serve(); err != nil {
+			c.serveMu.Lock()
+			c.serveErr = append(c.serveErr, err)
+			c.serveMu.Unlock()
+		}
+	}()
 }
 
 // Start launches the station goroutines. It is idempotent.
@@ -242,57 +409,61 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
-	for _, s := range c.station {
-		s := s
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			if err := s.Serve(); err != nil {
-				c.serveMu.Lock()
-				c.serveErr = append(c.serveErr, err)
-				c.serveMu.Unlock()
-			}
-		}()
+	for _, s := range c.pending {
+		c.serveLocked(s)
 	}
+	c.pending = nil
 }
 
-// Stations returns the number of stations (dead or alive).
-func (c *Cluster) Stations() int { return len(c.ids) }
+// Stations returns the number of member stations (dead or alive).
+func (c *Cluster) Stations() int { return len(c.currentEpoch().ids) }
 
 // PatternLength returns the cluster's time-series length.
 func (c *Cluster) PatternLength() int { return c.length }
 
-// KillStation severs one station's link, simulating a failure. The data
-// center is not told: subsequent (and in-flight) searches discover the
-// failure when their exchange fails and count it in
-// CostReport.StationsFailed.
+// KillStation severs one station's link, simulating a failure. The station
+// stays a member — the data center is not told: subsequent (and in-flight)
+// searches discover the failure when their exchange fails and count it in
+// CostReport.StationsFailed. Use RemoveStation for a deliberate departure.
 func (c *Cluster) KillStation(id uint32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	mux, ok := c.muxes[id]
-	if !ok {
-		return fmt.Errorf("cluster: unknown station %d", id)
+	i := c.ep.find(id)
+	if i < 0 {
+		return fmt.Errorf("%w: station %d", ErrUnknownStation, id)
 	}
 	if c.dead[id] {
 		return nil
 	}
 	c.dead[id] = true
-	return mux.Close()
+	err := c.ep.muxes[i].Close()
+	// Same membership, fresh epoch: cached stats must stop counting the
+	// severed station.
+	c.installEpochLocked(c.ep.ids, c.ep.muxes)
+	return err
 }
 
-// closeMuxes closes every mux (and thus every link) without shutdown
-// frames — construction-failure cleanup.
-func (c *Cluster) closeMuxes() {
-	for _, m := range c.muxes {
-		_ = m.Close()
-	}
-}
-
-// shutdownGrace bounds how long Shutdown waits for a station to accept its
-// shutdown frame before closing the link out from under it. A stalled link
+// shutdownGrace bounds how long a shutdown frame may take to be accepted
+// before the link is closed out from under the station. A stalled link
 // (dead TCP peer, abandoned send holding the mux's send slot) would
-// otherwise block Shutdown forever.
+// otherwise block Shutdown or RemoveStation forever.
 const shutdownGrace = 100 * time.Millisecond
+
+// stopMux sends a best-effort shutdown frame — bounded by shutdownGrace and
+// ctx — then closes the mux, which also unblocks any send stalled on it.
+func stopMux(ctx context.Context, m *transport.Mux) {
+	sent := make(chan struct{})
+	go func() {
+		_ = m.Send(wire.ShutdownMessage())
+		close(sent)
+	}()
+	select {
+	case <-sent:
+	case <-time.After(shutdownGrace):
+	case <-ctx.Done():
+	}
+	_ = m.Close()
+}
 
 // Shutdown stops all stations and waits for their goroutines to exit.
 // Subsequent Search calls return ErrClusterClosed. The cluster lock is not
@@ -304,12 +475,12 @@ func (c *Cluster) Shutdown() error {
 	c.mu.Lock()
 	c.closed = true
 	var toStop []*transport.Mux
-	for _, id := range c.ids {
+	for i, id := range c.ep.ids {
 		if c.dead[id] {
 			continue
 		}
 		c.dead[id] = true
-		toStop = append(toStop, c.muxes[id])
+		toStop = append(toStop, c.ep.muxes[i])
 	}
 	c.mu.Unlock()
 
@@ -319,18 +490,7 @@ func (c *Cluster) Shutdown() error {
 		stopWg.Add(1)
 		go func() {
 			defer stopWg.Done()
-			// Best effort: the station may already be gone, or the link may
-			// be stalled — Close below unblocks a stalled send.
-			sent := make(chan struct{})
-			go func() {
-				_ = m.Send(wire.ShutdownMessage())
-				close(sent)
-			}()
-			select {
-			case <-sent:
-			case <-time.After(shutdownGrace):
-			}
-			_ = m.Close()
+			stopMux(context.Background(), m)
 		}()
 	}
 	stopWg.Wait()
@@ -340,18 +500,332 @@ func (c *Cluster) Shutdown() error {
 	return errors.Join(c.serveErr...)
 }
 
-// allMuxes snapshots every station mux in station-ID order, including
-// severed ones — the center discovers failures by talking, as it would in a
-// real deployment.
-func (c *Cluster) allMuxes() []*transport.Mux {
+// ---- live mutation: ingest, evict, membership ----
+
+// Ingest adds (or replaces) resident patterns at one station — the center
+// routing freshly observed call data to the station that saw it. The
+// mutation travels the same request/reply loop as queries, so the station
+// applies it between exchanges and no search observes a half-applied store.
+// Pattern lengths must match the cluster's. All-zero patterns are dropped
+// by the station (no measurable activity means no local pattern).
+func (c *Cluster) Ingest(ctx context.Context, stationID uint32, patterns map[core.PersonID]pattern.Pattern) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(patterns) == 0 {
+		return nil
+	}
+	in := wire.Ingest{
+		Persons: make([]core.PersonID, 0, len(patterns)),
+		Locals:  make([]pattern.Pattern, 0, len(patterns)),
+	}
+	for p, pat := range patterns {
+		if len(pat) != c.length {
+			return fmt.Errorf("%w: ingest person %d pattern length %d, cluster is %d", ErrLengthMismatch, p, len(pat), c.length)
+		}
+		in.Persons = append(in.Persons, p)
+	}
+	sort.Slice(in.Persons, func(i, j int) bool { return in.Persons[i] < in.Persons[j] })
+	for _, p := range in.Persons {
+		in.Locals = append(in.Locals, patterns[p])
+	}
+	msg, err := wire.EncodeIngest(in)
+	if err != nil {
+		return err
+	}
+	return c.mutate(ctx, stationID, msg)
+}
+
+// Evict removes residents from one station — expired retention windows,
+// opted-out subscribers, or data handed off elsewhere. Unknown persons are
+// ignored. Like Ingest, the mutation serializes through the station's
+// request/reply loop.
+func (c *Cluster) Evict(ctx context.Context, stationID uint32, persons []core.PersonID) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(persons) == 0 {
+		return nil
+	}
+	return c.mutate(ctx, stationID, wire.EncodeEvict(wire.Evict{Persons: persons}))
+}
+
+// mutate runs one acknowledged mutation exchange against a member station
+// and, on success, installs a fresh epoch. When the outgoing epoch already
+// holds a stats snapshot, the new epoch's cache is seeded from it with just
+// the mutated station's entry refreshed (one extra single-station
+// exchange), so churn workloads keep answering Stats — and the per-search
+// StationRawBytes lookup — from cache instead of paying a full stats
+// fan-out after every mutation.
+func (c *Cluster) mutate(ctx context.Context, id uint32, msg wire.Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClusterClosed
+	}
+	i := c.ep.find(id)
+	if i < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: station %d", ErrUnknownStation, id)
+	}
+	mux := c.ep.muxes[i]
+	c.mu.Unlock()
+
+	reply, err := mux.Roundtrip(ctx, msg)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+		}
+		return fmt.Errorf("cluster: station %d: %w", id, err)
+	}
+	if _, err := wire.DecodeAck(reply); err != nil {
+		return fmt.Errorf("cluster: station %d: %w", id, err)
+	}
+
+	// The mutation is applied; the refresh below is best effort and must
+	// not fail it — on any miss the new epoch simply starts with a cold
+	// cache.
+	var fresh *wire.StatsReply
+	if reply, err := mux.Roundtrip(ctx, wire.StatsMessage()); err == nil {
+		if sr, err := wire.DecodeStatsReply(reply); err == nil {
+			fresh = &sr
+		}
+	}
+	c.mu.Lock()
+	if !c.closed {
+		prev := c.ep
+		c.installEpochLocked(prev.ids, prev.muxes)
+		// Seed only while the station is still a member: a concurrent
+		// RemoveStation must not resurrect its storage figures.
+		if fresh != nil && c.ep.find(fresh.Station) >= 0 {
+			if cached := prev.cachedStats(); cached != nil {
+				c.ep.seedStats(cached, *fresh)
+			}
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// AddStation grows the membership of a running cluster with a new
+// in-process station holding the given local patterns (which may be empty).
+// Searches already in flight complete against their own epoch; searches
+// started after the call fan out to the new station too.
+func (c *Cluster) AddStation(ctx context.Context, id uint32, locals map[core.PersonID]pattern.Pattern) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	for p, l := range locals {
+		if len(l) != c.length {
+			return fmt.Errorf("%w: station %d person %d pattern length %d, cluster is %d", ErrLengthMismatch, id, p, len(l), c.length)
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*transport.Mux, 0, len(c.ids))
-	for _, id := range c.ids {
-		out = append(out, c.muxes[id])
+	if c.closed {
+		return ErrClusterClosed
 	}
-	return out
+	if c.ep.find(id) >= 0 {
+		return fmt.Errorf("%w: station %d", ErrStationExists, id)
+	}
+	center, stationEnd := transport.Pipe(c.downMeter, c.upMeter)
+	st := NewStation(id, locals, stationEnd)
+	if c.started {
+		c.serveLocked(st)
+	} else {
+		c.pending = append(c.pending, st)
+	}
+	c.addMemberLocked(id, transport.NewMux(center))
+	return nil
 }
+
+// AddStationLink grows the membership with a remote station reachable over
+// an established link. The cluster takes ownership of the link immediately:
+// it is wrapped in a request mux, and closed if the join fails. Joining
+// performs a stats handshake — the station must answer, and if it already
+// holds patterns their length must match the cluster's (ErrLengthMismatch
+// otherwise).
+func (c *Cluster) AddStationLink(ctx context.Context, id uint32, link transport.Link) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mux := transport.NewMux(link)
+	c.mu.Lock()
+	closed, exists := c.closed, c.ep.find(id) >= 0
+	c.mu.Unlock()
+	if closed || exists {
+		_ = mux.Close()
+		if closed {
+			return ErrClusterClosed
+		}
+		return fmt.Errorf("%w: station %d", ErrStationExists, id)
+	}
+
+	reply, err := mux.Roundtrip(ctx, wire.StatsMessage())
+	if err != nil {
+		_ = mux.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+		}
+		return fmt.Errorf("cluster: station %d handshake: %w", id, err)
+	}
+	sr, err := wire.DecodeStatsReply(reply)
+	if err != nil {
+		_ = mux.Close()
+		return fmt.Errorf("cluster: station %d handshake: %w", id, err)
+	}
+	if sr.Length != 0 && int(sr.Length) != c.length {
+		_ = mux.Close()
+		return fmt.Errorf("%w: station %d pattern length %d, cluster is %d", ErrLengthMismatch, id, sr.Length, c.length)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		_ = mux.Close()
+		return ErrClusterClosed
+	}
+	if c.ep.find(id) >= 0 {
+		_ = mux.Close()
+		return fmt.Errorf("%w: station %d", ErrStationExists, id)
+	}
+	c.addMemberLocked(id, mux)
+	return nil
+}
+
+// addMemberLocked installs a new epoch with id inserted in order. Callers
+// hold c.mu and have verified id is not a member.
+func (c *Cluster) addMemberLocked(id uint32, mux *transport.Mux) {
+	i := sort.Search(len(c.ep.ids), func(i int) bool { return c.ep.ids[i] >= id })
+	ids := make([]uint32, 0, len(c.ep.ids)+1)
+	ids = append(append(append(ids, c.ep.ids[:i]...), id), c.ep.ids[i:]...)
+	muxes := make([]*transport.Mux, 0, len(c.ep.muxes)+1)
+	muxes = append(append(append(muxes, c.ep.muxes[:i]...), mux), c.ep.muxes[i:]...)
+	c.installEpochLocked(ids, muxes)
+}
+
+// RemoveStation shrinks the membership of a running cluster: the station
+// leaves the next epoch, receives a best-effort shutdown frame (bounded by
+// ctx and a grace period) and its link is closed. A search already in
+// flight over a previous epoch sees the closure as a failed exchange and
+// counts it in CostReport.StationsFailed — removal is never a search error.
+func (c *Cluster) RemoveStation(ctx context.Context, id uint32) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClusterClosed
+	}
+	i := c.ep.find(id)
+	if i < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: station %d", ErrUnknownStation, id)
+	}
+	mux := c.ep.muxes[i]
+	wasDead := c.dead[id]
+	delete(c.dead, id)
+	ids := make([]uint32, 0, len(c.ep.ids)-1)
+	ids = append(append(ids, c.ep.ids[:i]...), c.ep.ids[i+1:]...)
+	muxes := make([]*transport.Mux, 0, len(c.ep.muxes)-1)
+	muxes = append(append(muxes, c.ep.muxes[:i]...), c.ep.muxes[i+1:]...)
+	c.installEpochLocked(ids, muxes)
+	// A pending (never-started) in-process station must not be launched
+	// after its link is gone.
+	for j, s := range c.pending {
+		if s.ID() == id {
+			c.pending = append(c.pending[:j], c.pending[j+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+
+	if !wasDead {
+		stopMux(ctx, mux)
+	}
+	return nil
+}
+
+// ---- stats ----
+
+// Stats fetches every member station's resident count and storage bytes
+// over the wire (KindStats). The result is cached on the membership epoch:
+// repeated calls between mutations answer from the cache, and any mutation
+// installs a fresh epoch whose first Stats refetches. Stations that fail
+// the exchange are counted, not fatal.
+func (c *Cluster) Stats(ctx context.Context) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClusterClosed
+	}
+	ep := c.ep
+	c.mu.Unlock()
+	st, err := c.epochStats(ctx, ep)
+	if err != nil {
+		return nil, err
+	}
+	// Hand out a copy: the cached snapshot is shared with concurrent
+	// callers and with the per-search StationRawBytes tally.
+	return &Stats{
+		Epoch:          st.Epoch,
+		Stations:       append([]StationStats(nil), st.Stations...),
+		StationsFailed: st.StationsFailed,
+	}, nil
+}
+
+// epochStats returns the epoch's cached stats, fetching them on first use.
+// Concurrent first uses may fetch redundantly; all converge on one cached
+// snapshot. Only a successful fetch is cached, so a cancelled caller does
+// not poison the epoch.
+func (c *Cluster) epochStats(ctx context.Context, ep *epoch) (*Stats, error) {
+	ep.statsMu.Lock()
+	if st := ep.stats; st != nil {
+		ep.statsMu.Unlock()
+		return st, nil
+	}
+	ep.statsMu.Unlock()
+
+	st := &Stats{Epoch: ep.version}
+	// Stats traffic is cluster bookkeeping: it crosses the shared link
+	// meters but is billed to no search's CostReport.
+	var scratch CostReport
+	failed, err := c.fanOut(ctx, ep, wire.StatsMessage(), &scratch, func(reply wire.Message) error {
+		sr, err := wire.DecodeStatsReply(reply)
+		if err != nil {
+			return err
+		}
+		st.Stations = append(st.Stations, StationStats{
+			Station:       sr.Station,
+			Residents:     int(sr.Residents),
+			StorageBytes:  sr.StorageBytes,
+			PatternLength: int(sr.Length),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.StationsFailed = failed
+
+	ep.statsMu.Lock()
+	if ep.stats == nil {
+		ep.stats = st
+	} else {
+		st = ep.stats
+	}
+	ep.statsMu.Unlock()
+	return st, nil
+}
+
+// ---- search ----
 
 // Search runs one batch of queries and returns ranked results plus cost
 // accounting. The variadic options override the cluster's defaults for this
@@ -361,7 +835,9 @@ func (c *Cluster) allMuxes() []*transport.Mux {
 // Search honors ctx: cancellation or timeout abandons the in-flight fan-out
 // round and returns an error wrapping both ErrCancelled and ctx.Err(),
 // leaving the links usable for subsequent searches. Any number of Search
-// calls may run concurrently over one cluster.
+// calls may run concurrently over one cluster, and concurrent mutations are
+// safe: the search pins the membership epoch current at its start and every
+// fan-out round covers exactly that station set.
 func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...SearchOption) (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -383,6 +859,7 @@ func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...Sear
 	}
 	c.mu.Lock()
 	closed := c.closed
+	ep := c.ep
 	c.mu.Unlock()
 	if closed {
 		return nil, ErrClusterClosed
@@ -398,11 +875,11 @@ func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...Sear
 	)
 	switch cfg.strategy {
 	case StrategyWBF:
-		out, err = c.searchWBF(ctx, cfg, queries)
+		out, err = c.searchWBF(ctx, ep, cfg, queries)
 	case StrategyBF:
-		out, err = c.searchBF(ctx, cfg, queries)
+		out, err = c.searchBF(ctx, ep, cfg, queries)
 	case StrategyNaive:
-		out, err = c.searchNaive(ctx, cfg, queries)
+		out, err = c.searchNaive(ctx, ep, cfg, queries)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownStrategy, int(cfg.strategy))
 	}
@@ -411,27 +888,33 @@ func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...Sear
 	}
 
 	out.Strategy = cfg.strategy
+	// Elapsed is stamped before the stats lookup: storage bookkeeping must
+	// not inflate the latency figures the benchmarks report.
 	out.Cost.Elapsed = time.Since(start)
-	for _, s := range c.station {
-		out.Cost.StationRawBytes += s.StorageBytes()
+	// Best effort: station storage is the stations' own report (cached per
+	// epoch); a search that already answered is not failed over
+	// bookkeeping.
+	if st, statsErr := c.epochStats(ctx, ep); statsErr == nil {
+		out.Cost.StationRawBytes = st.TotalStorageBytes()
 	}
 	return out, nil
 }
 
-// fanOut sends one request to every station concurrently and waits for all
-// replies (or failures), invoking handle for each reply in station-ID order.
-// Per-search traffic is tallied directly into cost, covering completed
-// exchanges (request out, reply back); a station that dies mid-exchange
-// contributes only to StationsFailed. Unlike shared-meter deltas, the tally
-// is unaffected by other searches running concurrently on the same links.
+// fanOut sends one request to every station of the pinned epoch
+// concurrently and waits for all replies (or failures), invoking handle for
+// each reply in station-ID order. Per-search traffic is tallied directly
+// into cost, covering completed exchanges (request out, reply back); a
+// station that dies mid-exchange contributes only to StationsFailed. Unlike
+// shared-meter deltas, the tally is unaffected by other searches running
+// concurrently on the same links.
 //
 // Stations that fail are counted, not fatal: the search degrades exactly as
 // a real deployment would. Every reply is drained and accounted even if
 // handle returns an error partway, so StationsFailed stays truthful; the
 // first handle error is returned after the drain. A cancelled context
 // abandons the round and returns an error wrapping ErrCancelled.
-func (c *Cluster) fanOut(ctx context.Context, msg wire.Message, cost *CostReport, handle func(reply wire.Message) error) (failed int, err error) {
-	muxes := c.allMuxes()
+func (c *Cluster) fanOut(ctx context.Context, ep *epoch, msg wire.Message, cost *CostReport, handle func(reply wire.Message) error) (failed int, err error) {
+	muxes := ep.muxes
 	type replyOrErr struct {
 		m   wire.Message
 		err error
@@ -488,7 +971,7 @@ func (c *Cluster) fanOut(ctx context.Context, msg wire.Message, cost *CostReport
 }
 
 // searchWBF is the paper's DI-matching pipeline end to end.
-func (c *Cluster) searchWBF(ctx context.Context, cfg searchConfig, queries []core.Query) (*Outcome, error) {
+func (c *Cluster) searchWBF(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query) (*Outcome, error) {
 	params, err := c.resolveParams(cfg, queries)
 	if err != nil {
 		return nil, err
@@ -508,7 +991,7 @@ func (c *Cluster) searchWBF(ctx context.Context, cfg searchConfig, queries []cor
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
 	msg := wire.EncodeWBFQuery(filter)
 	var reportBytes uint64
-	failed, err := c.fanOut(ctx, msg, &out.Cost, func(reply wire.Message) error {
+	failed, err := c.fanOut(ctx, ep, msg, &out.Cost, func(reply wire.Message) error {
 		batch, err := wire.DecodeReports(reply)
 		if err != nil {
 			return err
@@ -532,7 +1015,7 @@ func (c *Cluster) searchWBF(ctx context.Context, cfg searchConfig, queries []cor
 	out.Cost.FilterBytes = filter.SizeBytes()
 	out.Cost.CenterStorageBytes = filter.SizeBytes() + reportBytes
 	if cfg.verify {
-		if err := c.verifyWBF(ctx, cfg, queries, out); err != nil {
+		if err := c.verifyWBF(ctx, ep, cfg, queries, out); err != nil {
 			return nil, err
 		}
 	}
@@ -542,7 +1025,7 @@ func (c *Cluster) searchWBF(ctx context.Context, cfg searchConfig, queries []cor
 // verifyWBF runs the verification phase: fetch every ranked candidate's
 // local patterns, materialize their globals and drop candidates that fail
 // the exact Eq. 2 check against their query.
-func (c *Cluster) verifyWBF(ctx context.Context, cfg searchConfig, queries []core.Query, out *Outcome) error {
+func (c *Cluster) verifyWBF(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query, out *Outcome) error {
 	candidates := make(map[core.PersonID]bool)
 	for _, results := range out.PerQuery {
 		for _, r := range results {
@@ -559,7 +1042,7 @@ func (c *Cluster) verifyWBF(ctx context.Context, cfg searchConfig, queries []cor
 
 	globals := make(map[core.PersonID]pattern.Pattern, len(candidates))
 	var fetchedBytes uint64
-	failed, err := c.fanOut(ctx, wire.EncodeFetch(fetch), &out.Cost, func(reply wire.Message) error {
+	failed, err := c.fanOut(ctx, ep, wire.EncodeFetch(fetch), &out.Cost, func(reply wire.Message) error {
 		data, err := wire.DecodeNaiveData(reply)
 		if err != nil {
 			return err
@@ -647,7 +1130,7 @@ func rankWBF(cfg searchConfig, agg *core.Aggregator, q core.QueryID) []core.Resu
 
 // searchBF is the Bloom-filter baseline: same pipeline, no weights, so the
 // center can only count how many stations reported each person.
-func (c *Cluster) searchBF(ctx context.Context, cfg searchConfig, queries []core.Query) (*Outcome, error) {
+func (c *Cluster) searchBF(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query) (*Outcome, error) {
 	params, err := c.resolveParams(cfg, queries)
 	if err != nil {
 		return nil, err
@@ -667,7 +1150,7 @@ func (c *Cluster) searchBF(ctx context.Context, cfg searchConfig, queries []core
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
 	msg := wire.EncodeBFQuery(wire.BFQuery{Filter: filter, Params: params, Length: c.length})
 	var reportBytes uint64
-	failed, err := c.fanOut(ctx, msg, &out.Cost, func(reply wire.Message) error {
+	failed, err := c.fanOut(ctx, ep, msg, &out.Cost, func(reply wire.Message) error {
 		batch, err := wire.DecodeBFMatches(reply)
 		if err != nil {
 			return err
@@ -684,7 +1167,7 @@ func (c *Cluster) searchBF(ctx context.Context, cfg searchConfig, queries []core
 	}
 
 	ranked := make([]core.Result, 0, len(counts))
-	stations := int64(len(c.ids))
+	stations := int64(len(ep.ids))
 	for p, n := range counts {
 		ranked = append(ranked, core.Result{
 			Person:      p,
@@ -713,11 +1196,11 @@ func (c *Cluster) searchBF(ctx context.Context, cfg searchConfig, queries []core
 
 // searchNaive ships everything and matches centrally with the exact Eq. 2
 // predicate. Precision is 1 by construction; the cost is the point.
-func (c *Cluster) searchNaive(ctx context.Context, cfg searchConfig, queries []core.Query) (*Outcome, error) {
+func (c *Cluster) searchNaive(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query) (*Outcome, error) {
 	globals := make(map[core.PersonID]pattern.Pattern)
 	var shippedBytes uint64
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
-	failed, err := c.fanOut(ctx, wire.ShipAllMessage(), &out.Cost, func(reply wire.Message) error {
+	failed, err := c.fanOut(ctx, ep, wire.ShipAllMessage(), &out.Cost, func(reply wire.Message) error {
 		data, err := wire.DecodeNaiveData(reply)
 		if err != nil {
 			return err
@@ -780,7 +1263,7 @@ func (c *Cluster) searchNaive(ctx context.Context, cfg searchConfig, queries []c
 				Person:      cd.person,
 				Numerator:   eps - cd.dist + 1,
 				Denominator: eps + 1,
-				Stations:    len(c.ids),
+				Stations:    len(ep.ids),
 			}
 		}
 		out.PerQuery[q.ID] = rs

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/transport"
+)
+
+// paperScenario raw storage: 8 persons × 3 values × 8 bytes.
+const paperScenarioRawBytes = 8 * 3 * 8
+
+func TestIngestEvictVisibleToSearch(t *testing.T) {
+	c := startCluster(t, testOptions(), paperScenario())
+	ctx := context.Background()
+	q := paperQuery()
+
+	// Person 30 splits the query exactly like person 10 — but is not
+	// resident yet.
+	if err := c.Ingest(ctx, 0, map[core.PersonID]pattern.Pattern{30: {1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(ctx, 1, map[core.PersonID]pattern.Pattern{30: {2, 2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Search(ctx, []core.Query{q}, WithStrategy(StrategyWBF), WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range out.PerQuery[1] {
+		if r.Person == 30 {
+			found = true
+			if r.Score() != 1.0 {
+				t.Fatalf("ingested person 30 score = %v, want 1", r.Score())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ingested person 30 not retrieved: %v", out.Persons(1))
+	}
+
+	// Evicting one half degrades them to a partial match; evicting both
+	// removes them entirely.
+	if err := c.Evict(ctx, 1, []core.PersonID{30}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = c.Search(ctx, []core.Query{q}, WithStrategy(StrategyWBF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.PerQuery[1] {
+		if r.Person == 30 && r.Score() == 1.0 {
+			t.Fatal("person 30 still scores 1 after half their data was evicted")
+		}
+	}
+	if err := c.Evict(ctx, 0, []core.PersonID{30}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = c.Search(ctx, []core.Query{q}, WithStrategy(StrategyWBF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out.Persons(1) {
+		if p == 30 {
+			t.Fatal("person 30 retrieved after full eviction")
+		}
+	}
+}
+
+func TestIngestReplacesExistingResident(t *testing.T) {
+	c := startCluster(t, testOptions(), paperScenario())
+	ctx := context.Background()
+
+	// Person 13 currently holds {7,1,9} at station 0 and never matches the
+	// paper query; replacing their pattern with the query's station-0 half
+	// upgrades them to a partial match.
+	if err := c.Ingest(ctx, 0, map[core.PersonID]pattern.Pattern{13: {1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Search(ctx, []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range out.PerQuery[1] {
+		if r.Person == 13 {
+			found = true
+			if r.Score() != 0.5 {
+				t.Fatalf("replaced person 13 score = %v, want 0.5", r.Score())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("person 13 not retrieved after pattern replacement: %v", out.Persons(1))
+	}
+
+	// Stats must reflect a replacement, not an insertion.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stations[0].Residents != 4 {
+		t.Fatalf("station 0 residents = %d after replacement, want 4", st.Stations[0].Residents)
+	}
+}
+
+func TestStatsReportsAndCachesPerEpoch(t *testing.T) {
+	c := startCluster(t, testOptions(), paperScenario())
+	ctx := context.Background()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResidents := map[uint32]int{0: 4, 1: 2, 2: 2}
+	if len(st.Stations) != 3 || st.StationsFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, s := range st.Stations {
+		if s.Residents != wantResidents[s.Station] {
+			t.Fatalf("station %d residents = %d, want %d", s.Station, s.Residents, wantResidents[s.Station])
+		}
+		if s.StorageBytes != 8*3*uint64(s.Residents) {
+			t.Fatalf("station %d storage = %d", s.Station, s.StorageBytes)
+		}
+		if s.PatternLength != 3 {
+			t.Fatalf("station %d length = %d, want 3", s.Station, s.PatternLength)
+		}
+	}
+	if st.TotalResidents() != 8 || st.TotalStorageBytes() != paperScenarioRawBytes {
+		t.Fatalf("totals = %d residents, %d bytes", st.TotalResidents(), st.TotalStorageBytes())
+	}
+
+	// Unchanged cluster: the snapshot is served from the epoch cache — no
+	// frames cross the links.
+	quiet := c.downMeter.Messages()
+	st2, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.downMeter.Messages(); got != quiet {
+		t.Fatalf("cached Stats sent %d frames", got-quiet)
+	}
+	if st2.Epoch != st.Epoch || st2.TotalStorageBytes() != st.TotalStorageBytes() {
+		t.Fatalf("cached snapshot diverged: %+v vs %+v", st2, st)
+	}
+
+	// A mutation installs a fresh epoch whose cache is seeded from the old
+	// snapshot with the mutated station refreshed: totals update without a
+	// full stats fan-out.
+	if err := c.Ingest(ctx, 1, map[core.PersonID]pattern.Pattern{40: {9, 9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	quiet = c.downMeter.Messages()
+	st3, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.downMeter.Messages(); got != quiet {
+		t.Fatalf("post-mutation Stats sent %d frames despite the seeded cache", got-quiet)
+	}
+	if st3.Epoch <= st.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", st.Epoch, st3.Epoch)
+	}
+	if st3.TotalResidents() != 9 || st3.TotalStorageBytes() != paperScenarioRawBytes+24 {
+		t.Fatalf("post-ingest totals = %d residents, %d bytes", st3.TotalResidents(), st3.TotalStorageBytes())
+	}
+
+	// The returned snapshot is the caller's to mutate: scribbling on it
+	// must not corrupt the shared cache.
+	st3.Stations[0].StorageBytes = 1
+	st4, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Stations[0].StorageBytes == 1 {
+		t.Fatal("caller mutation leaked into the epoch cache")
+	}
+}
+
+// TestStationRawBytesMatchesOverLinks pins the satellite fix: an in-process
+// cluster and a link-backed cluster over the same data report the same
+// StationRawBytes, both sourced from the stations' own stats replies.
+func TestStationRawBytesMatchesOverLinks(t *testing.T) {
+	ctx := context.Background()
+	q := []core.Query{paperQuery()}
+
+	inProc := startCluster(t, testOptions(), paperScenario())
+	outA, err := inProc.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := paperScenario()
+	links := make(map[uint32]transport.Link, len(data))
+	for id := range data {
+		center, stationEnd := transport.Pipe(nil, nil)
+		links[id] = center
+		id, stationEnd := id, stationEnd
+		go func() {
+			if err := ServeStation(id, data[id], stationEnd); err != nil {
+				t.Errorf("station %d: %v", id, err)
+			}
+		}()
+	}
+	linked, err := NewWithLinks(testOptions(), links, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = linked.Shutdown() })
+	outB, err := linked.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if outA.Cost.StationRawBytes != paperScenarioRawBytes {
+		t.Fatalf("in-process StationRawBytes = %d, want %d", outA.Cost.StationRawBytes, paperScenarioRawBytes)
+	}
+	if outB.Cost.StationRawBytes != paperScenarioRawBytes {
+		t.Fatalf("link-backed StationRawBytes = %d, want %d", outB.Cost.StationRawBytes, paperScenarioRawBytes)
+	}
+}
+
+// TestConcurrentIngestSearch races mutations against searches under -race:
+// no search may error, and residents never touched by the churn stay
+// retrievable throughout.
+func TestConcurrentIngestSearch(t *testing.T) {
+	c := startCluster(t, testOptions(), paperScenario())
+	ctx := context.Background()
+	queries := []core.Query{paperQuery()}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if err := c.Ingest(ctx, 0, map[core.PersonID]pattern.Pattern{50: {2, 2, 2}}); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+			if err := c.Evict(ctx, 0, []core.PersonID{50}); err != nil {
+				t.Errorf("evict: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				out, err := c.Search(ctx, queries, WithStrategy(StrategyWBF))
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				has10, has11 := false, false
+				for _, p := range out.Persons(1) {
+					has10 = has10 || p == 10
+					has11 = has11 || p == 11
+				}
+				if !has10 || !has11 {
+					t.Errorf("stable residents lost mid-churn: %v", out.Persons(1))
+					return
+				}
+				if out.Cost.StationsFailed != 0 {
+					t.Errorf("StationsFailed = %d during pure ingest churn", out.Cost.StationsFailed)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRemoveStationDuringFanOut removes a station while a search is blocked
+// on its reply: the search completes degraded — the departure is counted in
+// StationsFailed, never surfaced as an error — and later searches fan out
+// to the shrunken membership only.
+func TestRemoveStationDuringFanOut(t *testing.T) {
+	c, _ := manualCluster(t, testOptions())
+	queries := []core.Query{paperQuery()}
+
+	type result struct {
+		out *Outcome
+		err error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		out, err := c.Search(context.Background(), queries, WithStrategy(StrategyWBF))
+		resc <- result{out, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // the fan-out is now waiting on station 2
+	if err := c.RemoveStation(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-resc:
+		if r.err != nil {
+			t.Fatalf("search across removal failed: %v", r.err)
+		}
+		if r.out.Cost.StationsFailed != 1 {
+			t.Fatalf("StationsFailed = %d, want 1 (the removed station)", r.out.Cost.StationsFailed)
+		}
+		if r.out.Cost.MessagesDown != 2 {
+			t.Fatalf("MessagesDown = %d, want 2 (pinned to the 3-station epoch, one removed)", r.out.Cost.MessagesDown)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("search hung across RemoveStation")
+	}
+
+	if got := c.Stations(); got != 2 {
+		t.Fatalf("Stations() = %d after removal, want 2", got)
+	}
+	out, err := c.Search(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cost.StationsFailed != 0 || out.Cost.MessagesDown != 2 {
+		t.Fatalf("post-removal search: failed=%d down=%d, want 0/2", out.Cost.StationsFailed, out.Cost.MessagesDown)
+	}
+}
+
+func TestLifecycleSentinelErrors(t *testing.T) {
+	c := startCluster(t, testOptions(), paperScenario())
+	ctx := context.Background()
+
+	if err := c.Ingest(ctx, 99, map[core.PersonID]pattern.Pattern{1: {1, 2, 3}}); !errors.Is(err, ErrUnknownStation) {
+		t.Fatalf("ingest unknown station err = %v, want ErrUnknownStation", err)
+	}
+	if err := c.Ingest(ctx, 0, map[core.PersonID]pattern.Pattern{1: {1, 2}}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("ingest short pattern err = %v, want ErrLengthMismatch", err)
+	}
+	if err := c.Evict(ctx, 99, []core.PersonID{1}); !errors.Is(err, ErrUnknownStation) {
+		t.Fatalf("evict unknown station err = %v, want ErrUnknownStation", err)
+	}
+	if err := c.AddStation(ctx, 0, nil); !errors.Is(err, ErrStationExists) {
+		t.Fatalf("duplicate AddStation err = %v, want ErrStationExists", err)
+	}
+	if err := c.AddStation(ctx, 7, map[core.PersonID]pattern.Pattern{1: {1, 2, 3, 4}}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("AddStation long pattern err = %v, want ErrLengthMismatch", err)
+	}
+	if err := c.RemoveStation(ctx, 99); !errors.Is(err, ErrUnknownStation) {
+		t.Fatalf("remove unknown station err = %v, want ErrUnknownStation", err)
+	}
+
+	// No-ops succeed without touching the wire.
+	if err := c.Ingest(ctx, 0, nil); err != nil {
+		t.Fatalf("empty ingest: %v", err)
+	}
+	if err := c.Evict(ctx, 0, nil); err != nil {
+		t.Fatalf("empty evict: %v", err)
+	}
+
+	closed := startCluster(t, testOptions(), paperScenario())
+	if err := closed.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.Ingest(ctx, 0, map[core.PersonID]pattern.Pattern{1: {1, 2, 3}}); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("ingest after shutdown err = %v, want ErrClusterClosed", err)
+	}
+	if err := closed.AddStation(ctx, 9, nil); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("AddStation after shutdown err = %v, want ErrClusterClosed", err)
+	}
+	if err := closed.RemoveStation(ctx, 0); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("RemoveStation after shutdown err = %v, want ErrClusterClosed", err)
+	}
+	if _, err := closed.Stats(ctx); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("Stats after shutdown err = %v, want ErrClusterClosed", err)
+	}
+}
+
+func TestAddStationLinkHandshake(t *testing.T) {
+	c := startCluster(t, testOptions(), paperScenario())
+	ctx := context.Background()
+
+	// A joining station whose resident patterns have the wrong length is
+	// rejected by the stats handshake.
+	center, stationEnd := transport.Pipe(nil, nil)
+	go func() {
+		_ = ServeStation(9, map[core.PersonID]pattern.Pattern{70: {1, 2, 3, 4}}, stationEnd)
+	}()
+	if err := c.AddStationLink(ctx, 9, center); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("mismatched link err = %v, want ErrLengthMismatch", err)
+	}
+
+	// A compatible one joins and serves searches.
+	center, stationEnd = transport.Pipe(nil, nil)
+	go func() {
+		_ = ServeStation(9, map[core.PersonID]pattern.Pattern{70: {3, 4, 5}}, stationEnd)
+	}()
+	if err := c.AddStationLink(ctx, 9, center); err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{ID: 2, Locals: []pattern.Pattern{{3, 4, 5}}}
+	out, err := c.Search(ctx, []core.Query{q}, WithStrategy(StrategyWBF), WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range out.Persons(2) {
+		found = found || p == 70
+	}
+	if !found {
+		t.Fatalf("linked station's resident not retrieved: %v", out.Persons(2))
+	}
+}
+
+// TestLiveMutationEndToEnd is the acceptance scenario: on a running cluster,
+// Ingest a new person's first piece and AddStation a station holding the
+// second, then prove a WBF search with verification finds the target whose
+// pattern pieces span the new station — while a search that started before
+// any mutation completes successfully against its own (pre-mutation) epoch.
+func TestLiveMutationEndToEnd(t *testing.T) {
+	c, silent := manualCluster(t, testOptions()) // stations 0,1 served; 2 silent
+	ctx := context.Background()
+
+	// Search A pins the 3-station epoch and stalls on silent station 2.
+	type result struct {
+		out *Outcome
+		err error
+	}
+	resA := make(chan result, 1)
+	go func() {
+		out, err := c.Search(ctx, []core.Query{paperQuery()}, WithStrategy(StrategyWBF))
+		resA <- result{out, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // A's fan-out is now in flight
+
+	// Mutations land while A is in flight: person 20's pieces will span the
+	// ingested store (station 0) and the brand-new station 3.
+	if err := c.Ingest(ctx, 0, map[core.PersonID]pattern.Pattern{20: {5, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStation(ctx, 3, map[core.PersonID]pattern.Pattern{20: {1, 4, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stations(); got != 4 {
+		t.Fatalf("Stations() = %d after AddStation, want 4", got)
+	}
+
+	// Revive station 2 so both the pinned search and new searches can hear
+	// from it.
+	go func() {
+		if err := ServeStation(2, paperScenario()[2], silent); err != nil {
+			t.Errorf("revived station: %v", err)
+		}
+	}()
+
+	// Search B, issued after the mutations, runs over the 4-station epoch
+	// and — with verification — finds the spanning target exactly.
+	qB := core.Query{ID: 2, Locals: []pattern.Pattern{{5, 0, 1}, {1, 4, 2}}}
+	outB, err := c.Search(ctx, []core.Query{qB}, WithStrategy(StrategyWBF), WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outB.Cost.StationsFailed != 0 {
+		t.Fatalf("B StationsFailed = %d", outB.Cost.StationsFailed)
+	}
+	found := false
+	for _, r := range outB.PerQuery[2] {
+		if r.Person == 20 {
+			found = true
+			if r.Score() != 1.0 {
+				t.Fatalf("spanning target score = %v, want 1 (verified)", r.Score())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("target spanning ingest + new station not retrieved: %v", outB.Persons(2))
+	}
+	// Both fan-out rounds (query + verification fetch) covered 4 stations.
+	if outB.Cost.MessagesDown != 8 {
+		t.Fatalf("B MessagesDown = %d, want 8 (two rounds over four stations)", outB.Cost.MessagesDown)
+	}
+
+	// Search A completes against its own epoch: three stations, no
+	// failures, untouched by the concurrent membership change.
+	select {
+	case r := <-resA:
+		if r.err != nil {
+			t.Fatalf("pre-mutation search failed: %v", r.err)
+		}
+		if r.out.Cost.MessagesDown != 3 {
+			t.Fatalf("A MessagesDown = %d, want 3 (pinned pre-mutation epoch)", r.out.Cost.MessagesDown)
+		}
+		if r.out.Cost.StationsFailed != 0 {
+			t.Fatalf("A StationsFailed = %d", r.out.Cost.StationsFailed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-mutation search did not complete")
+	}
+}

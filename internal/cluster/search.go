@@ -23,6 +23,12 @@ var (
 	ErrCancelled = errors.New("cluster: search cancelled")
 	// ErrUnknownStrategy is returned for a strategy outside the known set.
 	ErrUnknownStrategy = errors.New("cluster: unknown strategy")
+	// ErrUnknownStation is returned by lifecycle calls naming a station that
+	// is not a member of the current epoch.
+	ErrUnknownStation = errors.New("cluster: unknown station")
+	// ErrStationExists is returned by AddStation/AddStationLink when the id
+	// is already a member.
+	ErrStationExists = errors.New("cluster: station already exists")
 )
 
 // ParseStrategy is the inverse of Strategy.String: it maps "naive", "bf" and

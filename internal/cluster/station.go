@@ -21,13 +21,17 @@ import (
 )
 
 // Station is one base station node: a local pattern store plus a serve loop
-// answering the data center over a link.
+// answering the data center over a link. The store is mutable — ingest and
+// evict messages arrive on the same link as queries and are applied by the
+// serve loop between exchanges, so mutations and searches are serialized by
+// construction and never race.
 type Station struct {
 	id   uint32
 	link transport.Link
 
 	// persons and locals are parallel: the station's resident patterns,
-	// person-ID ascending for deterministic replies.
+	// person-ID ascending for deterministic replies. Only the Serve loop
+	// touches them after construction.
 	persons []core.PersonID
 	locals  []pattern.Pattern
 }
@@ -93,6 +97,12 @@ func (s *Station) Serve() error {
 			reply, err = s.handleShipAll()
 		case wire.KindFetch:
 			reply, err = s.handleFetch(msg)
+		case wire.KindIngest:
+			reply, err = s.handleIngest(msg)
+		case wire.KindEvict:
+			reply, err = s.handleEvict(msg)
+		case wire.KindStats:
+			reply = s.handleStats()
 		case wire.KindShutdown:
 			return nil
 		default:
@@ -201,6 +211,81 @@ func (s *Station) handleFetch(msg wire.Message) (*wire.Message, error) {
 		return nil, fmt.Errorf("station %d: %w", s.id, err)
 	}
 	return &reply, nil
+}
+
+// handleIngest inserts or replaces resident patterns — the station absorbing
+// freshly observed call data. All-zero patterns are skipped, matching the
+// NewStation rule (no measurable activity means no local pattern); removal is
+// the evict message's job.
+func (s *Station) handleIngest(msg wire.Message) (*wire.Message, error) {
+	in, err := wire.DecodeIngest(msg)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	applied := 0
+	for i, p := range in.Persons {
+		if in.Locals[i].Sum() == 0 {
+			continue
+		}
+		s.upsert(p, in.Locals[i])
+		applied++
+	}
+	reply := wire.EncodeAck(wire.Ack{Station: s.id, Applied: uint64(applied)})
+	return &reply, nil
+}
+
+// upsert inserts local at person p's slot in the sorted store, replacing the
+// existing pattern if p is already resident.
+func (s *Station) upsert(p core.PersonID, local pattern.Pattern) {
+	i := sort.Search(len(s.persons), func(i int) bool { return s.persons[i] >= p })
+	if i < len(s.persons) && s.persons[i] == p {
+		s.locals[i] = local
+		return
+	}
+	s.persons = append(s.persons, 0)
+	copy(s.persons[i+1:], s.persons[i:])
+	s.persons[i] = p
+	s.locals = append(s.locals, nil)
+	copy(s.locals[i+1:], s.locals[i:])
+	s.locals[i] = local
+}
+
+// handleEvict removes residents — expired data, opted-out subscribers, or a
+// person handed off to another station. Unknown persons are ignored.
+func (s *Station) handleEvict(msg wire.Message) (*wire.Message, error) {
+	ev, err := wire.DecodeEvict(msg)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	applied := 0
+	for _, p := range ev.Persons {
+		i := sort.Search(len(s.persons), func(i int) bool { return s.persons[i] >= p })
+		if i >= len(s.persons) || s.persons[i] != p {
+			continue
+		}
+		s.persons = append(s.persons[:i], s.persons[i+1:]...)
+		s.locals = append(s.locals[:i], s.locals[i+1:]...)
+		applied++
+	}
+	reply := wire.EncodeAck(wire.Ack{Station: s.id, Applied: uint64(applied)})
+	return &reply, nil
+}
+
+// handleStats reports the station's resident count and storage footprint.
+// The pattern length (0 when empty) lets the center sanity-check a joining
+// link against the cluster's time-series length.
+func (s *Station) handleStats() *wire.Message {
+	length := 0
+	if len(s.locals) > 0 {
+		length = len(s.locals[0])
+	}
+	reply := wire.EncodeStatsReply(wire.StatsReply{
+		Station:      s.id,
+		Residents:    uint64(len(s.persons)),
+		StorageBytes: s.StorageBytes(),
+		Length:       uint32(length),
+	})
+	return &reply
 }
 
 // handleShipAll ships the whole local store (the naive strategy).

@@ -355,7 +355,168 @@ func DecodeFetch(m Message) (Fetch, error) {
 	return out, nil
 }
 
+// ---- lifecycle: ingest / evict / stats / ack ----
+
+// Ingest adds (or replaces) resident patterns at one station — the center
+// forwarding freshly observed call data. It travels over the target
+// station's own link, so no station field is needed.
+type Ingest struct {
+	Persons []core.PersonID
+	Locals  []pattern.Pattern
+}
+
+// EncodeIngest renders the ingest request.
+func EncodeIngest(in Ingest) (Message, error) {
+	if len(in.Persons) != len(in.Locals) {
+		return Message{}, fmt.Errorf("wire: %d persons but %d locals", len(in.Persons), len(in.Locals))
+	}
+	var w writer
+	w.uvarint(uint64(len(in.Persons)))
+	for i, p := range in.Persons {
+		w.uvarint(uint64(p))
+		w.uvarint(uint64(len(in.Locals[i])))
+		for _, v := range in.Locals[i] {
+			w.uvarint(zigzag(v))
+		}
+	}
+	return Message{Kind: KindIngest, Payload: w.buf}, nil
+}
+
+// DecodeIngest parses the ingest request.
+func DecodeIngest(m Message) (Ingest, error) {
+	if m.Kind != KindIngest {
+		return Ingest{}, fmt.Errorf("wire: decoding %v as ingest", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	n := r.count(2)
+	out := Ingest{
+		Persons: make([]core.PersonID, 0, n),
+		Locals:  make([]pattern.Pattern, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		out.Persons = append(out.Persons, core.PersonID(r.uvarint()))
+		l := r.count(1)
+		pat := make(pattern.Pattern, l)
+		for j := range pat {
+			pat[j] = unzigzag(r.uvarint())
+		}
+		out.Locals = append(out.Locals, pat)
+	}
+	if err := r.done(); err != nil {
+		return Ingest{}, err
+	}
+	return out, nil
+}
+
+// Evict removes residents from one station. Person IDs are sent sorted and
+// delta-encoded, like Fetch.
+type Evict struct {
+	Persons []core.PersonID
+}
+
+// EncodeEvict renders the evict request.
+func EncodeEvict(e Evict) Message {
+	sorted := append([]core.PersonID(nil), e.Persons...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var w writer
+	w.uvarint(uint64(len(sorted)))
+	prev := uint64(0)
+	for _, p := range sorted {
+		w.uvarint(uint64(p) - prev)
+		prev = uint64(p)
+	}
+	return Message{Kind: KindEvict, Payload: w.buf}
+}
+
+// DecodeEvict parses the evict request.
+func DecodeEvict(m Message) (Evict, error) {
+	if m.Kind != KindEvict {
+		return Evict{}, fmt.Errorf("wire: decoding %v as evict", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	n := r.count(1)
+	out := Evict{Persons: make([]core.PersonID, n)}
+	prev := uint64(0)
+	for i := range out.Persons {
+		prev += r.uvarint()
+		out.Persons[i] = core.PersonID(prev)
+	}
+	if err := r.done(); err != nil {
+		return Evict{}, err
+	}
+	return out, nil
+}
+
+// StatsReply is one station's answer to KindStats: how many residents it
+// holds, the raw bytes they occupy, and the pattern length it serves (0 when
+// empty) — which doubles as a handshake check when a link joins a cluster.
+type StatsReply struct {
+	Station      uint32
+	Residents    uint64
+	StorageBytes uint64
+	Length       uint32
+}
+
+// EncodeStatsReply renders the stats answer.
+func EncodeStatsReply(s StatsReply) Message {
+	var w writer
+	w.uvarint(uint64(s.Station))
+	w.uvarint(s.Residents)
+	w.uvarint(s.StorageBytes)
+	w.uvarint(uint64(s.Length))
+	return Message{Kind: KindStatsReply, Payload: w.buf}
+}
+
+// DecodeStatsReply parses the stats answer.
+func DecodeStatsReply(m Message) (StatsReply, error) {
+	if m.Kind != KindStatsReply {
+		return StatsReply{}, fmt.Errorf("wire: decoding %v as stats-reply", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := StatsReply{
+		Station:      uint32(r.uvarint()),
+		Residents:    r.uvarint(),
+		StorageBytes: r.uvarint(),
+		Length:       uint32(r.uvarint()),
+	}
+	if err := r.done(); err != nil {
+		return StatsReply{}, err
+	}
+	return out, nil
+}
+
+// Ack acknowledges an applied mutation: Applied counts the residents the
+// station actually inserted, replaced or removed.
+type Ack struct {
+	Station uint32
+	Applied uint64
+}
+
+// EncodeAck renders the acknowledgment.
+func EncodeAck(a Ack) Message {
+	var w writer
+	w.uvarint(uint64(a.Station))
+	w.uvarint(a.Applied)
+	return Message{Kind: KindAck, Payload: w.buf}
+}
+
+// DecodeAck parses the acknowledgment.
+func DecodeAck(m Message) (Ack, error) {
+	if m.Kind != KindAck {
+		return Ack{}, fmt.Errorf("wire: decoding %v as ack", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := Ack{Station: uint32(r.uvarint()), Applied: r.uvarint()}
+	if err := r.done(); err != nil {
+		return Ack{}, err
+	}
+	return out, nil
+}
+
 // ---- trivial messages ----
+
+// StatsMessage asks a station for its resident count and storage footprint.
+func StatsMessage() Message { return Message{Kind: KindStats} }
 
 // ShipAllMessage asks a station to ship its complete local data.
 func ShipAllMessage() Message { return Message{Kind: KindShipAll} }

@@ -226,6 +226,16 @@ func TestDecodersNeverPanicOnMutatedPayloads(t *testing.T) {
 			return err
 		},
 		func(m Message) error { _, err := DecodeFetch(Message{Kind: KindFetch, Payload: m.Payload}); return err },
+		func(m Message) error {
+			_, err := DecodeIngest(Message{Kind: KindIngest, Payload: m.Payload})
+			return err
+		},
+		func(m Message) error { _, err := DecodeEvict(Message{Kind: KindEvict, Payload: m.Payload}); return err },
+		func(m Message) error {
+			_, err := DecodeStatsReply(Message{Kind: KindStatsReply, Payload: m.Payload})
+			return err
+		},
+		func(m Message) error { _, err := DecodeAck(Message{Kind: KindAck, Payload: m.Payload}); return err },
 	}
 	// Deterministic byte mutations across the payload.
 	for step := 1; step < 97; step += 3 {
@@ -279,6 +289,84 @@ func TestTrivialMessages(t *testing.T) {
 	}
 	if ShutdownMessage().Kind != KindShutdown {
 		t.Fatal("ShutdownMessage kind")
+	}
+	if StatsMessage().Kind != KindStats {
+		t.Fatal("StatsMessage kind")
+	}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	in := Ingest{
+		Persons: []core.PersonID{3, 1, 400},
+		Locals:  []pattern.Pattern{{1, -2, 3}, {0, 0, 7}, {9, 9, 9}},
+	}
+	m, err := EncodeIngest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindIngest {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	got, err := DecodeIngest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Persons) != len(in.Persons) {
+		t.Fatalf("got %v", got.Persons)
+	}
+	for i, p := range in.Persons {
+		if got.Persons[i] != p {
+			t.Fatalf("person %d: got %v, want %v", i, got.Persons, in.Persons)
+		}
+		for j, v := range in.Locals[i] {
+			if got.Locals[i][j] != v {
+				t.Fatalf("local %d: got %v, want %v", i, got.Locals[i], in.Locals[i])
+			}
+		}
+	}
+	if _, err := EncodeIngest(Ingest{Persons: []core.PersonID{1}}); err == nil {
+		t.Fatal("mismatched persons/locals accepted")
+	}
+	if _, err := DecodeIngest(Message{Kind: KindFetch}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestEvictRoundTrip(t *testing.T) {
+	got, err := DecodeEvict(EncodeEvict(Evict{Persons: []core.PersonID{50, 2, 2000}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.PersonID{2, 50, 2000} // sorted by the delta encoding
+	if len(got.Persons) != len(want) {
+		t.Fatalf("got %v", got.Persons)
+	}
+	for i := range want {
+		if got.Persons[i] != want[i] {
+			t.Fatalf("got %v, want %v", got.Persons, want)
+		}
+	}
+	if _, err := DecodeEvict(Message{Kind: KindFetch}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestStatsAckRoundTrip(t *testing.T) {
+	s := StatsReply{Station: 9, Residents: 1234, StorageBytes: 98765, Length: 8}
+	gotS, err := DecodeStatsReply(EncodeStatsReply(s))
+	if err != nil || gotS != s {
+		t.Fatalf("stats reply: got %+v, %v; want %+v", gotS, err, s)
+	}
+	a := Ack{Station: 3, Applied: 17}
+	gotA, err := DecodeAck(EncodeAck(a))
+	if err != nil || gotA != a {
+		t.Fatalf("ack: got %+v, %v; want %+v", gotA, err, a)
+	}
+	if _, err := DecodeStatsReply(Message{Kind: KindAck}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := DecodeAck(Message{Kind: KindStatsReply}); err == nil {
+		t.Fatal("wrong kind accepted")
 	}
 }
 

@@ -54,8 +54,20 @@ const (
 	KindFetch
 	// KindShutdown tells a station loop to exit cleanly.
 	KindShutdown
+	// KindIngest adds (or replaces) resident patterns at a station; the
+	// station answers with KindAck.
+	KindIngest
+	// KindEvict removes residents from a station; answered with KindAck.
+	KindEvict
+	// KindStats asks a station for its resident count and storage footprint;
+	// answered with KindStatsReply.
+	KindStats
+	// KindStatsReply carries one station's resident count and storage bytes.
+	KindStatsReply
+	// KindAck acknowledges an applied mutation (ingest or evict).
+	KindAck
 
-	maxKind = KindShutdown
+	maxKind = KindAck
 )
 
 func (k Kind) String() string {
@@ -76,6 +88,16 @@ func (k Kind) String() string {
 		return "fetch"
 	case KindShutdown:
 		return "shutdown"
+	case KindIngest:
+		return "ingest"
+	case KindEvict:
+		return "evict"
+	case KindStats:
+		return "stats"
+	case KindStatsReply:
+		return "stats-reply"
+	case KindAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

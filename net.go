@@ -1,6 +1,8 @@
 package dimatch
 
 import (
+	"context"
+
 	"dimatch/internal/cluster"
 	"dimatch/internal/transport"
 )
@@ -45,6 +47,16 @@ func NewClusterWithLinks(opts Options, links map[uint32]Link, patternLength int,
 	}
 	inner.Start()
 	return &Cluster{inner: inner}, nil
+}
+
+// AddStationLink grows a running cluster with a remote station reachable
+// over an established link (e.g. an accepted TCP connection). The cluster
+// takes ownership of the link immediately — it is wrapped in a request mux
+// and closed if the join fails. Joining performs a stats handshake: the
+// station must answer, and if it already holds patterns their length must
+// match the cluster's (ErrLengthMismatch otherwise).
+func (c *Cluster) AddStationLink(ctx context.Context, id uint32, link Link) error {
+	return c.inner.AddStationLink(ctx, id, link)
 }
 
 // ServeStation runs a base station loop over an established link until the

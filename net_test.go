@@ -117,6 +117,67 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		t.Fatal("uplink traffic not metered over TCP")
 	}
 
+	// A link-backed cluster now reports station storage too, sourced from
+	// the stations' own stats replies over the wire.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StationsFailed != 0 || st.TotalStorageBytes() == 0 {
+		t.Fatalf("stats over TCP: failed=%d bytes=%d", st.StationsFailed, st.TotalStorageBytes())
+	}
+	if out.Cost.StationRawBytes != st.TotalStorageBytes() {
+		t.Fatalf("StationRawBytes %d != stats total %d", out.Cost.StationRawBytes, st.TotalStorageBytes())
+	}
+
+	// The cluster grows over live TCP: a brand-new person's first half is
+	// ingested into an existing station while a new station dials in with
+	// the second half and joins via AddStationLink.
+	length := city.Length()
+	h1, h2 := make(Pattern, length), make(Pattern, length)
+	for i := 0; i < length; i++ {
+		v := int64(i%3 + 1)
+		h1[i] = v / 2
+		h2[i] = v - v/2
+	}
+	const newPerson PersonID = 999999
+	if err := c.Ingest(context.Background(), sorted[0], map[PersonID]Pattern{newPerson: h1}); err != nil {
+		t.Fatal(err)
+	}
+	newLink, err := Dial(ln.Addr(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := ServeStation(1000, map[PersonID]Pattern{newPerson: h2}, newLink); err != nil {
+			t.Errorf("joined station: %v", err)
+		}
+	}()
+	centerEnd, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddStationLink(context.Background(), 1000, centerEnd); err != nil {
+		t.Fatal(err)
+	}
+
+	grown, err := c.Search(context.Background(), []Query{{ID: 9, Locals: []Pattern{h1, h2}}},
+		WithStrategy(StrategyWBF), WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, p := range grown.Persons(9) {
+		if p == newPerson {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("person spanning ingest + joined TCP station not retrieved: %v", grown.Persons(9))
+	}
+
 	if err := c.Shutdown(); err != nil {
 		t.Fatal(err)
 	}

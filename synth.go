@@ -78,6 +78,18 @@ func QueryFromPerson(city *City, id QueryID, person PersonID) Query {
 	return Query{ID: id, Locals: city.QueryLocalsOf(cdr.PersonID(person))}
 }
 
+// PersonLocals returns one person's local patterns keyed by the station
+// holding them — the station-addressed form Cluster.Ingest and
+// Cluster.Evict speak.
+func PersonLocals(city *City, person PersonID) map[uint32]Pattern {
+	locals := city.LocalsOf(cdr.PersonID(person))
+	out := make(map[uint32]Pattern, len(locals))
+	for s, l := range locals {
+		out[uint32(s)] = l
+	}
+	return out
+}
+
 // CleanReference returns a category exemplar whose role anchors occupy
 // distinct stations, so their query locals expose the category's full
 // split. A reference whose anchors collapsed onto one station has merged
