@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience] [-quick] [-strategy wbf]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch] [-quick] [-strategy wbf]
+//	di-bench -run batch -batch-out BENCH_batch.json
+//	di-bench -batch-check BENCH_batch.json
 //
 // The default -run all executes every experiment at full scale (a few
 // minutes); -quick shrinks the workloads for a fast smoke run. -strategy
 // selects which strategy the resilience experiment degrades (naive, bf or
 // wbf).
+//
+// -run batch measures the batched search pipeline against the unbatched
+// legacy pipeline over TCP loopback and, with -batch-out, records the
+// result as the repository's perf baseline (BENCH_batch.json).
+// -batch-check validates a previously recorded baseline file and exits
+// non-zero if it is empty or malformed — the CI gate.
 package main
 
 import (
@@ -23,23 +31,85 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience")
-		quick    = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
-		strategy = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
+		run        = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch")
+		quick      = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
+		strategy   = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
+		batchOut   = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
+		batchCheck = flag.String("batch-check", "", "validate a recorded BENCH_batch.json and exit (no experiments run)")
 	)
 	flag.Parse()
+	if *batchCheck != "" {
+		if err := checkBatchFile(*batchCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "di-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid batch baseline\n", *batchCheck)
+		return
+	}
 	strat, err := dimatch.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
-	if err := runExperiments(*run, *quick, strat); err != nil {
+	if err := runExperiments(*run, *quick, strat, *batchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(run string, quick bool, strat dimatch.Strategy) error {
+// checkBatchFile validates a recorded baseline.
+func checkBatchFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return fmt.Errorf("%s: empty baseline file", path)
+	}
+	if err := bench.CheckBatchBenchJSON(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// runBatchBaseline runs the batch sweep, prints it, and optionally records
+// the JSON baseline.
+func runBatchBaseline(w *os.File, quick bool, out string) error {
+	cfg := bench.BatchBenchConfig{}
+	if quick {
+		cfg.Persons = 600
+		cfg.Repetitions = 4
+	}
+	r, err := bench.RunBatchBench(cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderBatchBench(w, r)
+	fmt.Fprintln(w)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteBatchBenchJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline recorded to %s\n", out)
+	return nil
+}
+
+func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut string) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -173,8 +243,14 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy) error {
 		bench.RenderResilience(w, rows)
 		fmt.Fprintln(w)
 	}
+	if selected("batch") {
+		any = true
+		if err := runBatchBaseline(os.Stdout, quick, batchOut); err != nil {
+			return err
+		}
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience)", strings.TrimSpace(run))
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch)", strings.TrimSpace(run))
 	}
 	return nil
 }

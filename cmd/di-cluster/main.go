@@ -48,6 +48,8 @@ func main() {
 		ref      = flag.Uint64("ref", 0, "center: reference person to search for")
 		topK     = flag.Int("topk", 10, "center: result size")
 		strategy = flag.String("strategy", "wbf", "center: search strategy (naive, bf, wbf)")
+		queries  = flag.Int("queries", 1, "center: total queries in the search batch (the reference person, padded with further references)")
+		batch    = flag.Int("batch", 0, "center: WithBatching bound: 0 packs all queries into one wire exchange per station, 1 sends legacy per-query frames, n>1 splits into rounds of n")
 		timeout  = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
 		churn    = flag.Bool("churn", false, "run the in-process live-mutation demo (ignores -role)")
 	)
@@ -70,7 +72,7 @@ func main() {
 		var strat dimatch.Strategy
 		strat, err = dimatch.ParseStrategy(*strategy)
 		if err == nil {
-			err = runCenter(cfg, *listen, *stations, dimatch.PersonID(*ref), *topK, strat, *timeout)
+			err = runCenter(cfg, *listen, *stations, dimatch.PersonID(*ref), *topK, strat, *timeout, *queries, *batch)
 		}
 	case "station":
 		err = runStation(cfg, *connect, uint32(*station), *stations)
@@ -87,7 +89,7 @@ func main() {
 // Stations identify themselves by sending their index as the first byte
 // sequence of the demo protocol — here simplified: accept order must match
 // station start order, so start stations 0..n-1 in sequence.
-func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref dimatch.PersonID, topK int, strat dimatch.Strategy, timeout time.Duration) error {
+func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref dimatch.PersonID, topK int, strat dimatch.Strategy, timeout time.Duration, queryCount, batch int) error {
 	city, err := dimatch.GenerateCity(cfg)
 	if err != nil {
 		return err
@@ -128,19 +130,43 @@ func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref 
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	query := dimatch.QueryFromPerson(city, 1, ref)
-	out, err := c.Search(ctx, []dimatch.Query{query},
-		dimatch.WithStrategy(strat), dimatch.WithTopK(topK))
+	searchQueries := centerQueries(city, ref, queryCount)
+	out, err := c.Search(ctx, searchQueries,
+		dimatch.WithStrategy(strat), dimatch.WithTopK(topK), dimatch.WithBatching(batch))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("center: %s top-%d persons similar to %d:\n", strat, topK, ref)
+	fmt.Printf("center: %s top-%d persons similar to %d (%d queries in the batch):\n",
+		strat, topK, ref, len(searchQueries))
 	for _, r := range out.PerQuery[1] {
 		fmt.Printf("  person %-6d weight %.3f (%d stations)\n", r.Person, r.Score(), r.Stations)
 	}
-	fmt.Printf("center: dissemination %d B, reports %d B, elapsed %v\n",
-		out.Cost.BytesDown, out.Cost.BytesUp, out.Cost.Elapsed)
+	fmt.Printf("center: dissemination %d B / %d msgs, reports %d B / %d msgs, %d batched rounds, elapsed %v\n",
+		out.Cost.BytesDown, out.Cost.MessagesDown, out.Cost.BytesUp, out.Cost.MessagesUp,
+		out.Cost.Batches, out.Cost.Elapsed)
 	return nil
+}
+
+// centerQueries builds the search batch: the reference person's query plus
+// up to n-1 further references drawn across the city's categories — the
+// multi-tenant load the batched pipeline amortizes into one exchange per
+// station.
+func centerQueries(city *dimatch.City, ref dimatch.PersonID, n int) []dimatch.Query {
+	queries := []dimatch.Query{dimatch.QueryFromPerson(city, 1, ref)}
+	id := dimatch.QueryID(2)
+	for _, cat := range dimatch.Categories() {
+		for _, p := range city.PersonsInCategory(cat) {
+			if len(queries) >= n {
+				return queries
+			}
+			if dimatch.PersonID(p) == ref {
+				continue
+			}
+			queries = append(queries, dimatch.QueryFromPerson(city, id, dimatch.PersonID(p)))
+			id++
+		}
+	}
+	return queries
 }
 
 // runStation regenerates the city, takes its shard and serves it.

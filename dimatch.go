@@ -81,6 +81,17 @@ func WithMinScore(s float64) SearchOption { return cluster.WithMinScore(s) }
 // WithTargetFP overrides the auto-sizing false-positive target.
 func WithTargetFP(fp float64) SearchOption { return cluster.WithTargetFP(fp) }
 
+// WithBatching bounds how many queries a WBF search packs into one batched
+// wire exchange. n <= 0 (the default) packs the whole query set into a
+// single exchange per station, n > 1 splits it into rounds of at most n
+// queries, and n == 1 disables batching — one filter and one frame per
+// query, which is also what stations speaking an older wire version are
+// served automatically. Batching changes traffic and latency; true matches
+// rank identically at every batch size, though with auto-sized filters
+// (Params.Bits == 0) the per-round sizing can shift which rare Bloom false
+// positives slip through.
+func WithBatching(n int) SearchOption { return cluster.WithBatching(n) }
+
 // Sentinel errors returned by Search, re-exported for errors.Is checks.
 var (
 	// ErrNoQueries reports an empty query batch.

@@ -46,6 +46,20 @@
 //		dimatch.WithTopK(5),
 //		dimatch.WithVerify(true))
 //
+// # Batched searches
+//
+// A WBF search ships its whole query set in one batched wire exchange per
+// station by default; each station answers the batch with a single walk
+// over its resident store, parallelized across a bounded worker pool.
+// WithBatching(n) bounds the batch per call (Options.BatchSize sets the
+// cluster default): 0 packs everything into one round, n > 1 splits into
+// rounds of n, and 1 disables batching — one filter and one frame per
+// query, which is also what stations speaking a pre-batch wire version
+// are served automatically. Batching changes traffic and latency, not the
+// ranking of true matches (auto-sized filters can shift which rare Bloom
+// false positives slip through, as any resizing does); BENCH_batch.json
+// records the measured difference and ARCHITECTURE.md the methodology.
+//
 // # Live clusters
 //
 // A running cluster is mutable while searches are in flight. Ingest and
@@ -70,6 +84,7 @@
 // A deterministic city-scale synthetic CDR generator (GenerateCity) stands
 // in for the paper's proprietary dataset, and StrategyNaive / StrategyBF
 // reproduce the paper's two baselines for comparison. See README.md for
-// the architecture sketch and strategy comparison, DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+// the architecture sketch and strategy comparison, ARCHITECTURE.md for the
+// full layer-by-layer walkthrough, and docs/WIRE.md for the frame-level
+// protocol specification.
 package dimatch

@@ -1,0 +1,124 @@
+package dimatch_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dimatch"
+)
+
+// exampleData is a two-station toy city: person 10's global pattern
+// {3,4,5} is split across the stations, person 11 holds it whole.
+func exampleData() map[uint32]map[dimatch.PersonID]dimatch.Pattern {
+	return map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		0: {10: {1, 2, 3}},
+		1: {10: {2, 2, 2}, 11: {3, 4, 5}},
+	}
+}
+
+// ExampleCluster_Search runs one WBF search: the query carries person 10's
+// two local pieces, and both the split person (10) and the person holding
+// the identical global pattern outright (11) score a complete partition.
+func ExampleCluster_Search() {
+	c, err := dimatch.NewCluster(dimatch.Options{}, exampleData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	q := dimatch.Query{ID: 1, Locals: []dimatch.Pattern{{1, 2, 3}, {2, 2, 2}}}
+	out, err := c.Search(context.Background(), []dimatch.Query{q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range out.PerQuery[1] {
+		fmt.Printf("person %d scores %.1f across %d stations\n", r.Person, r.Score(), r.Stations)
+	}
+	// Output:
+	// person 10 scores 1.0 across 2 stations
+	// person 11 scores 1.0 across 1 stations
+}
+
+// ExampleCluster_Search_options overrides the cluster defaults for one
+// call: keep only the best answer, verify it exactly against fetched
+// patterns, and run the legacy unbatched pipeline for comparison.
+func ExampleCluster_Search_options() {
+	c, err := dimatch.NewCluster(dimatch.Options{}, exampleData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	q := dimatch.Query{ID: 1, Locals: []dimatch.Pattern{{1, 2, 3}, {2, 2, 2}}}
+	out, err := c.Search(context.Background(), []dimatch.Query{q},
+		dimatch.WithTopK(1),
+		dimatch.WithVerify(true),
+		dimatch.WithBatching(1), // legacy per-query frames; results identical
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range out.PerQuery[1] {
+		fmt.Printf("person %d verified at %.1f\n", r.Person, r.Score())
+	}
+	fmt.Printf("batched rounds used: %d\n", out.Cost.Batches)
+	// Output:
+	// person 10 verified at 1.0
+	// batched rounds used: 0
+}
+
+// ExampleCluster_Ingest mutates a running cluster: freshly observed call
+// data lands at the station that saw it, and an eviction removes it again
+// — all while searches may be in flight.
+func ExampleCluster_Ingest() {
+	c, err := dimatch.NewCluster(dimatch.Options{}, exampleData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+
+	err = c.Ingest(ctx, 0, map[dimatch.PersonID]dimatch.Pattern{
+		4711: {0, 3, 1}, // person 4711's new local pattern at station 0
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := c.Stats(ctx)
+	fmt.Println("residents after ingest:", st.TotalResidents())
+
+	if err := c.Evict(ctx, 0, []dimatch.PersonID{4711}); err != nil {
+		log.Fatal(err)
+	}
+	st, _ = c.Stats(ctx)
+	fmt.Println("residents after evict:", st.TotalResidents())
+	// Output:
+	// residents after ingest: 4
+	// residents after evict: 3
+}
+
+// ExampleCluster_Stats fetches the per-station storage snapshot the
+// stations report about themselves over the wire (cached per membership
+// epoch).
+func ExampleCluster_Stats() {
+	c, err := dimatch.NewCluster(dimatch.Options{}, exampleData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range st.Stations {
+		fmt.Printf("station %d: %d residents, %d B raw patterns\n",
+			s.Station, s.Residents, s.StorageBytes)
+	}
+	fmt.Printf("total: %d residents, %d B\n", st.TotalResidents(), st.TotalStorageBytes())
+	// Output:
+	// station 0: 1 residents, 24 B raw patterns
+	// station 1: 2 residents, 48 B raw patterns
+	// total: 3 residents, 72 B
+}

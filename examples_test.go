@@ -1,0 +1,229 @@
+// examples_test.go mirrors every code snippet in README.md, so the
+// documentation cannot drift from the API: if a snippet stops compiling or
+// behaving as the text claims, this file fails the build.
+package dimatch_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dimatch"
+)
+
+// TestReadmeQuickstartSnippet is the README "Quickstart" block, verbatim
+// apart from capturing output instead of printing it.
+func TestReadmeQuickstartSnippet(t *testing.T) {
+	// Station-major data: station → person → local pattern.
+	data := map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		0: {10: {1, 2, 3}},
+		1: {10: {2, 2, 2}, 11: {3, 4, 5}},
+	}
+	c, _ := dimatch.NewCluster(dimatch.Options{TopK: 10}, data)
+	defer c.Shutdown()
+
+	// Person 10's global pattern {3,4,5} is split across stations 0 and 1;
+	// the query carries the pieces.
+	q := dimatch.Query{ID: 1, Locals: []dimatch.Pattern{{1, 2, 3}, {2, 2, 2}}}
+	out, _ := c.Search(context.Background(), []dimatch.Query{q},
+		dimatch.WithVerify(true))
+
+	// The README comment promises 10 at 1.0 and 11 at 1.0 ({3,4,5} whole).
+	got := map[dimatch.PersonID]float64{}
+	for _, r := range out.PerQuery[1] {
+		got[r.Person] = r.Score()
+	}
+	if len(got) != 2 || got[10] != 1.0 || got[11] != 1.0 {
+		t.Fatalf("quickstart results %v, README promises persons 10 and 11 at 1.0", got)
+	}
+}
+
+// TestReadmeLifecycleSnippet is the README "Live-cluster lifecycle" block:
+// every statement of the snippet, run against a cluster that has station 7
+// and a dialled TCP link for station 100.
+func TestReadmeLifecycleSnippet(t *testing.T) {
+	c, err := dimatch.NewCluster(dimatch.Options{}, map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		7: {1: {1, 1, 1}},
+		8: {2: {2, 0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	// The snippet's free variables: locals for the in-process station and
+	// an established link whose far end serves station 100.
+	locals := map[dimatch.PersonID]dimatch.Pattern{3: {0, 1, 2}}
+	ln, err := dimatch.Listen("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stationLink, err := dimatch.Dial(ln.Addr(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_ = dimatch.ServeStation(100, map[dimatch.PersonID]dimatch.Pattern{4: {5, 5, 5}}, stationLink)
+	}()
+	link, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- the snippet, statement for statement ----
+	ctx := context.Background()
+
+	// Route freshly observed call data to the station that saw it.
+	err = c.Ingest(ctx, 7, map[dimatch.PersonID]dimatch.Pattern{
+		4711: {0, 3, 1}, // person 4711's new local pattern at station 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop expired or opted-out residents.
+	err = c.Evict(ctx, 7, []dimatch.PersonID{4711})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow and shrink membership on the running cluster.
+	err = c.AddStation(ctx, 99, locals) // in-process station
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.AddStationLink(ctx, 100, link) // remote station over TCP
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.RemoveStation(ctx, 99) // leaves the next epoch
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-station resident counts and storage bytes, fetched over the wire
+	// and cached per epoch.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(st.TotalResidents(), st.TotalStorageBytes())
+	// ---- end of snippet ----
+
+	// Stations 7, 8 and the TCP-joined 100 remain: three residents.
+	if st.TotalResidents() != 3 {
+		t.Fatalf("TotalResidents = %d, want 3 (stations 7, 8, 100)", st.TotalResidents())
+	}
+	if c.Stations() != 3 {
+		t.Fatalf("Stations = %d, want 3", c.Stations())
+	}
+}
+
+// TestReadmeStrategyTable backs the README strategy table's claims: naive
+// answers exactly, BF cannot attribute candidates to queries, WBF ranks by
+// weights summing to 1 for true matches.
+func TestReadmeStrategyTable(t *testing.T) {
+	data := map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		0: {10: {1, 2, 3}},
+		1: {10: {2, 2, 2}, 11: {3, 4, 5}, 12: {9, 0, 0}},
+	}
+	c, err := dimatch.NewCluster(dimatch.Options{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+	queries := []dimatch.Query{
+		{ID: 1, Locals: []dimatch.Pattern{{1, 2, 3}, {2, 2, 2}}},
+		{ID: 2, Locals: []dimatch.Pattern{{9, 0, 0}}},
+	}
+
+	// Naive: exact answers (the oracle's result through the wire).
+	naive, err := c.Search(ctx, queries, dimatch.WithStrategy(dimatch.StrategyNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := naive.Persons(2); len(got) != 1 || got[0] != 12 {
+		t.Fatalf("naive query 2 = %v, want exactly [12]", got)
+	}
+
+	// BF: every query receives the same unattributed candidate list.
+	bf, err := c.Search(ctx, queries, dimatch.WithStrategy(dimatch.StrategyBF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := bf.Persons(1), bf.Persons(2)
+	if len(p1) != len(p2) {
+		t.Fatalf("BF per-query lists differ in length: %v vs %v", p1, p2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("BF attributed candidates per query: %v vs %v", p1, p2)
+		}
+	}
+
+	// WBF: true matches score exactly 1 (weights sum to the full partition).
+	wbf, err := c.Search(ctx, queries, dimatch.WithStrategy(dimatch.StrategyWBF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range wbf.PerQuery[1] {
+		if r.Person == 10 && r.Score() != 1.0 {
+			t.Fatalf("WBF person 10 score %v, want 1.0", r.Score())
+		}
+	}
+	if len(wbf.PerQuery[2]) == 0 || wbf.PerQuery[2][0].Person != 12 {
+		t.Fatalf("WBF query 2 = %v, want person 12 ranked first", wbf.PerQuery[2])
+	}
+}
+
+// TestReadmeBatchingClaims backs the "Batched searches" section: default
+// batching packs a multi-query search into one exchange per station,
+// WithBatching(1) reproduces the legacy per-query traffic, and results are
+// identical either way.
+func TestReadmeBatchingClaims(t *testing.T) {
+	data := map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		0: {10: {1, 2, 3}},
+		1: {10: {2, 2, 2}, 11: {3, 4, 5}},
+	}
+	c, err := dimatch.NewCluster(dimatch.Options{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+	queries := []dimatch.Query{
+		{ID: 1, Locals: []dimatch.Pattern{{1, 2, 3}, {2, 2, 2}}},
+		{ID: 2, Locals: []dimatch.Pattern{{3, 4, 5}}},
+		{ID: 3, Locals: []dimatch.Pattern{{9, 9, 9}}},
+	}
+
+	batched, err := c.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := c.Search(ctx, queries, dimatch.WithBatching(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Cost.MessagesDown != 2 || batched.Cost.Batches != 1 {
+		t.Fatalf("batched: %d msgs down, %d rounds; want one exchange per station",
+			batched.Cost.MessagesDown, batched.Cost.Batches)
+	}
+	if legacy.Cost.MessagesDown != 6 || legacy.Cost.Batches != 0 {
+		t.Fatalf("legacy: %d msgs down, %d rounds; want one frame per query per station",
+			legacy.Cost.MessagesDown, legacy.Cost.Batches)
+	}
+	for _, q := range queries {
+		b, l := batched.PerQuery[q.ID], legacy.PerQuery[q.ID]
+		if len(b) != len(l) {
+			t.Fatalf("query %d: %d vs %d results", q.ID, len(b), len(l))
+		}
+		for i := range b {
+			if b[i].Person != l[i].Person || b[i].Numerator != l[i].Numerator {
+				t.Fatalf("query %d result %d differs between modes", q.ID, i)
+			}
+		}
+	}
+}

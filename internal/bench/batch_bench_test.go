@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// quickBatchConfig keeps the sweep small enough for the unit-test tier.
+func quickBatchConfig() BatchBenchConfig {
+	return BatchBenchConfig{
+		Persons:       240,
+		QueryCounts:   []int{1, 4},
+		StationCounts: []int{4},
+		Repetitions:   2,
+	}
+}
+
+func TestBatchBenchReportShape(t *testing.T) {
+	r, err := RunBatchBench(quickBatchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 station count × 2 query counts × 2 modes.
+	if len(r.Scenarios) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(r.Scenarios))
+	}
+	if len(r.Summaries) != 1 {
+		t.Fatalf("%d summaries, want 1 (only multi-query cells compare)", len(r.Summaries))
+	}
+	sm := r.Summaries[0]
+	if sm.Queries != 4 || sm.Stations != 4 {
+		t.Fatalf("summary cell %+v", sm)
+	}
+	// 4 queries unbatched = 4 exchanges/station vs 1 batched: exactly 4x.
+	if sm.MessagesPerQueryRatio < 3.9 || sm.MessagesPerQueryRatio > 4.1 {
+		t.Fatalf("messages ratio %v, want ~4", sm.MessagesPerQueryRatio)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBatchBenchJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBatchBenchJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-tripped report rejected: %v", err)
+	}
+
+	var render bytes.Buffer
+	RenderBatchBench(&render, r)
+	if !strings.Contains(render.String(), "fewer messages/query") {
+		t.Fatal("render missing summary line")
+	}
+}
+
+func TestCheckBatchBenchJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"not json":     "not json at all",
+		"wrong schema": `{"schema":"other/v9","scenarios":[{"mode":"batched","repetitions":1,"throughput_qps":1,"messages_total":1,"bytes_total":1}]}`,
+		"no scenarios": `{"schema":"dimatch-batch-bench/v1","scenarios":[]}`,
+		"empty measurements": `{"schema":"dimatch-batch-bench/v1","scenarios":[
+			{"mode":"batched","repetitions":0,"throughput_qps":0,"messages_total":0,"bytes_total":0}]}`,
+		"bad mode": `{"schema":"dimatch-batch-bench/v1","scenarios":[
+			{"mode":"sideways","repetitions":1,"throughput_qps":1,"messages_total":1,"bytes_total":1}]}`,
+	}
+	for name, in := range cases {
+		if err := CheckBatchBenchJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// BenchmarkBatchPipeline is the CI bench-baseline entry point: one
+// iteration (-benchtime=1x) runs the full sweep, and the report is written
+// to the path in BENCH_BATCH_OUT as BENCH_batch.json for upload. Without
+// that variable the benchmark skips, keeping the multi-second TCP sweep
+// out of the ordinary `-bench=.` smoke pass (the dedicated bench-baseline
+// job sets it).
+func BenchmarkBatchPipeline(b *testing.B) {
+	if os.Getenv("BENCH_BATCH_OUT") == "" {
+		b.Skip("set BENCH_BATCH_OUT to run the full TCP batch sweep (CI bench-baseline job)")
+	}
+	cfg := BatchBenchConfig{Persons: 1200, Repetitions: 6}
+	for i := 0; i < b.N; i++ {
+		r, err := RunBatchBench(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sm := range r.Summaries {
+			if sm.Queries == 64 {
+				b.ReportMetric(sm.MessagesPerQueryRatio, "msgratio64q")
+				b.ReportMetric(sm.ThroughputRatio, "tputratio64q")
+			}
+		}
+		if out := os.Getenv("BENCH_BATCH_OUT"); out != "" && i == 0 {
+			f, err := os.Create(out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := WriteBatchBenchJSON(f, r); err != nil {
+				f.Close()
+				b.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

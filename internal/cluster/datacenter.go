@@ -67,6 +67,12 @@ type Options struct {
 	// TargetFP is the sizing target used when Params.Bits == 0
 	// (default 0.01).
 	TargetFP float64
+	// BatchSize bounds how many queries a WBF search packs into one batched
+	// wire exchange. 0 (the default) packs the whole query set into a single
+	// round; 1 disables batching and runs the legacy one-frame-per-query
+	// pipeline; n > 1 splits the set into rounds of at most n queries.
+	// Override per call with WithBatching.
+	BatchSize int
 }
 
 // CostReport quantifies one search, feeding Figures 4b-4d. Counts are
@@ -97,6 +103,12 @@ type CostReport struct {
 	StationsFailed int
 	// ReportsReceived counts candidate tuples received by the center.
 	ReportsReceived int
+	// Batches counts the fan-out rounds that actually sent a KindBatchQuery
+	// frame: ceil(queries / batch size) when batching is active and at
+	// least one station accepts batch frames, 0 for a legacy per-query
+	// search or an all-pre-v3 fleet. Messages and bytes above reflect
+	// whatever mix of batched and per-query exchanges actually ran.
+	Batches int
 }
 
 // TotalBytes returns all traffic the search moved.
@@ -135,6 +147,10 @@ type StationStats struct {
 	// PatternLength is the time-series length the station serves (0 when it
 	// holds no patterns).
 	PatternLength int
+	// WireVersion is the highest wire protocol version the station
+	// advertised in its stats reply. Stations at wire.Version3 or above can
+	// receive batched search rounds; older ones are served per-query frames.
+	WireVersion int
 }
 
 // Stats is a cluster-wide storage snapshot fetched from the stations over
@@ -211,6 +227,7 @@ func (ep *epoch) seedStats(prev *Stats, fresh wire.StatsReply) {
 		Residents:     int(fresh.Residents),
 		StorageBytes:  fresh.StorageBytes,
 		PatternLength: int(fresh.Length),
+		WireVersion:   int(fresh.MaxVersion),
 	}
 	stations := make([]StationStats, 0, len(prev.Stations)+1)
 	inserted := false
@@ -807,6 +824,7 @@ func (c *Cluster) epochStats(ctx context.Context, ep *epoch) (*Stats, error) {
 			Residents:     int(sr.Residents),
 			StorageBytes:  sr.StorageBytes,
 			PatternLength: int(sr.Length),
+			WireVersion:   int(sr.MaxVersion),
 		})
 		return nil
 	})
@@ -900,126 +918,328 @@ func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...Sear
 	return out, nil
 }
 
-// fanOut sends one request to every station of the pinned epoch
-// concurrently and waits for all replies (or failures), invoking handle for
-// each reply in station-ID order. Per-search traffic is tallied directly
-// into cost, covering completed exchanges (request out, reply back); a
-// station that dies mid-exchange contributes only to StationsFailed. Unlike
+// fanOutEach runs one exchange sequence per station of the pinned epoch
+// concurrently — a single roundtrip for most rounds, a pipelined request
+// sequence for the per-query compatibility path — and waits for every
+// station to answer or fail, invoking handle with each station's replies in
+// station-ID order. Per-search traffic is tallied directly into cost,
+// covering completed exchanges (requests out, replies back); a station that
+// dies mid-sequence contributes only to the failed list. Unlike
 // shared-meter deltas, the tally is unaffected by other searches running
 // concurrently on the same links.
 //
-// Stations that fail are counted, not fatal: the search degrades exactly as
-// a real deployment would. Every reply is drained and accounted even if
-// handle returns an error partway, so StationsFailed stays truthful; the
-// first handle error is returned after the drain. A cancelled context
-// abandons the round and returns an error wrapping ErrCancelled.
-func (c *Cluster) fanOut(ctx context.Context, ep *epoch, msg wire.Message, cost *CostReport, handle func(reply wire.Message) error) (failed int, err error) {
+// Stations that fail are reported, not fatal: the search degrades exactly
+// as a real deployment would. Every station's replies are drained and
+// accounted even if handle returns an error partway, so the failure count
+// stays truthful; the first handle error is returned after the drain. A
+// cancelled context abandons the round and returns an error wrapping
+// ErrCancelled.
+func (c *Cluster) fanOutEach(ctx context.Context, ep *epoch, msgs func(i int) []wire.Message, cost *CostReport, handle func(i int, replies []wire.Message) error) (failed []int, err error) {
 	muxes := ep.muxes
-	type replyOrErr struct {
-		m   wire.Message
-		err error
+	type repliesOrErr struct {
+		replies []wire.Message
+		err     error
 	}
-	replies := make([]replyOrErr, len(muxes))
+	results := make([]repliesOrErr, len(muxes))
 	var wg sync.WaitGroup
 	for i, mx := range muxes {
 		i, mx := i, mx
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m, err := mx.Roundtrip(ctx, msg)
-			replies[i] = replyOrErr{m: m, err: err}
+			rs, err := mx.RoundtripMany(ctx, msgs(i))
+			results[i] = repliesOrErr{replies: rs, err: err}
 		}()
 	}
 	wg.Wait()
 	if ctxErr := ctx.Err(); ctxErr != nil {
-		return 0, fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
 	}
 	allFailed := true
-	for _, r := range replies {
+	for _, r := range results {
 		if r.err == nil {
 			allFailed = false
 			break
 		}
 	}
-	if allFailed && len(replies) > 0 {
+	if allFailed && len(results) > 0 {
 		// Distinguish a Shutdown racing this search from genuine total
 		// station loss: the former must not read as an empty success.
 		c.mu.Lock()
 		closed := c.closed
 		c.mu.Unlock()
 		if closed {
-			return 0, ErrClusterClosed
+			return nil, ErrClusterClosed
 		}
 	}
 
-	requestSize := uint64(msg.EncodedSize())
 	var handleErr error
-	for _, r := range replies {
+	for i, r := range results {
 		if r.err != nil {
-			failed++
+			failed = append(failed, i)
 			continue
 		}
-		cost.BytesDown += requestSize
-		cost.MessagesDown++
-		cost.BytesUp += uint64(r.m.EncodedSize())
-		cost.MessagesUp++
+		for _, m := range msgs(i) {
+			cost.BytesDown += uint64(m.EncodedSize())
+			cost.MessagesDown++
+		}
+		for _, reply := range r.replies {
+			cost.BytesUp += uint64(reply.EncodedSize())
+			cost.MessagesUp++
+		}
 		if handleErr == nil {
-			handleErr = handle(r.m)
+			handleErr = handle(i, r.replies)
 		}
 	}
 	return failed, handleErr
 }
 
-// searchWBF is the paper's DI-matching pipeline end to end.
+// fanOut is the single-message special case: the same request to every
+// station, handle invoked once per reply.
+func (c *Cluster) fanOut(ctx context.Context, ep *epoch, msg wire.Message, cost *CostReport, handle func(reply wire.Message) error) (failed int, err error) {
+	single := []wire.Message{msg}
+	failedIdx, err := c.fanOutEach(ctx, ep, func(int) []wire.Message { return single }, cost, func(_ int, replies []wire.Message) error {
+		return handle(replies[0])
+	})
+	return len(failedIdx), err
+}
+
+// batchQueries splits the query set into rounds of at most size queries.
+// size <= 0 means one round carrying everything, clamped to the wire
+// protocol's per-frame query limit so arbitrarily large searches still
+// encode (they just take multiple rounds).
+func batchQueries(queries []core.Query, size int) [][]core.Query {
+	if size <= 0 || size > wire.MaxBatchQueries {
+		size = wire.MaxBatchQueries
+	}
+	if size >= len(queries) {
+		return [][]core.Query{queries}
+	}
+	out := make([][]core.Query, 0, (len(queries)+size-1)/size)
+	for len(queries) > size {
+		out = append(out, queries[:size])
+		queries = queries[size:]
+	}
+	return append(out, queries)
+}
+
+// peerVersions returns each member station's advertised wire version, read
+// from the epoch's stats snapshot — fetched over the wire once per epoch and
+// cached, so the version handshake costs one exchange per membership change,
+// not one per search. A station absent from the snapshot (it failed that
+// one fetch, perhaps transiently) is retried with a direct stats exchange
+// so a capable peer is not stuck on the per-query path for the epoch's
+// whole lifetime; a station that is genuinely down fails the retry exactly
+// as it will fail the round itself. On a failed snapshot fetch the map may
+// be empty and every station falls back to the per-query path.
+func (c *Cluster) peerVersions(ctx context.Context, ep *epoch) map[uint32]uint8 {
+	vers := make(map[uint32]uint8, len(ep.ids))
+	if st, err := c.epochStats(ctx, ep); err == nil {
+		for _, s := range st.Stations {
+			vers[s.Station] = uint8(s.WireVersion)
+		}
+	}
+	for i, id := range ep.ids {
+		if _, ok := vers[id]; ok {
+			continue
+		}
+		reply, err := ep.muxes[i].Roundtrip(ctx, wire.StatsMessage())
+		if err != nil {
+			continue // down now, down for the round too
+		}
+		if sr, err := wire.DecodeStatsReply(reply); err == nil {
+			vers[id] = sr.MaxVersion
+		}
+	}
+	return vers
+}
+
+// searchWBF is the paper's DI-matching pipeline end to end, executed as a
+// sequence of batched rounds. Each round packs up to batchSize queries into
+// one combined filter and — for stations that advertised wire version 3 —
+// one KindBatchQuery exchange; stations below version 3 (and every station
+// when batching is disabled with batchSize 1) are served the legacy
+// pipeline instead: one filter and one KindWBFQuery frame per query,
+// pipelined over the link. Reports from both paths merge into one
+// aggregation, so a mixed-version cluster still answers every query
+// exactly once.
 func (c *Cluster) searchWBF(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query) (*Outcome, error) {
-	params, err := c.resolveParams(cfg, queries)
-	if err != nil {
-		return nil, err
+	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
+	agg := core.NewBatchAggregator()
+	legacyAll := cfg.batchSize == 1
+	roundSize := cfg.batchSize
+	if legacyAll {
+		// Batch size 1 disables batch frames, not pipelining: the whole
+		// query set runs as one legacy round whose per-query frames are
+		// streamed back-to-back per station — the same code path pre-v3
+		// stations are served inside a batched round.
+		roundSize = 0
 	}
-	enc, err := core.NewEncoder(params, c.length)
-	if err != nil {
-		return nil, err
+	var vers map[uint32]uint8
+	if !legacyAll && len(ep.ids) > 0 {
+		vers = c.peerVersions(ctx, ep)
 	}
-	for _, q := range queries {
-		if err := enc.AddQuery(q); err != nil {
+	var reportBytes, filterBytes uint64
+	failedStations := make(map[uint32]bool)
+	for _, batch := range batchQueries(queries, roundSize) {
+		if err := c.runWBFRound(ctx, ep, cfg, batch, vers, agg, out, &reportBytes, &filterBytes, failedStations); err != nil {
 			return nil, err
 		}
-	}
-	filter := enc.Filter()
-	agg := core.NewAggregator(filter)
-
-	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
-	msg := wire.EncodeWBFQuery(filter)
-	var reportBytes uint64
-	failed, err := c.fanOut(ctx, ep, msg, &out.Cost, func(reply wire.Message) error {
-		batch, err := wire.DecodeReports(reply)
-		if err != nil {
-			return err
-		}
-		reportBytes += uint64(reply.EncodedSize())
-		for _, rep := range batch.Reports {
-			out.Cost.ReportsReceived++
-			if err := agg.Add(rep); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	for _, q := range queries {
 		out.PerQuery[q.ID] = rankWBF(cfg, agg, q.ID)
 	}
-	out.Cost.StationsFailed = failed
-	out.Cost.FilterBytes = filter.SizeBytes()
-	out.Cost.CenterStorageBytes = filter.SizeBytes() + reportBytes
+	out.Cost.StationsFailed = len(failedStations)
+	out.Cost.FilterBytes = filterBytes
+	out.Cost.CenterStorageBytes = filterBytes + reportBytes
 	if cfg.verify {
 		if err := c.verifyWBF(ctx, ep, cfg, queries, out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// runWBFRound executes one batch of queries across the epoch's stations:
+// it encodes the round's filters, runs the per-station exchanges
+// concurrently (one batched roundtrip or a pipelined per-query sequence,
+// depending on the station's advertised version), tallies traffic for
+// completed exchanges and feeds every report into the shared aggregation.
+// Stations that fail are recorded in failedStations — never fatal, exactly
+// like the single-exchange fan-out.
+func (c *Cluster) runWBFRound(ctx context.Context, ep *epoch, cfg searchConfig, batch []core.Query, vers map[uint32]uint8, agg *core.Aggregator, out *Outcome, reportBytes, filterBytes *uint64, failedStations map[uint32]bool) error {
+	legacyAll := cfg.batchSize == 1
+	batchCapable := make([]bool, len(ep.ids))
+	needLegacy := legacyAll
+	anyBatch := false
+	if !legacyAll {
+		for i, id := range ep.ids {
+			if vers[id] >= wire.Version3 {
+				batchCapable[i] = true
+				anyBatch = true
+			} else {
+				needLegacy = true
+			}
+		}
+	}
+
+	// The combined filter encodes the whole batch; every batch-capable
+	// station receives it in a single frame. When no station can take batch
+	// frames (all pre-v3, or version discovery failed), the round runs
+	// purely legacy and no combined filter is built or billed.
+	var (
+		combined *core.Filter
+		batchMsg wire.Message
+	)
+	if anyBatch {
+		params, err := c.resolveParams(cfg, batch)
+		if err != nil {
+			return err
+		}
+		enc, err := core.NewEncoder(params, c.length)
+		if err != nil {
+			return err
+		}
+		ids := make([]core.QueryID, 0, len(batch))
+		for _, q := range batch {
+			if err := enc.AddQuery(q); err != nil {
+				return err
+			}
+			ids = append(ids, q.ID)
+		}
+		combined = enc.Filter()
+		batchMsg, err = wire.EncodeBatchQuery(wire.BatchQuery{Queries: ids, Filter: combined})
+		if err != nil {
+			return err
+		}
+		*filterBytes += combined.SizeBytes()
+	}
+
+	// Per-query filters serve the compatibility path. They are built once
+	// per round and shared by every legacy station. Their footprint counts
+	// toward FilterBytes whenever they are actually disseminated, so a
+	// mixed-version round reports both filter forms the center built.
+	//
+	// A pre-v3 station could technically take the combined filter in one
+	// KindWBFQuery frame; per-query filters are used instead so the
+	// fallback shares one code path with WithBatching(1) and keeps each
+	// query's false-positive sizing independent of whoever else shares its
+	// round — the batch pipeline's win is then measured against a fully
+	// query-isolated baseline, not conflated with combined-filter effects.
+	var (
+		legacyMsgs   []wire.Message
+		legacyTables [][]core.WeightEntry
+	)
+	if needLegacy {
+		for _, q := range batch {
+			params, err := c.resolveParams(cfg, []core.Query{q})
+			if err != nil {
+				return err
+			}
+			enc, err := core.NewEncoder(params, c.length)
+			if err != nil {
+				return err
+			}
+			if err := enc.AddQuery(q); err != nil {
+				return err
+			}
+			f := enc.Filter()
+			legacyMsgs = append(legacyMsgs, wire.EncodeWBFQuery(f))
+			legacyTables = append(legacyTables, f.Weights())
+			*filterBytes += f.SizeBytes()
+		}
+	}
+
+	batchMsgs := []wire.Message{batchMsg}
+	failedIdx, err := c.fanOutEach(ctx, ep, func(i int) []wire.Message {
+		if batchCapable[i] {
+			return batchMsgs
+		}
+		return legacyMsgs
+	}, &out.Cost, func(i int, replies []wire.Message) error {
+		for _, reply := range replies {
+			*reportBytes += uint64(reply.EncodedSize())
+		}
+		if batchCapable[i] {
+			br, err := wire.DecodeBatchReply(replies[0])
+			if err != nil {
+				return err
+			}
+			if int(br.Queries) != len(batch) {
+				return fmt.Errorf("cluster: station %d answered %d queries, round has %d", ep.ids[i], br.Queries, len(batch))
+			}
+			for _, rep := range br.Reports {
+				out.Cost.ReportsReceived++
+				if err := agg.AddFrom(combined.Weights(), rep); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for j, reply := range replies {
+			rs, err := wire.DecodeReports(reply)
+			if err != nil {
+				return err
+			}
+			for _, rep := range rs.Reports {
+				out.Cost.ReportsReceived++
+				if err := agg.AddFrom(legacyTables[j], rep); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	for _, i := range failedIdx {
+		failedStations[ep.ids[i]] = true
+	}
+	if err != nil {
+		return err
+	}
+	if anyBatch {
+		out.Cost.Batches++
+	}
+	return nil
 }
 
 // verifyWBF runs the verification phase: fetch every ranked candidate's

@@ -49,12 +49,13 @@ func ParseStrategy(s string) (Strategy, error) {
 // searchConfig is one search's resolved knobs: the cluster Options provide
 // the defaults, per-call SearchOptions override them.
 type searchConfig struct {
-	strategy Strategy
-	params   core.Params
-	topK     int
-	minScore float64
-	verify   bool
-	targetFP float64
+	strategy  Strategy
+	params    core.Params
+	topK      int
+	minScore  float64
+	verify    bool
+	targetFP  float64
+	batchSize int
 }
 
 // SearchOption configures a single Search call.
@@ -88,15 +89,29 @@ func WithTargetFP(fp float64) SearchOption {
 	return func(c *searchConfig) { c.targetFP = fp }
 }
 
+// WithBatching bounds how many queries a WBF search packs into one batched
+// exchange. n <= 0 (the default) packs the whole query set into a single
+// KindBatchQuery round per station; n > 1 splits the set into rounds of at
+// most n queries; n == 1 disables batching entirely and runs the legacy
+// pipeline — one filter and one KindWBFQuery frame per query, pipelined per
+// station — which is also the path stations that never advertised wire
+// version 3 are served on. BF and naive searches already move one frame per
+// station and ignore the setting. See Options.BatchSize for the cluster
+// default.
+func WithBatching(n int) SearchOption {
+	return func(c *searchConfig) { c.batchSize = n }
+}
+
 // searchDefaults resolves the cluster-level Options into a per-call config.
 func (c *Cluster) searchDefaults() searchConfig {
 	return searchConfig{
-		strategy: StrategyWBF,
-		params:   c.opts.Params,
-		topK:     c.opts.TopK,
-		minScore: c.opts.MinScore,
-		verify:   c.opts.Verify,
-		targetFP: c.opts.TargetFP,
+		strategy:  StrategyWBF,
+		params:    c.opts.Params,
+		topK:      c.opts.TopK,
+		minScore:  c.opts.MinScore,
+		verify:    c.opts.Verify,
+		targetFP:  c.opts.TargetFP,
+		batchSize: c.opts.BatchSize,
 	}
 }
 

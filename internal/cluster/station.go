@@ -91,6 +91,8 @@ func (s *Station) Serve() error {
 		switch msg.Kind {
 		case wire.KindWBFQuery:
 			reply, err = s.handleWBF(msg)
+		case wire.KindBatchQuery:
+			reply, err = s.handleBatch(msg)
 		case wire.KindBFQuery:
 			reply, err = s.handleBF(msg)
 		case wire.KindShipAll:
@@ -120,37 +122,40 @@ func (s *Station) Serve() error {
 }
 
 // handleWBF runs Algorithm 2 over every resident pattern and reports the
-// qualifying (person, weights) pairs.
+// qualifying (person, weights) pairs — the legacy per-query exchange, one
+// serial walk per received filter.
 func (s *Station) handleWBF(msg wire.Message) (*wire.Message, error) {
 	filter, err := wire.DecodeWBFQuery(msg)
 	if err != nil {
 		return nil, fmt.Errorf("station %d: %w", s.id, err)
 	}
-	matcher := core.NewMatcher(filter)
-	var reports []core.Report
-	for i, local := range s.locals {
-		if len(local) != filter.Length() {
-			continue // pattern from a different window; cannot qualify
-		}
-		ids, ok, err := matcher.Match(local)
-		if err != nil {
-			return nil, fmt.Errorf("station %d: %w", s.id, err)
-		}
-		if !ok {
-			continue
-		}
-		// Algorithm 2 returns "the weight": one entry per query, the one
-		// whose magnitude matches this piece.
-		selected, err := core.SelectClosestWeights(filter, ids, local.Sum())
-		if err != nil {
-			return nil, fmt.Errorf("station %d: %w", s.id, err)
-		}
-		reports = append(reports, core.Report{
-			Person:    s.persons[i],
-			WeightIDs: selected,
-		})
+	reports, err := core.MatchResidents(filter, s.persons, s.locals, 1)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
 	}
 	reply := wire.EncodeReports(wire.Reports{Station: s.id, Reports: reports})
+	return &reply, nil
+}
+
+// handleBatch answers one batched search round: a single walk over the
+// resident store, fanned across a GOMAXPROCS-bounded worker pool, probes
+// the batch's combined filter once per resident and answers every query of
+// the batch in one reply. Compared with the per-query path this station
+// does 1/|batch| of the probe work and sends 1/|batch| of the frames.
+func (s *Station) handleBatch(msg wire.Message) (*wire.Message, error) {
+	bq, err := wire.DecodeBatchQuery(msg)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	reports, err := core.MatchResidents(bq.Filter, s.persons, s.locals, 0)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	reply := wire.EncodeBatchReply(wire.BatchReply{
+		Station: s.id,
+		Queries: uint32(len(bq.Queries)),
+		Reports: reports,
+	})
 	return &reply, nil
 }
 

@@ -13,17 +13,41 @@ import (
 // sampled, probes the received WBF and reports the pattern's weight(s) iff
 // every sampled point is present with a common weight.
 //
-// A Matcher is not safe for concurrent use (it reuses probe scratch space);
-// create one per goroutine.
+// All per-pattern scratch (the sampled accumulated values, the candidate
+// pointer sets) lives on the Matcher and is reused across Match calls, so a
+// station walking thousands of residents allocates nothing on the probe
+// path after warm-up. That also means a Matcher is not safe for concurrent
+// use; create one per goroutine (MatchResidents does exactly that).
 type Matcher struct {
-	filter   *Filter
-	current  []WeightID
-	probeBuf []WeightID
+	filter    *Filter
+	sampleIdx []int // ascending; pinned at construction
+	current   []WeightID
+	probeBuf  []WeightID
+	valBuf    []int64
 }
 
 // NewMatcher returns a matcher probing the given filter.
 func NewMatcher(f *Filter) *Matcher {
-	return &Matcher{filter: f}
+	return &Matcher{filter: f, sampleIdx: f.sampleIdx}
+}
+
+// sampledAccumulate computes the accumulated (prefix-sum) values of p at the
+// matcher's sample positions in one pass, without materializing the full
+// accumulated series — the per-resident allocation the probe path used to
+// pay. Sample indexes ascend by construction (pattern.SampleIndexes).
+func (m *Matcher) sampledAccumulate(p pattern.Pattern) []int64 {
+	vals := m.valBuf[:0]
+	run := int64(0)
+	next := 0
+	for i, v := range p {
+		run += v
+		for next < len(m.sampleIdx) && m.sampleIdx[next] == i {
+			vals = append(vals, run)
+			next++
+		}
+	}
+	m.valBuf = vals[:0] // keep grown capacity for the next pattern
+	return vals
 }
 
 // Match probes one local pattern. It returns the weight pointers shared by
@@ -40,11 +64,7 @@ func (m *Matcher) Match(p pattern.Pattern) (ids []WeightID, ok bool, err error) 
 	if len(p) != m.filter.length {
 		return nil, false, fmt.Errorf("core: pattern length %d, filter wants %d", len(p), m.filter.length)
 	}
-	acc := p.Accumulate()
-	vals, err := acc.SampleAt(m.filter.sampleIdx)
-	if err != nil {
-		return nil, false, err
-	}
+	vals := m.sampledAccumulate(p)
 	current := m.current[:0]
 	for slot, v := range vals {
 		found, bitsOK := m.filter.probe(slot, v, m.probeBuf[:0])
@@ -54,6 +74,10 @@ func (m *Matcher) Match(p pattern.Pattern) (ids []WeightID, ok bool, err error) 
 		m.probeBuf = found[:0] // keep any grown capacity for the next probe
 		if slot == 0 {
 			current = append(current, found...)
+			// The append may have grown the buffer; persist it immediately so
+			// a later-slot rejection (the common case on partially-matching
+			// residents) still keeps the capacity for the next pattern.
+			m.current = current
 		} else {
 			// found and current live in distinct buffers, so the in-place
 			// intersection of current never reads clobbered memory.
@@ -78,13 +102,17 @@ func (m *Matcher) Match(p pattern.Pattern) (ids []WeightID, ok bool, err error) 
 // attribution — crediting any other corrupts the center's sum-to-1
 // partition arithmetic (DESIGN.md D4).
 func SelectClosestWeights(f *Filter, ids []WeightID, patternSum int64) ([]WeightID, error) {
+	// The surviving pointer set is tiny (one handful of queries at most), so
+	// a linear scan over a small stack-backed slice beats a map allocation —
+	// this runs once per matching resident on the station hot path.
 	type best struct {
-		id   WeightID
-		dist int64
-		num  int64
+		query QueryID
+		id    WeightID
+		dist  int64
+		num   int64
 	}
-	perQuery := make(map[QueryID]best, 1)
-	order := make([]QueryID, 0, 1)
+	var stack [8]best
+	perQuery := stack[:0]
 	for _, id := range ids {
 		w, err := f.Weight(id)
 		if err != nil {
@@ -94,19 +122,24 @@ func SelectClosestWeights(f *Filter, ids []WeightID, patternSum int64) ([]Weight
 		if dist < 0 {
 			dist = -dist
 		}
-		cur, seen := perQuery[w.Query]
-		if !seen {
-			perQuery[w.Query] = best{id: id, dist: dist, num: w.Numerator}
-			order = append(order, w.Query)
-			continue
+		found := false
+		for i := range perQuery {
+			if perQuery[i].query != w.Query {
+				continue
+			}
+			found = true
+			if dist < perQuery[i].dist || (dist == perQuery[i].dist && w.Numerator < perQuery[i].num) {
+				perQuery[i] = best{query: w.Query, id: id, dist: dist, num: w.Numerator}
+			}
+			break
 		}
-		if dist < cur.dist || (dist == cur.dist && w.Numerator < cur.num) {
-			perQuery[w.Query] = best{id: id, dist: dist, num: w.Numerator}
+		if !found {
+			perQuery = append(perQuery, best{query: w.Query, id: id, dist: dist, num: w.Numerator})
 		}
 	}
-	out := make([]WeightID, 0, len(order))
-	for _, q := range order {
-		out = append(out, perQuery[q].id)
+	out := make([]WeightID, 0, len(perQuery))
+	for _, b := range perQuery {
+		out = append(out, b.id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil

@@ -40,6 +40,12 @@ func (r Result) Score() float64 {
 // weights per person and query, deletes persons whose weight sum exceeds 1
 // (their aggregate pattern must differ from the query's global), ranks the
 // rest by weight descending and returns the top-K.
+//
+// An aggregation can span several filters: a batched search resolves batch
+// replies against the batch's combined weight table and legacy per-query
+// replies against each per-query table (AddFrom). The accumulation merges
+// cleanly because a weight's meaning — this combination's share of this
+// query's global sum — does not depend on which filter carried it.
 type Aggregator struct {
 	weights []WeightEntry
 	// perQuery[q][person] accumulates the weight numerator and the station
@@ -56,36 +62,52 @@ type personAgg struct {
 // NewAggregator returns an aggregator resolving weight pointers against the
 // given filter's weight table.
 func NewAggregator(f *Filter) *Aggregator {
-	a := &Aggregator{
-		weights:  f.Weights(),
-		perQuery: make(map[QueryID]map[PersonID]*personAgg),
-		denoms:   make(map[QueryID]int64),
-	}
+	a := NewBatchAggregator()
+	a.weights = f.Weights()
 	for _, w := range a.weights {
 		a.denoms[w.Query] = w.Denominator
 	}
 	return a
 }
 
-// Add ingests one station report. When several pointers of the same query
-// survive for one station pattern (the pattern is within tolerance of more
-// than one combination), the smallest numerator is credited: crediting more
-// than the pattern's certain share could push a true match's sum past 1 and
-// delete it, while under-crediting only lowers its rank (DESIGN.md D4).
-func (a *Aggregator) Add(r Report) error {
+// NewBatchAggregator returns an aggregator with no default weight table:
+// every report must be resolved explicitly with AddFrom. A batched search
+// uses one of these to merge reports that probed different filters.
+func NewBatchAggregator() *Aggregator {
+	return &Aggregator{
+		perQuery: make(map[QueryID]map[PersonID]*personAgg),
+		denoms:   make(map[QueryID]int64),
+	}
+}
+
+// Add ingests one station report, resolving pointers against the filter the
+// aggregator was built from.
+func (a *Aggregator) Add(r Report) error { return a.AddFrom(a.weights, r) }
+
+// AddFrom ingests one station report, resolving its weight pointers against
+// the given table — the table of whichever filter the reporting station
+// probed. When several pointers of the same query survive for one station
+// pattern (the pattern is within tolerance of more than one combination),
+// the smallest numerator is credited: crediting more than the pattern's
+// certain share could push a true match's sum past 1 and delete it, while
+// under-crediting only lowers its rank (DESIGN.md D4).
+func (a *Aggregator) AddFrom(table []WeightEntry, r Report) error {
 	// minPerQuery collects the minimum numerator per query in this report.
 	var minPerQuery map[QueryID]int64
 	for _, id := range r.WeightIDs {
-		if int(id) >= len(a.weights) {
+		if int(id) >= len(table) {
 			return fmt.Errorf("core: report for person %d has dangling weight pointer %d", r.Person, id)
 		}
-		w := a.weights[id]
+		w := table[id]
 		if minPerQuery == nil {
 			minPerQuery = make(map[QueryID]int64, 1)
 		}
 		if cur, ok := minPerQuery[w.Query]; !ok || w.Numerator < cur {
 			minPerQuery[w.Query] = w.Numerator
 		}
+		// Denominators are per query, not per filter — every table that
+		// mentions a query agrees on its global sum.
+		a.denoms[w.Query] = w.Denominator
 	}
 	for q, num := range minPerQuery {
 		persons := a.perQuery[q]

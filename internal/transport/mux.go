@@ -74,78 +74,124 @@ func (m *Mux) fail(err error) {
 
 // Roundtrip stamps msg with a fresh request ID, sends it, and waits for the
 // matching reply, the context's cancellation, or link failure. It is safe
-// for any number of concurrent callers.
+// for any number of concurrent callers. It is the single-message case of
+// RoundtripMany, so both exchange shapes share one implementation of the
+// ID-allocation, send and reply/failure-race logic.
 func (m *Mux) Roundtrip(ctx context.Context, msg wire.Message) (wire.Message, error) {
+	replies, err := m.RoundtripMany(ctx, []wire.Message{msg})
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return replies[0], nil
+}
+
+// RoundtripMany pipelines several exchanges: every request is stamped with
+// its own ID and sent back-to-back without waiting for replies, then all
+// replies are collected. Over a real network this costs one round-trip of
+// latency instead of len(msgs), which is what keeps the per-query fallback
+// path (stations that cannot accept batch frames) from serializing a whole
+// search on RTTs. Replies are returned in request order regardless of
+// arrival order. On any failure — send error, link failure, cancellation —
+// every exchange of the call is abandoned and the first error returned.
+func (m *Mux) RoundtripMany(ctx context.Context, msgs []wire.Message) ([]wire.Message, error) {
+	if len(msgs) == 0 {
+		return nil, nil
+	}
 	m.mu.Lock()
 	if m.err != nil {
 		err := m.err
 		m.mu.Unlock()
-		return wire.Message{}, err
+		return nil, err
 	}
-	// 0 is reserved for fire-and-forget frames, and an ID still pending
-	// (possible once the counter wraps on a long-lived link) must not be
-	// reissued: the old exchange's reply would be routed to the new one.
-	for {
-		m.nextID++
-		if m.nextID == 0 {
-			m.nextID = 1
+	ids := make([]uint32, len(msgs))
+	chans := make([]chan wire.Message, len(msgs))
+	for i := range msgs {
+		// 0 is reserved for fire-and-forget frames, and an ID still pending
+		// (possible once the counter wraps on a long-lived link) must not be
+		// reissued: the old exchange's reply would be routed to the new one.
+		for {
+			m.nextID++
+			if m.nextID == 0 {
+				m.nextID = 1
+			}
+			if _, busy := m.pending[m.nextID]; !busy {
+				break
+			}
 		}
-		if _, busy := m.pending[m.nextID]; !busy {
-			break
-		}
+		ids[i] = m.nextID
+		chans[i] = make(chan wire.Message, 1)
+		m.pending[ids[i]] = chans[i]
 	}
-	id := m.nextID
-	ch := make(chan wire.Message, 1)
-	m.pending[id] = ch
 	m.mu.Unlock()
 
-	// The send runs in its own goroutine so a caller's deadline is honored
+	abandon := func() {
+		for _, id := range ids {
+			m.forget(id)
+		}
+	}
+
+	// One goroutine streams every frame, so a caller's deadline is honored
 	// even while the link blocks (a stalled TCP peer, a full pipe): the
-	// caller abandons the exchange promptly, and the blocked send resolves
-	// when the link drains or closes.
+	// caller abandons the exchanges promptly, and the blocked send resolves
+	// when the link drains or closes. The loop checks for cancellation and
+	// mux failure between frames: once the call is abandoned, pushing the
+	// remaining now-useless frames would only hold sendMu against
+	// concurrent searches on the link.
 	sendDone := make(chan error, 1)
 	go func() {
 		m.sendMu.Lock()
-		err := m.link.Send(msg.WithRequest(id))
-		m.sendMu.Unlock()
-		sendDone <- err
+		defer m.sendMu.Unlock()
+		for i, msg := range msgs {
+			if err := ctx.Err(); err != nil {
+				sendDone <- err
+				return
+			}
+			select {
+			case <-m.done:
+				sendDone <- m.Err()
+				return
+			default:
+			}
+			if err := m.link.Send(msg.WithRequest(ids[i])); err != nil {
+				sendDone <- err
+				return
+			}
+		}
+		sendDone <- nil
 	}()
 	select {
 	case err := <-sendDone:
 		if err != nil {
-			m.forget(id)
-			return wire.Message{}, err
+			abandon()
+			return nil, err
 		}
 	case <-ctx.Done():
-		m.forget(id)
-		return wire.Message{}, ctx.Err()
+		abandon()
+		return nil, ctx.Err()
 	case <-m.done:
-		m.forget(id)
-		m.mu.Lock()
-		err := m.err
-		m.mu.Unlock()
-		return wire.Message{}, err
+		abandon()
+		return nil, m.Err()
 	}
 
-	select {
-	case reply := <-ch:
-		return reply, nil
-	case <-ctx.Done():
-		m.forget(id)
-		return wire.Message{}, ctx.Err()
-	case <-m.done:
-		// The reply may have been delivered in the instant before failure.
+	replies := make([]wire.Message, len(msgs))
+	for i, ch := range chans {
 		select {
-		case reply := <-ch:
-			return reply, nil
-		default:
+		case replies[i] = <-ch:
+		case <-ctx.Done():
+			abandon()
+			return nil, ctx.Err()
+		case <-m.done:
+			// The reply may have been delivered in the instant before failure.
+			select {
+			case replies[i] = <-ch:
+				continue
+			default:
+			}
+			abandon()
+			return nil, m.Err()
 		}
-		m.forget(id)
-		m.mu.Lock()
-		err := m.err
-		m.mu.Unlock()
-		return wire.Message{}, err
 	}
+	return replies, nil
 }
 
 // forget abandons a pending exchange; a late reply for it will be dropped.

@@ -164,3 +164,90 @@ func TestMuxFireAndForgetUsesRequestZero(t *testing.T) {
 		t.Fatalf("got %+v, want shutdown with request 0", got)
 	}
 }
+
+func TestMuxRoundtripManyOrdersReplies(t *testing.T) {
+	center, station := Pipe(nil, nil)
+	go echoStation(t, station, nil)
+	m := NewMux(center)
+	defer m.Close()
+
+	msgs := make([]wire.Message, 9)
+	for i := range msgs {
+		msgs[i] = wire.Message{Kind: wire.KindShipAll, Payload: []byte{byte(i + 1)}}
+	}
+	replies, err := m.RoundtripMany(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != len(msgs) {
+		t.Fatalf("%d replies, want %d", len(replies), len(msgs))
+	}
+	for i, r := range replies {
+		if !bytes.Equal(r.Payload, msgs[i].Payload) {
+			t.Fatalf("reply %d out of order: got %v", i, r.Payload)
+		}
+	}
+	// Empty input is a no-op, not an error.
+	if replies, err := m.RoundtripMany(context.Background(), nil); err != nil || replies != nil {
+		t.Fatalf("empty call: %v, %v", replies, err)
+	}
+}
+
+func TestMuxRoundtripManyCancellation(t *testing.T) {
+	center, station := Pipe(nil, nil)
+	release := make(chan struct{})
+	go echoStation(t, station, release)
+	m := NewMux(center)
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.RoundtripMany(ctx, []wire.Message{
+			{Kind: wire.KindShipAll, Payload: []byte("hold")},
+			{Kind: wire.KindShipAll, Payload: []byte("second")},
+		})
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled RoundtripMany did not return")
+	}
+
+	// The abandoned replies must not poison later exchanges.
+	close(release)
+	reply, err := m.Roundtrip(context.Background(), wire.Message{Kind: wire.KindShipAll, Payload: []byte("after")})
+	if err != nil || !bytes.Equal(reply.Payload, []byte("after")) {
+		t.Fatalf("link poisoned: %v %v", reply.Payload, err)
+	}
+}
+
+func TestMuxRoundtripManyPeerDeath(t *testing.T) {
+	center, station := Pipe(nil, nil)
+	m := NewMux(center)
+	defer m.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.RoundtripMany(context.Background(), []wire.Message{
+			wire.ShipAllMessage(), wire.ShipAllMessage(),
+		})
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	station.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("RoundtripMany survived peer death")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RoundtripMany did not fail on peer death")
+	}
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"dimatch/internal/core"
+)
+
+// TestFrameVersionStamping pins the negotiation contract: batch kinds travel
+// in version-3 frames, everything else stays at version 2 so pre-batch peers
+// keep decoding it.
+func TestFrameVersionStamping(t *testing.T) {
+	legacy := Message{Kind: KindReports, Payload: []byte{1}}
+	if got := legacy.Encode()[2]; got != Version2 {
+		t.Fatalf("legacy kind stamped version %d, want %d", got, Version2)
+	}
+	batch := Message{Kind: KindBatchQuery, Payload: []byte{1}}
+	if got := batch.Encode()[2]; got != Version3 {
+		t.Fatalf("batch kind stamped version %d, want %d", got, Version3)
+	}
+	// An explicit downgrade request on a batch kind is overridden: the codec
+	// never emits a frame an old peer would misparse as a known kind.
+	batch.Version = Version2
+	if got := batch.Encode()[2]; got != Version3 {
+		t.Fatalf("batch kind downgraded to version %d", got)
+	}
+	// Decoding records the frame version.
+	got, err := Decode(legacy.Encode())
+	if err != nil || got.Version != Version2 {
+		t.Fatalf("decoded version %d (%v), want %d", got.Version, err, Version2)
+	}
+	got, err = Decode(Message{Kind: KindBatchReply}.Encode())
+	if err != nil || got.Version != Version3 {
+		t.Fatalf("decoded version %d (%v), want %d", got.Version, err, Version3)
+	}
+}
+
+// TestBatchKindRejectedInOldFrames: a batch kind smuggled into a version-1
+// or version-2 frame is as unknown as any garbage kind.
+func TestBatchKindRejectedInOldFrames(t *testing.T) {
+	b := Message{Kind: KindBatchQuery, Payload: []byte{1, 2}}.Encode()
+	b[2] = Version2
+	if _, err := Decode(b); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("v2 frame with batch kind: err = %v, want ErrBadKind", err)
+	}
+	v1 := make([]byte, headerSizeV1)
+	binary.LittleEndian.PutUint16(v1[0:2], magic)
+	v1[2] = Version1
+	v1[3] = uint8(KindBatchReply)
+	if _, err := Decode(v1); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("v1 frame with batch kind: err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestBatchQueryRoundTrip(t *testing.T) {
+	f := buildFilter(t)
+	m, err := EncodeBatchQuery(BatchQuery{Queries: []core.QueryID{7, 1}, Filter: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindBatchQuery {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	if m.Encode()[2] != Version3 {
+		t.Fatalf("batch query frame version = %d", m.Encode()[2])
+	}
+	got, err := DecodeBatchQuery(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != 2 || got.Queries[0] != 1 || got.Queries[1] != 7 {
+		t.Fatalf("queries = %v, want sorted [1 7]", got.Queries)
+	}
+	if got.Filter.Params() != f.Params() || got.Filter.Length() != f.Length() {
+		t.Fatal("filter params/length lost")
+	}
+	if len(got.Filter.Weights()) != len(f.Weights()) {
+		t.Fatal("weight table size changed")
+	}
+}
+
+func TestBatchQueryEncodeErrors(t *testing.T) {
+	f := buildFilter(t)
+	if _, err := EncodeBatchQuery(BatchQuery{Filter: f}); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	// The filter encodes queries 1 and 7; declaring only 1 must fail.
+	if _, err := EncodeBatchQuery(BatchQuery{Queries: []core.QueryID{1}, Filter: f}); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatalf("undeclared query: %v", err)
+	}
+	if _, err := EncodeBatchQuery(BatchQuery{Queries: []core.QueryID{1, 1, 7}, Filter: f}); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatalf("duplicate query: %v", err)
+	}
+	big := make([]core.QueryID, MaxBatchQueries+1)
+	for i := range big {
+		big[i] = core.QueryID(i)
+	}
+	if _, err := EncodeBatchQuery(BatchQuery{Queries: big, Filter: f}); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+}
+
+// TestBatchQueryDecodeCorrupt drives corrupt and hostile payloads through
+// the decoder: every one must fail with a typed error, never panic.
+func TestBatchQueryDecodeCorrupt(t *testing.T) {
+	f := buildFilter(t)
+	good, err := EncodeBatchQuery(BatchQuery{Queries: []core.QueryID{1, 7}, Filter: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong kind", func(t *testing.T) {
+		if _, err := DecodeBatchQuery(Message{Kind: KindReports}); err == nil {
+			t.Fatal("wrong kind accepted")
+		}
+	})
+	t.Run("empty payload", func(t *testing.T) {
+		if _, err := DecodeBatchQuery(Message{Kind: KindBatchQuery}); err == nil {
+			t.Fatal("empty payload accepted")
+		}
+	})
+	t.Run("oversized count", func(t *testing.T) {
+		var w writer
+		w.uvarint(MaxBatchQueries + 1)
+		_, err := DecodeBatchQuery(Message{Kind: KindBatchQuery, Payload: w.buf})
+		if !errors.Is(err, ErrBatchTooLarge) {
+			t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+		}
+	})
+	t.Run("zero count", func(t *testing.T) {
+		var w writer
+		w.uvarint(0)
+		_, err := DecodeBatchQuery(Message{Kind: KindBatchQuery, Payload: w.buf})
+		if !errors.Is(err, ErrBatchMismatch) {
+			t.Fatalf("err = %v, want ErrBatchMismatch", err)
+		}
+	})
+	t.Run("duplicate id", func(t *testing.T) {
+		var w writer
+		w.uvarint(2)
+		w.uvarint(3) // id 3
+		w.uvarint(0) // delta 0: duplicate
+		_, err := DecodeBatchQuery(Message{Kind: KindBatchQuery, Payload: w.buf})
+		if !errors.Is(err, ErrBatchMismatch) {
+			t.Fatalf("err = %v, want ErrBatchMismatch", err)
+		}
+	})
+	t.Run("undeclared weight query", func(t *testing.T) {
+		// Re-declare only query 1 in front of a filter that encodes 1 and 7.
+		var w writer
+		w.uvarint(1)
+		w.uvarint(1)
+		writeFilter(&w, f)
+		_, err := DecodeBatchQuery(Message{Kind: KindBatchQuery, Payload: w.buf})
+		if !errors.Is(err, ErrBatchMismatch) {
+			t.Fatalf("err = %v, want ErrBatchMismatch", err)
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		// Every prefix of a valid payload must fail loudly, not panic.
+		for i := 0; i < len(good.Payload); i += 7 {
+			if _, err := DecodeBatchQuery(Message{Kind: KindBatchQuery, Payload: good.Payload[:i]}); err == nil {
+				t.Fatalf("truncation at %d accepted", i)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		p := append(append([]byte(nil), good.Payload...), 0xFF)
+		if _, err := DecodeBatchQuery(Message{Kind: KindBatchQuery, Payload: p}); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+	})
+}
+
+func TestBatchReplyRoundTrip(t *testing.T) {
+	in := BatchReply{
+		Station: 3,
+		Queries: 2,
+		Reports: []core.Report{
+			{Person: 10, WeightIDs: []core.WeightID{0, 4}},
+			{Person: 42, WeightIDs: []core.WeightID{1}},
+		},
+	}
+	m := EncodeBatchReply(in)
+	if m.Kind != KindBatchReply || m.Encode()[2] != Version3 {
+		t.Fatalf("frame: kind %v version %d", m.Kind, m.Encode()[2])
+	}
+	got, err := DecodeBatchReply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Station != 3 || got.Queries != 2 || len(got.Reports) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Reports[0].Person != 10 || len(got.Reports[0].WeightIDs) != 2 || got.Reports[1].WeightIDs[0] != 1 {
+		t.Fatalf("reports %+v", got.Reports)
+	}
+	if _, err := DecodeBatchReply(Message{Kind: KindAck}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := DecodeBatchReply(Message{Kind: KindBatchReply, Payload: []byte{0x80}}); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// TestStatsReplyMaxVersion pins the capability handshake: modern replies
+// advertise LatestVersion, and a legacy payload that ends after Length reads
+// back as a Version2 peer.
+func TestStatsReplyMaxVersion(t *testing.T) {
+	m := EncodeStatsReply(StatsReply{Station: 9, Residents: 4, StorageBytes: 96, Length: 3})
+	got, err := DecodeStatsReply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxVersion != LatestVersion {
+		t.Fatalf("MaxVersion = %d, want %d", got.MaxVersion, LatestVersion)
+	}
+
+	// A pre-batch peer's payload: four uvarints, no capability byte.
+	var legacy []byte
+	legacy = binary.AppendUvarint(legacy, 9)  // station
+	legacy = binary.AppendUvarint(legacy, 4)  // residents
+	legacy = binary.AppendUvarint(legacy, 96) // storage bytes
+	legacy = binary.AppendUvarint(legacy, 3)  // length
+	got, err = DecodeStatsReply(Message{Kind: KindStatsReply, Payload: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxVersion != Version2 {
+		t.Fatalf("legacy MaxVersion = %d, want %d", got.MaxVersion, Version2)
+	}
+	if got.Station != 9 || got.Residents != 4 || got.StorageBytes != 96 || got.Length != 3 {
+		t.Fatalf("legacy fields lost: %+v", got)
+	}
+}

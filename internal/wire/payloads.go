@@ -11,11 +11,10 @@ import (
 
 // ---- WBF query dissemination ----
 
-// EncodeWBFQuery renders a filter (and the top-K the center wants back,
-// informationally) for dissemination to stations.
-func EncodeWBFQuery(f *core.Filter) Message {
+// writeFilter renders a WBF — params, bit array, weight table, slot lists —
+// into w. The layout is shared by KindWBFQuery and KindBatchQuery.
+func writeFilter(w *writer, f *core.Filter) {
 	p := f.Params()
-	var w writer
 	w.u64(p.Bits)
 	w.uvarint(uint64(p.Hashes))
 	w.uvarint(uint64(p.Samples))
@@ -54,15 +53,10 @@ func EncodeWBFQuery(f *core.Filter) Message {
 			prevID = uint64(id)
 		}
 	}
-	return Message{Kind: KindWBFQuery, Payload: w.buf}
 }
 
-// DecodeWBFQuery reconstructs the filter.
-func DecodeWBFQuery(m Message) (*core.Filter, error) {
-	if m.Kind != KindWBFQuery {
-		return nil, fmt.Errorf("wire: decoding %v as wbf-query", m.Kind)
-	}
-	r := &reader{buf: m.Payload}
+// readFilter reconstructs a WBF from r, validating through core.FromParts.
+func readFilter(r *reader) (*core.Filter, error) {
 	var p core.Params
 	p.Bits = r.u64()
 	p.Hashes = int(r.uvarint())
@@ -107,10 +101,191 @@ func DecodeWBFQuery(m Message) (*core.Filter, error) {
 		}
 		ids[i] = list
 	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return core.FromParts(p, length, words, bitIdx, ids, weights, inserted)
+}
+
+// EncodeWBFQuery renders a filter for dissemination to stations — the
+// legacy (version ≤ 2) single-exchange form, still used as the per-query
+// fallback for stations that never advertised version 3.
+func EncodeWBFQuery(f *core.Filter) Message {
+	var w writer
+	writeFilter(&w, f)
+	return Message{Kind: KindWBFQuery, Payload: w.buf}
+}
+
+// DecodeWBFQuery reconstructs the filter.
+func DecodeWBFQuery(m Message) (*core.Filter, error) {
+	if m.Kind != KindWBFQuery {
+		return nil, fmt.Errorf("wire: decoding %v as wbf-query", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	f, err := readFilter(r)
+	if err != nil {
+		return nil, err
+	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	return core.FromParts(p, length, words, bitIdx, ids, weights, inserted)
+	return f, nil
+}
+
+// ---- batched search round (v3) ----
+
+// BatchQuery packs one whole search round for one station: the IDs of every
+// query in the batch and the combined WBF that encodes all of them. One
+// exchange replaces the per-query frames of the legacy path, which is where
+// the batch pipeline's messages-per-query savings come from.
+type BatchQuery struct {
+	// Queries are the batch's query IDs, ascending and unique. Every weight
+	// entry of Filter must reference one of them.
+	Queries []core.QueryID
+	// Filter is the combined WBF covering all queries of the batch.
+	Filter *core.Filter
+}
+
+// EncodeBatchQuery renders the batch round. Query IDs are sorted,
+// de-duplicated and delta-encoded. It fails on an empty batch, on more than
+// MaxBatchQueries queries (ErrBatchTooLarge), and on a filter whose weight
+// table references a query outside the batch (ErrBatchMismatch).
+func EncodeBatchQuery(b BatchQuery) (Message, error) {
+	if len(b.Queries) == 0 {
+		return Message{}, fmt.Errorf("%w: zero queries", ErrBatchMismatch)
+	}
+	if len(b.Queries) > MaxBatchQueries {
+		return Message{}, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(b.Queries), MaxBatchQueries)
+	}
+	sorted := append([]core.QueryID(nil), b.Queries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	declared := make(map[core.QueryID]bool, len(sorted))
+	for _, q := range sorted {
+		declared[q] = true
+	}
+	for _, e := range b.Filter.Weights() {
+		if !declared[e.Query] {
+			return Message{}, fmt.Errorf("%w: weight entry references undeclared query %d", ErrBatchMismatch, e.Query)
+		}
+	}
+	var w writer
+	w.uvarint(uint64(len(sorted)))
+	prev := uint64(0)
+	first := true
+	for _, q := range sorted {
+		if !first && uint64(q) == prev {
+			return Message{}, fmt.Errorf("%w: duplicate query id %d", ErrBatchMismatch, q)
+		}
+		w.uvarint(uint64(q) - prev)
+		prev = uint64(q)
+		first = false
+	}
+	writeFilter(&w, b.Filter)
+	return Message{Kind: KindBatchQuery, Payload: w.buf}, nil
+}
+
+// DecodeBatchQuery parses and validates a batch round: the declared query
+// count is bounded by MaxBatchQueries, the filter reconstructs through the
+// same validation as a legacy WBF query, and every weight entry must
+// reference a declared query. Corrupt payloads fail with typed errors —
+// never a panic.
+func DecodeBatchQuery(m Message) (BatchQuery, error) {
+	if m.Kind != KindBatchQuery {
+		return BatchQuery{}, fmt.Errorf("wire: decoding %v as batch-query", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	n := r.uvarint()
+	if r.err != nil {
+		return BatchQuery{}, r.err
+	}
+	if n > MaxBatchQueries {
+		return BatchQuery{}, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, n, MaxBatchQueries)
+	}
+	if n == 0 {
+		return BatchQuery{}, fmt.Errorf("%w: zero queries", ErrBatchMismatch)
+	}
+	out := BatchQuery{Queries: make([]core.QueryID, 0, n)}
+	declared := make(map[core.QueryID]bool, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d := r.uvarint()
+		if r.err != nil {
+			return BatchQuery{}, r.err
+		}
+		if i > 0 && d == 0 {
+			return BatchQuery{}, fmt.Errorf("%w: duplicate query id %d", ErrBatchMismatch, prev)
+		}
+		prev += d
+		out.Queries = append(out.Queries, core.QueryID(prev))
+		declared[core.QueryID(prev)] = true
+	}
+	f, err := readFilter(r)
+	if err != nil {
+		return BatchQuery{}, err
+	}
+	if err := r.done(); err != nil {
+		return BatchQuery{}, err
+	}
+	for _, e := range f.Weights() {
+		if !declared[e.Query] {
+			return BatchQuery{}, fmt.Errorf("%w: weight entry references undeclared query %d", ErrBatchMismatch, e.Query)
+		}
+	}
+	out.Filter = f
+	return out, nil
+}
+
+// BatchReply answers a batch round: one station's (person, weight-pointer)
+// reports covering every query of the batch, plus an echo of the batch's
+// query count so the center can detect a desynchronized peer.
+type BatchReply struct {
+	Station uint32
+	// Queries echoes the number of queries the station matched against.
+	Queries uint32
+	Reports []core.Report
+}
+
+// EncodeBatchReply renders the batch answer.
+func EncodeBatchReply(b BatchReply) Message {
+	var w writer
+	w.uvarint(uint64(b.Station))
+	w.uvarint(uint64(b.Queries))
+	w.uvarint(uint64(len(b.Reports)))
+	for _, rep := range b.Reports {
+		w.uvarint(uint64(rep.Person))
+		w.uvarint(uint64(len(rep.WeightIDs)))
+		for _, id := range rep.WeightIDs {
+			w.uvarint(uint64(id))
+		}
+	}
+	return Message{Kind: KindBatchReply, Payload: w.buf}
+}
+
+// DecodeBatchReply parses the batch answer.
+func DecodeBatchReply(m Message) (BatchReply, error) {
+	if m.Kind != KindBatchReply {
+		return BatchReply{}, fmt.Errorf("wire: decoding %v as batch-reply", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := BatchReply{
+		Station: uint32(r.uvarint()),
+		Queries: uint32(r.uvarint()),
+	}
+	n := r.count(2)
+	out.Reports = make([]core.Report, 0, n)
+	for i := 0; i < n; i++ {
+		rep := core.Report{Person: core.PersonID(r.uvarint())}
+		ids := r.count(1)
+		rep.WeightIDs = make([]core.WeightID, ids)
+		for j := range rep.WeightIDs {
+			rep.WeightIDs[j] = core.WeightID(r.uvarint())
+		}
+		out.Reports = append(out.Reports, rep)
+	}
+	if err := r.done(); err != nil {
+		return BatchReply{}, err
+	}
+	return out, nil
 }
 
 // ---- BF query dissemination ----
@@ -450,24 +625,40 @@ func DecodeEvict(m Message) (Evict, error) {
 // StatsReply is one station's answer to KindStats: how many residents it
 // holds, the raw bytes they occupy, and the pattern length it serves (0 when
 // empty) — which doubles as a handshake check when a link joins a cluster.
+// MaxVersion advertises the highest wire version the station speaks; the
+// center's per-epoch stats exchange is how it discovers which stations can
+// receive version-3 batch frames.
 type StatsReply struct {
 	Station      uint32
 	Residents    uint64
 	StorageBytes uint64
 	Length       uint32
+	// MaxVersion is the peer's highest supported wire version. The field was
+	// added with version 3; a reply without it decodes as Version2, which is
+	// exactly what its absence proves about the sender. The flip side: a
+	// pre-batch decoder rejects the byte as trailing garbage, so data
+	// centers must upgrade before stations.
+	MaxVersion uint8
 }
 
-// EncodeStatsReply renders the stats answer.
+// EncodeStatsReply renders the stats answer, advertising LatestVersion when
+// MaxVersion is unset.
 func EncodeStatsReply(s StatsReply) Message {
+	if s.MaxVersion == 0 {
+		s.MaxVersion = LatestVersion
+	}
 	var w writer
 	w.uvarint(uint64(s.Station))
 	w.uvarint(s.Residents)
 	w.uvarint(s.StorageBytes)
 	w.uvarint(uint64(s.Length))
+	w.u8(s.MaxVersion)
 	return Message{Kind: KindStatsReply, Payload: w.buf}
 }
 
-// DecodeStatsReply parses the stats answer.
+// DecodeStatsReply parses the stats answer. The MaxVersion byte is optional
+// on the wire: pre-batch peers end the payload after Length, and their reply
+// reads back with MaxVersion == Version2.
 func DecodeStatsReply(m Message) (StatsReply, error) {
 	if m.Kind != KindStatsReply {
 		return StatsReply{}, fmt.Errorf("wire: decoding %v as stats-reply", m.Kind)
@@ -478,6 +669,10 @@ func DecodeStatsReply(m Message) (StatsReply, error) {
 		Residents:    r.uvarint(),
 		StorageBytes: r.uvarint(),
 		Length:       uint32(r.uvarint()),
+		MaxVersion:   Version2,
+	}
+	if r.err == nil && r.off < len(r.buf) {
+		out.MaxVersion = r.u8()
 	}
 	if err := r.done(); err != nil {
 		return StatsReply{}, err

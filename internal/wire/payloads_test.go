@@ -352,7 +352,7 @@ func TestEvictRoundTrip(t *testing.T) {
 }
 
 func TestStatsAckRoundTrip(t *testing.T) {
-	s := StatsReply{Station: 9, Residents: 1234, StorageBytes: 98765, Length: 8}
+	s := StatsReply{Station: 9, Residents: 1234, StorageBytes: 98765, Length: 8, MaxVersion: LatestVersion}
 	gotS, err := DecodeStatsReply(EncodeStatsReply(s))
 	if err != nil || gotS != s {
 		t.Fatalf("stats reply: got %+v, %v; want %+v", gotS, err, s)

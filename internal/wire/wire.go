@@ -4,10 +4,10 @@
 // central claim is that shipping a filter out and (ID, weight) pairs back is
 // orders of magnitude cheaper than shipping raw pattern data in.
 //
-// Frame layout, version 2 (little endian):
+// Frame layout, versions 2 and 3 (little endian):
 //
 //	magic     uint16  0xD1A7 ("DI-matching")
-//	version   uint8   2
+//	version   uint8   2 or 3
 //	kind      uint8
 //	requestID uint32  correlates a reply with the request that caused it
 //	length    uint32  payload byte count
@@ -19,6 +19,21 @@
 // ID 0 is reserved for fire-and-forget frames (shutdown) that expect no
 // reply. Version-1 frames (no requestID field) are still decoded — they read
 // back with request ID 0 — so old peers can at least shut down cleanly.
+//
+// Version 3 keeps the version-2 header byte-for-byte and adds the batch
+// kinds (KindBatchQuery, KindBatchReply), which pack a whole search round
+// into one exchange. Those kinds exist only at version 3: a batch kind in a
+// frame stamped 1 or 2 is rejected with ErrBadKind, and Encode stamps batch
+// frames version 3 and everything else version 2, so pre-batch peers keep
+// decoding the frames a modern peer sends them — with one deliberate
+// exception: StatsReply gained an optional trailing capability byte (see
+// MaxVersion) that pre-batch decoders reject as trailing garbage, so in a
+// rolling upgrade the data center must upgrade before its stations (the
+// modern center decodes both payload forms; an old center cannot handshake
+// an upgraded station). The center's per-epoch stats exchange doubles as
+// version discovery, and it falls back to per-query version-2 frames for
+// stations that never advertised version 3. See docs/WIRE.md for the full
+// negotiation rules.
 //
 // Payloads use unsigned varints for counts and small integers, raw 64-bit
 // words for bit arrays.
@@ -66,8 +81,17 @@ const (
 	KindStatsReply
 	// KindAck acknowledges an applied mutation (ingest or evict).
 	KindAck
+	// KindBatchQuery packs one whole search round — the query-ID set and the
+	// combined WBF covering all of them — into a single request (v3 only).
+	KindBatchQuery
+	// KindBatchReply answers a batch query with per-person reports covering
+	// every query of the batch (v3 only).
+	KindBatchReply
 
-	maxKind = KindAck
+	// maxKindV2 is the last kind a version-1/2 peer understands; the batch
+	// kinds beyond it require version-3 frames.
+	maxKindV2 = KindAck
+	maxKind   = KindBatchReply
 )
 
 func (k Kind) String() string {
@@ -98,37 +122,63 @@ func (k Kind) String() string {
 		return "stats-reply"
 	case KindAck:
 		return "ack"
+	case KindBatchQuery:
+		return "batch-query"
+	case KindBatchReply:
+		return "batch-reply"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
 }
 
+// Protocol versions. Version1 frames lack the requestID field; Version2
+// added it; Version3 added the batch kinds with an unchanged header. A
+// receiver accepts any version up to Version3.
+const (
+	Version1 = uint8(1)
+	Version2 = uint8(2)
+	Version3 = uint8(3)
+	// LatestVersion is the highest version this codec speaks — what a
+	// station advertises in its StatsReply.
+	LatestVersion = Version3
+)
+
 const (
 	magic        = uint16(0xD1A7)
-	version1     = uint8(1)
-	version2     = uint8(2)
 	headerSizeV1 = 8
 	headerSize   = 12
 	// MaxPayload bounds a single frame; large enough for city-scale naive
 	// shipments, small enough to reject corrupt length fields.
 	MaxPayload = 1 << 30
+	// MaxBatchQueries bounds the query count of one batch frame, so a
+	// corrupt count is rejected before any allocation.
+	MaxBatchQueries = 4096
 )
 
 // Errors returned by frame decoding.
 var (
-	ErrBadMagic    = errors.New("wire: bad magic")
-	ErrBadVersion  = errors.New("wire: unsupported version")
-	ErrBadKind     = errors.New("wire: unknown message kind")
-	ErrTruncated   = errors.New("wire: truncated message")
-	ErrOversized   = errors.New("wire: payload exceeds limit")
-	errShortBuffer = errors.New("wire: short buffer")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadKind    = errors.New("wire: unknown message kind")
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrOversized  = errors.New("wire: payload exceeds limit")
+	// ErrBatchTooLarge rejects a batch frame declaring more than
+	// MaxBatchQueries queries (or an encode request exceeding it).
+	ErrBatchTooLarge = errors.New("wire: batch query count exceeds limit")
+	// ErrBatchMismatch rejects a batch payload whose parts disagree — a
+	// weight entry referencing a query the batch never declared.
+	ErrBatchMismatch = errors.New("wire: batch payload inconsistent")
+	errShortBuffer   = errors.New("wire: short buffer")
 )
 
 // Message is one framed unit on a link. Request correlates a reply with the
-// request that caused it; 0 marks fire-and-forget frames.
+// request that caused it; 0 marks fire-and-forget frames. Version records
+// the frame version a decoded message arrived in (0 on locally constructed
+// messages, where Encode picks the version from the kind).
 type Message struct {
 	Kind    Kind
 	Request uint32
+	Version uint8
 	Payload []byte
 }
 
@@ -143,11 +193,28 @@ func (m Message) WithRequest(id uint32) Message {
 // meters count.
 func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
 
-// Encode renders the frame (always version 2).
+// encodeVersion resolves the version byte a frame is stamped with: batch
+// kinds require version 3, everything else defaults to version 2 so
+// pre-batch peers keep decoding it. An explicit Version in [2,3] overrides
+// the default (but never below a kind's floor); version-1 encoding is not
+// supported — v1 is a decode-compatibility floor only.
+func (m Message) encodeVersion() uint8 {
+	v := m.Version
+	if v < Version2 || v > LatestVersion {
+		v = Version2
+	}
+	if m.Kind > maxKindV2 {
+		v = Version3
+	}
+	return v
+}
+
+// Encode renders the frame. Batch kinds are stamped version 3, everything
+// else version 2 (see encodeVersion).
 func (m Message) Encode() []byte {
 	out := make([]byte, headerSize+len(m.Payload))
 	binary.LittleEndian.PutUint16(out[0:2], magic)
-	out[2] = version2
+	out[2] = m.encodeVersion()
 	out[3] = uint8(m.Kind)
 	binary.LittleEndian.PutUint32(out[4:8], m.Request)
 	binary.LittleEndian.PutUint32(out[8:12], uint32(len(m.Payload)))
@@ -157,33 +224,41 @@ func (m Message) Encode() []byte {
 
 // parseHeader validates the fixed fields shared by Decode and ReadMessage.
 // It returns the decoded kind/request/length plus the version's header size.
-func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, size int, err error) {
+func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8, size int, err error) {
 	if binary.LittleEndian.Uint16(hdr[0:2]) != magic {
-		return 0, 0, 0, 0, ErrBadMagic
+		return 0, 0, 0, 0, 0, ErrBadMagic
 	}
-	switch hdr[2] {
-	case version2:
+	version = hdr[2]
+	switch version {
+	case Version2, Version3:
 		size = headerSize
 		request = binary.LittleEndian.Uint32(hdr[4:8])
 		n = binary.LittleEndian.Uint32(hdr[8:12])
-	case version1:
+	case Version1:
 		size = headerSizeV1
 		n = binary.LittleEndian.Uint32(hdr[4:8])
 	default:
-		return 0, 0, 0, 0, ErrBadVersion
+		return 0, 0, 0, 0, 0, ErrBadVersion
 	}
 	kind = Kind(hdr[3])
-	if kind == 0 || kind > maxKind {
-		return 0, 0, 0, 0, ErrBadKind
+	// The batch kinds exist only at version 3: a batch kind in an older
+	// frame is as unknown as kind 200 would be.
+	limit := maxKind
+	if version < Version3 {
+		limit = maxKindV2
+	}
+	if kind == 0 || kind > limit {
+		return 0, 0, 0, 0, 0, ErrBadKind
 	}
 	if n > MaxPayload {
-		return 0, 0, 0, 0, ErrOversized
+		return 0, 0, 0, 0, 0, ErrOversized
 	}
-	return kind, request, n, size, nil
+	return kind, request, n, version, size, nil
 }
 
 // Decode parses a frame from b, which must contain exactly one frame.
-// Version-1 and version-2 frames are both accepted.
+// Frames of any version up to Version3 are accepted; the version is
+// recorded on the returned message.
 func Decode(b []byte) (Message, error) {
 	if len(b) < headerSizeV1 {
 		return Message{}, ErrTruncated
@@ -192,10 +267,10 @@ func Decode(b []byte) (Message, error) {
 	if len(hdr) > headerSize {
 		hdr = hdr[:headerSize]
 	}
-	if len(hdr) < headerSize && len(b) >= 3 && b[2] == version2 {
+	if len(hdr) < headerSize && len(b) >= 3 && b[2] >= Version2 {
 		return Message{}, ErrTruncated
 	}
-	kind, request, n, size, err := parseHeader(hdr)
+	kind, request, n, version, size, err := parseHeader(hdr)
 	if err != nil {
 		return Message{}, err
 	}
@@ -204,7 +279,7 @@ func Decode(b []byte) (Message, error) {
 	}
 	payload := make([]byte, n)
 	copy(payload, b[size:])
-	return Message{Kind: kind, Request: request, Payload: payload}, nil
+	return Message{Kind: kind, Request: request, Version: version, Payload: payload}, nil
 }
 
 // WriteMessage writes one frame to w.
@@ -213,25 +288,25 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
-// ReadMessage reads exactly one frame from r, accepting version-1 and
-// version-2 frames.
+// ReadMessage reads exactly one frame from r, accepting frames of any
+// version up to Version3.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
-	// Read the version-1 prefix first: both layouts share magic, version and
-	// kind, and a v1 frame may legitimately end 4 bytes before a v2 header
-	// would.
+	// Read the version-1 prefix first: all layouts share magic, version and
+	// kind, and a v1 frame may legitimately end 4 bytes before a v2/v3
+	// header would.
 	if _, err := io.ReadFull(r, hdr[:headerSizeV1]); err != nil {
 		return Message{}, err
 	}
 	if binary.LittleEndian.Uint16(hdr[0:2]) != magic {
 		return Message{}, ErrBadMagic
 	}
-	if hdr[2] == version2 {
+	if hdr[2] >= Version2 {
 		if _, err := io.ReadFull(r, hdr[headerSizeV1:]); err != nil {
 			return Message{}, fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
 	}
-	kind, request, n, _, err := parseHeader(hdr[:])
+	kind, request, n, version, _, err := parseHeader(hdr[:])
 	if err != nil {
 		return Message{}, err
 	}
@@ -239,7 +314,7 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Message{}, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
-	return Message{Kind: kind, Request: request, Payload: payload}, nil
+	return Message{Kind: kind, Request: request, Version: version, Payload: payload}, nil
 }
 
 // ---- payload buffer helpers ----

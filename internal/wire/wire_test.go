@@ -39,7 +39,7 @@ func TestDecodeVersion1Frame(t *testing.T) {
 	v1 := make([]byte, headerSizeV1+len(payload))
 	v1[0] = 0xA7
 	v1[1] = 0xD1
-	v1[2] = version1
+	v1[2] = Version1
 	v1[3] = uint8(KindReports)
 	v1[4] = uint8(len(payload))
 	copy(v1[headerSizeV1:], payload)
