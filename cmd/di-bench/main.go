@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch] [-quick] [-strategy wbf]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication] [-quick] [-strategy wbf]
 //	di-bench -run batch -batch-out BENCH_batch.json
 //	di-bench -batch-check BENCH_batch.json
+//	di-bench -run replication -replication-out BENCH_replication.json
+//	di-bench -replication-check BENCH_replication.json
 //
 // The default -run all executes every experiment at full scale (a few
 // minutes); -quick shrinks the workloads for a fast smoke run. -strategy
@@ -17,11 +19,21 @@
 // result as the repository's perf baseline (BENCH_batch.json).
 // -batch-check validates a previously recorded baseline file and exits
 // non-zero if it is empty or malformed — the CI gate.
+//
+// -run replication measures search quality on a placement-first deployment
+// under station loss at replication factors 1 and 2 — the healthy cluster,
+// every single-station kill, and a cumulative kill sweep with self-healing
+// re-replication in between — and, with -replication-out, records the
+// result as BENCH_replication.json. -replication-check validates a recorded
+// baseline and exits non-zero unless killing any single station keeps
+// recall at the healthy value for every factor >= 2 — the CI gate for the
+// replica guarantee.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -31,11 +43,13 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch")
-		quick      = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
-		strategy   = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
-		batchOut   = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
-		batchCheck = flag.String("batch-check", "", "validate a recorded BENCH_batch.json and exit (no experiments run)")
+		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication")
+		quick            = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
+		strategy         = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
+		batchOut         = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
+		batchCheck       = flag.String("batch-check", "", "validate a recorded BENCH_batch.json and exit (no experiments run)")
+		replicationOut   = flag.String("replication-out", "", "with -run replication: also write the report as JSON to this file")
+		replicationCheck = flag.String("replication-check", "", "validate a recorded BENCH_replication.json and exit (no experiments run)")
 	)
 	flag.Parse()
 	if *batchCheck != "" {
@@ -46,19 +60,28 @@ func main() {
 		fmt.Printf("%s: valid batch baseline\n", *batchCheck)
 		return
 	}
+	if *replicationCheck != "" {
+		if err := checkReplicationFile(*replicationCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "di-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid replication baseline\n", *replicationCheck)
+		return
+	}
 	strat, err := dimatch.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
-	if err := runExperiments(*run, *quick, strat, *batchOut); err != nil {
+	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
 }
 
-// checkBatchFile validates a recorded baseline.
-func checkBatchFile(path string) error {
+// checkBaselineFile validates a recorded baseline file with the given
+// report checker.
+func checkBaselineFile(path string, check func(io.Reader) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -71,9 +94,51 @@ func checkBatchFile(path string) error {
 	if st.Size() == 0 {
 		return fmt.Errorf("%s: empty baseline file", path)
 	}
-	if err := bench.CheckBatchBenchJSON(f); err != nil {
+	if err := check(f); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	return nil
+}
+
+// checkBatchFile validates a recorded batch baseline.
+func checkBatchFile(path string) error {
+	return checkBaselineFile(path, bench.CheckBatchBenchJSON)
+}
+
+// checkReplicationFile validates a recorded replication baseline.
+func checkReplicationFile(path string) error {
+	return checkBaselineFile(path, bench.CheckReplicationJSON)
+}
+
+// runReplicationBaseline runs the replication sweep, prints it, and
+// optionally records the JSON baseline.
+func runReplicationBaseline(w *os.File, quick bool, out string) error {
+	cfg := bench.ReplicationConfig{}
+	if quick {
+		cfg.Persons = 150
+		cfg.Stations = 4
+	}
+	r, err := bench.RunReplicationBench(cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderReplication(w, r)
+	fmt.Fprintln(w)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteReplicationJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline recorded to %s\n", out)
 	return nil
 }
 
@@ -109,7 +174,7 @@ func runBatchBaseline(w *os.File, quick bool, out string) error {
 	return nil
 }
 
-func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut string) error {
+func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut string) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -249,8 +314,14 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut str
 			return err
 		}
 	}
+	if selected("replication") {
+		any = true
+		if err := runReplicationBaseline(os.Stdout, quick, replicationOut); err != nil {
+			return err
+		}
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch)", strings.TrimSpace(run))
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication)", strings.TrimSpace(run))
 	}
 	return nil
 }

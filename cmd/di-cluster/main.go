@@ -23,6 +23,14 @@
 // the cluster with AddStation, ingests a brand-new person, evicts them
 // again and finally removes the station, printing precision/recall after
 // every step.
+//
+// With -churn -replicas N the demo runs the replicated placement layer
+// instead: an empty cluster, every person's global pattern placed onto N
+// rendezvous-hashed replicas, then — with background searches in flight —
+// one station is killed and another removed. The command asserts that
+// recall never drops below the healthy cluster's value (the replica
+// guarantee) and exits non-zero if it does, which makes it CI's replication
+// chaos smoke test.
 package main
 
 import (
@@ -52,6 +60,7 @@ func main() {
 		batch    = flag.Int("batch", 0, "center: WithBatching bound: 0 packs all queries into one wire exchange per station, 1 sends legacy per-query frames, n>1 splits into rounds of n")
 		timeout  = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
 		churn    = flag.Bool("churn", false, "run the in-process live-mutation demo (ignores -role)")
+		replicas = flag.Int("replicas", 0, "with -churn: run the replicated-placement chaos demo at this replication factor (0 keeps the station-addressed demo)")
 	)
 	flag.Parse()
 
@@ -61,7 +70,11 @@ func main() {
 
 	var err error
 	if *churn {
-		if err := runChurn(cfg); err != nil {
+		run := runChurn
+		if *replicas > 0 {
+			run = func(cfg dimatch.CityConfig) error { return runReplicatedChurn(cfg, *replicas) }
+		}
+		if err := run(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "di-cluster:", err)
 			os.Exit(1)
 		}
@@ -348,6 +361,142 @@ func runChurn(cfg dimatch.CityConfig) error {
 	}
 	fmt.Printf("ran %d background searches during churn; final stats: %d residents, %d B across %d stations (epoch %d)\n",
 		searches, st.TotalResidents(), st.TotalStorageBytes(), len(st.Stations), st.Epoch)
+	return nil
+}
+
+// runReplicatedChurn is the replicated-placement chaos demo: an empty
+// cluster, every person's global pattern placed at the given replication
+// factor, then a station killed and another removed while background
+// searches run. It returns an error — and the process exits non-zero — if
+// recall ever drops below the healthy cluster's value, so CI can use it as
+// the replication smoke test.
+func runReplicatedChurn(cfg dimatch.CityConfig, replicas int) error {
+	city, err := dimatch.GenerateCity(cfg)
+	if err != nil {
+		return err
+	}
+	stations := make([]uint32, 0, len(city.StationIDs()))
+	for _, s := range city.StationIDs() {
+		stations = append(stations, uint32(s))
+	}
+
+	c, err := dimatch.NewEmptyCluster(dimatch.Options{
+		Params:   dimatch.Params{Samples: 8, Epsilon: 1, Seed: cfg.Seed, PositionSalted: true},
+		MinScore: 0.9,
+	}, stations, city.Length())
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown() //nolint:errcheck // demo teardown
+	ctx := context.Background()
+
+	globals := dimatch.PersonGlobals(city)
+	if err := c.Place(ctx, globals, dimatch.WithReplication(replicas)); err != nil {
+		return err
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replication demo: %d persons placed at R=%d across %d stations (%d replicas resident)\n",
+		c.Placed(), replicas, len(stations), st.TotalResidents())
+
+	ref, ok := dimatch.CleanReference(city, dimatch.OfficeWorker)
+	if !ok {
+		return fmt.Errorf("no clean reference in category %v", dimatch.OfficeWorker)
+	}
+	relevant := dimatch.RelevantSet(city, ref)
+	query := dimatch.QueryFromPerson(city, 1, ref)
+
+	recallAt := func(phase string) (float64, error) {
+		out, err := c.Search(ctx, []dimatch.Query{query})
+		if err != nil {
+			return 0, err
+		}
+		conf := dimatch.Evaluate(out.Persons(1), relevant)
+		fmt.Printf("%-24s stations=%-3d precision=%.3f recall=%.3f (failed=%d)\n",
+			phase, c.Stations(), conf.Precision(), conf.Recall(), out.Cost.StationsFailed)
+		return conf.Recall(), nil
+	}
+	healthy, err := recallAt("healthy:")
+	if err != nil {
+		return err
+	}
+
+	// Background searches run across every failure below.
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		searches int
+		bgErr    error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Search(ctx, []dimatch.Query{query}); err != nil {
+				bgErr = err
+				return
+			}
+			searches++
+		}
+	}()
+
+	assertHeld := func(phase string, recall float64) error {
+		if recall < healthy {
+			return fmt.Errorf("%s recall %.3f dropped below healthy %.3f — replicas did not cover the failure",
+				phase, recall, healthy)
+		}
+		return nil
+	}
+
+	// Kill one station mid-run: its replicas cover the searches in flight,
+	// and the kill re-replicates its placements onto the survivors.
+	if err := c.KillStation(stations[0]); err != nil {
+		return err
+	}
+	recall, err := recallAt("after KillStation:")
+	if err != nil {
+		return err
+	}
+	if err := assertHeld("after KillStation", recall); err != nil {
+		return err
+	}
+
+	// Remove another station deliberately: same guarantee through the
+	// planned-departure path.
+	if err := c.RemoveStation(ctx, stations[1]); err != nil {
+		return err
+	}
+	recall, err = recallAt("after RemoveStation:")
+	if err != nil {
+		return err
+	}
+	if err := assertHeld("after RemoveStation", recall); err != nil {
+		return err
+	}
+
+	close(stop)
+	wg.Wait()
+	if bgErr != nil {
+		return fmt.Errorf("background search: %w", bgErr)
+	}
+
+	rep, err := c.Rebalance(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d background searches through the failures; reconcile check: %d placed, %d to copy, %d lost\n",
+		searches, rep.Placed, rep.Copied, rep.Lost)
+	if rep.Copied != 0 || rep.Lost != 0 {
+		return fmt.Errorf("reconcile check found residual work (%d to copy, %d lost) — self-healing incomplete", rep.Copied, rep.Lost)
+	}
+	fmt.Printf("replica guarantee held: recall never dropped below the healthy value %.3f\n", healthy)
 	return nil
 }
 

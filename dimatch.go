@@ -49,6 +49,11 @@ type (
 	// StationStats is one station's resident count and storage bytes, as
 	// reported by the station itself.
 	StationStats = cluster.StationStats
+	// PlaceOption configures a single Place call (see WithReplication).
+	PlaceOption = cluster.PlaceOption
+	// HealReport summarizes one re-replication/rebalancing pass over the
+	// placed patterns (see Rebalance).
+	HealReport = cluster.HealReport
 )
 
 // Strategies, re-exported.
@@ -110,6 +115,9 @@ var (
 	ErrUnknownStation = cluster.ErrUnknownStation
 	// ErrStationExists reports an AddStation id that is already a member.
 	ErrStationExists = cluster.ErrStationExists
+	// ErrNoAliveStations reports a Place or Rebalance call on a cluster whose
+	// member stations are all dead.
+	ErrNoAliveStations = cluster.ErrNoAliveStations
 )
 
 // Tolerance modes, re-exported. ToleranceScaled guarantees no false
@@ -123,6 +131,16 @@ const (
 // DefaultSamples is the paper's converged sample count b = 12.
 const DefaultSamples = core.DefaultSamples
 
+// DefaultReplication is the replica count Place uses when WithReplication is
+// not given: every placed pattern survives any single station failure.
+const DefaultReplication = cluster.DefaultReplication
+
+// WithReplication sets how many stations receive a copy of each placed
+// pattern (default DefaultReplication). The factor is clamped to the alive
+// membership at execution time, but the requested value is recorded: when
+// the cluster later grows, reconciliation tops placements back up.
+func WithReplication(r int) PlaceOption { return cluster.WithReplication(r) }
+
 // Cluster is a running DI-matching deployment: one data center plus one
 // goroutine-backed base station per entry of the station data map.
 type Cluster struct {
@@ -133,6 +151,20 @@ type Cluster struct {
 // All patterns must share one time-series length. Callers own Shutdown.
 func NewCluster(opts Options, stationData map[uint32]map[PersonID]Pattern) (*Cluster, error) {
 	inner, err := cluster.New(opts, stationData)
+	if err != nil {
+		return nil, err
+	}
+	inner.Start()
+	return &Cluster{inner: inner}, nil
+}
+
+// NewEmptyCluster builds and starts a cluster of stations holding no
+// patterns yet — the starting point of a placement-first deployment, where
+// every pattern arrives through Place (or Ingest) on the running cluster.
+// The pattern length New would otherwise derive from seed data must be
+// given. Callers own Shutdown.
+func NewEmptyCluster(opts Options, stationIDs []uint32, patternLength int) (*Cluster, error) {
+	inner, err := cluster.NewEmpty(opts, stationIDs, patternLength)
 	if err != nil {
 		return nil, err
 	}
@@ -176,10 +208,42 @@ func (c *Cluster) Ingest(ctx context.Context, stationID uint32, patterns map[Per
 
 // Evict removes residents from one station of a running cluster — expired
 // retention windows, opted-out subscribers, or data handed off elsewhere.
-// Persons the station does not hold are ignored.
+// Persons the station does not hold are ignored. Evict does not release a
+// placed person from management — reconciliation will restore their evicted
+// copy; use Unplace for that.
 func (c *Cluster) Evict(ctx context.Context, stationID uint32, persons []PersonID) error {
 	return c.inner.Evict(ctx, stationID, persons)
 }
+
+// Place ingests patterns under automatic placement: each person's pattern is
+// copied to the stations that win the rendezvous (HRW) hash of (person,
+// station) over the alive membership — WithReplication many of them, default
+// DefaultReplication. Placed patterns are replica-managed from then on:
+// search aggregation dedupes their replicas' reports (highest score wins), a
+// replica lost mid-search is covered by the survivors, and membership
+// changes trigger re-replication and rebalancing so the requested factor is
+// maintained without the caller naming stations. A person must be either
+// placed or station-addressed, never both; Unplace releases them back.
+func (c *Cluster) Place(ctx context.Context, patterns map[PersonID]Pattern, opts ...PlaceOption) error {
+	return c.inner.Place(ctx, patterns, opts...)
+}
+
+// Unplace releases persons from automatic placement, evicting their replicas
+// from every alive station. Persons that were never placed are ignored.
+func (c *Cluster) Unplace(ctx context.Context, persons []PersonID) error {
+	return c.inner.Unplace(ctx, persons)
+}
+
+// Rebalance runs one explicit reconciliation pass over the placed patterns
+// and reports what it did. Membership changes (AddStation, RemoveStation,
+// KillStation) already reconcile automatically; an explicit pass is useful
+// after transient failures or to verify placement health.
+func (c *Cluster) Rebalance(ctx context.Context) (HealReport, error) {
+	return c.inner.Rebalance(ctx)
+}
+
+// Placed returns the number of persons under automatic placement.
+func (c *Cluster) Placed() int { return c.inner.Placed() }
 
 // AddStation grows a running cluster with a new in-process station holding
 // the given local patterns (which may be empty). Searches already in flight
@@ -212,7 +276,8 @@ func (c *Cluster) Stations() int { return c.inner.Stations() }
 func (c *Cluster) PatternLength() int { return c.inner.PatternLength() }
 
 // KillStation severs one station, simulating a failure; searches continue
-// degraded.
+// degraded. Placed patterns the station held are re-replicated from their
+// surviving replicas onto the remaining stations.
 func (c *Cluster) KillStation(id uint32) error { return c.inner.KillStation(id) }
 
 // Shutdown stops every station goroutine and waits for them.

@@ -81,6 +81,26 @@
 // every station's resident count and storage bytes over the wire, cached
 // per epoch.
 //
+// # Replicated placement
+//
+// Place hands pattern locality to the cluster: each person's pattern is
+// copied to the stations that win a rendezvous (HRW) hash of (person,
+// station) — WithReplication many, default 2 — with no station IDs in the
+// call:
+//
+//	c, err := dimatch.NewEmptyCluster(opts, []uint32{1, 2, 3, 4}, length)
+//	err = c.Place(ctx, patterns, dimatch.WithReplication(2))
+//
+// Searches dedupe a placed person's replica reports (the highest score
+// wins, so duplicate copies never trip the over-match deletion), a replica
+// lost mid-search is covered by the survivors, and every membership change
+// triggers a reconciliation pass that re-replicates under-replicated
+// patterns from their surviving copies and rebalances the ones whose
+// rendezvous winners changed. Rebalance runs a pass on demand and reports
+// it; Unplace releases persons back to station-addressed management.
+// BENCH_replication.json records the resulting guarantee: at replication 2,
+// killing any single station leaves recall at the healthy cluster's value.
+//
 // A deterministic city-scale synthetic CDR generator (GenerateCity) stands
 // in for the paper's proprietary dataset, and StrategyNaive / StrategyBF
 // reproduce the paper's two baselines for comparison. See README.md for

@@ -122,3 +122,51 @@ func ExampleCluster_Stats() {
 	// station 1: 2 residents, 48 B raw patterns
 	// total: 3 residents, 72 B
 }
+
+// ExampleCluster_Place runs a placement-first deployment: an empty cluster,
+// patterns placed onto rendezvous-hashed replicas, and a search that
+// survives losing any single station.
+func ExampleCluster_Place() {
+	c, err := dimatch.NewEmptyCluster(dimatch.Options{}, []uint32{1, 2, 3, 4}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+
+	// Each pattern lands on 2 stations chosen by HRW hashing; no station
+	// IDs in sight.
+	err = c.Place(ctx, map[dimatch.PersonID]dimatch.Pattern{
+		10: {3, 4, 5},
+		11: {3, 4, 5},
+	}, dimatch.WithReplication(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := c.Stats(ctx)
+	fmt.Printf("placed %d persons as %d replicas\n", c.Placed(), st.TotalResidents())
+
+	// Replicas dedupe: each person appears once, at the best replica's
+	// score, reported by both copies.
+	q := dimatch.Query{ID: 1, Locals: []dimatch.Pattern{{3, 4, 5}}}
+	out, err := c.Search(ctx, []dimatch.Query{q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("healthy results:", len(out.PerQuery[1]))
+
+	// Any single station can die: the kill re-replicates its patterns from
+	// the surviving copies, so recall holds.
+	if err := c.KillStation(1); err != nil {
+		log.Fatal(err)
+	}
+	out, err = c.Search(ctx, []dimatch.Query{q})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after losing a station:", len(out.PerQuery[1]))
+	// Output:
+	// placed 2 persons as 4 replicas
+	// healthy results: 2
+	// after losing a station: 2
+}

@@ -227,3 +227,67 @@ func TestReadmeBatchingClaims(t *testing.T) {
 		}
 	}
 }
+
+// TestReadmePlacementSnippet is the README "Replicated placement" block: an
+// empty cluster, Place with WithReplication(2), and the single-station-loss
+// guarantee the section claims.
+func TestReadmePlacementSnippet(t *testing.T) {
+	ctx := context.Background()
+
+	// ---- the snippet, statement for statement ----
+	c, _ := dimatch.NewEmptyCluster(dimatch.Options{}, []uint32{1, 2, 3, 4}, 3)
+	defer c.Shutdown()
+
+	// No station IDs: each pattern lands on the 2 stations that win the
+	// rendezvous hash, and membership changes re-replicate automatically.
+	err := c.Place(ctx, map[dimatch.PersonID]dimatch.Pattern{
+		10: {3, 4, 5},
+		11: {3, 4, 5},
+	}, dimatch.WithReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ := c.Search(ctx, []dimatch.Query{
+		{ID: 1, Locals: []dimatch.Pattern{{3, 4, 5}}},
+	})
+	// ---- end of snippet ----
+
+	if len(out.PerQuery[1]) != 2 {
+		t.Fatalf("healthy search found %d persons, README promises 2", len(out.PerQuery[1]))
+	}
+	for _, r := range out.PerQuery[1] {
+		if r.Score() != 1.0 || r.Stations != 2 {
+			t.Fatalf("result %+v, README promises score 1.0 from 2 replicas", r)
+		}
+	}
+
+	// The section claims any single station can be lost without losing
+	// recall: kill each member in turn on a fresh cluster and re-search.
+	for _, victim := range []uint32{1, 2, 3, 4} {
+		c2, err := dimatch.NewEmptyCluster(dimatch.Options{}, []uint32{1, 2, 3, 4}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c2.Place(ctx, map[dimatch.PersonID]dimatch.Pattern{
+			10: {3, 4, 5},
+			11: {3, 4, 5},
+		}, dimatch.WithReplication(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.KillStation(victim); err != nil {
+			t.Fatal(err)
+		}
+		out, err := c2.Search(ctx, []dimatch.Query{
+			{ID: 1, Locals: []dimatch.Pattern{{3, 4, 5}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.PerQuery[1]) != 2 {
+			t.Fatalf("killing station %d lost recall: %d persons", victim, len(out.PerQuery[1]))
+		}
+		_ = c2.Shutdown()
+	}
+}

@@ -1,0 +1,351 @@
+// Replication resilience benchmark: the recorded churn-survival baseline.
+//
+// The scenarios measure search quality on a placement-first deployment —
+// every person's global pattern placed onto rendezvous-hashed replicas —
+// under station loss, at replication factors 1 and 2. Three phases per
+// factor: the healthy cluster, every possible single-station kill (each on a
+// fresh cluster), and a cumulative kill sweep where the automatic
+// re-replication gets to heal between kills. The headline claim, validated
+// in CI against BENCH_replication.json: with R=2, killing any single station
+// yields exactly the healthy cluster's recall, because the dead station's
+// replicas cover it; and with self-healing, recall stays at the healthy
+// value through repeated kills until the membership can no longer hold R
+// copies. R=1 is the control: every kill permanently loses the patterns the
+// station held.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"dimatch/internal/cdr"
+	"dimatch/internal/cluster"
+	"dimatch/internal/core"
+	"dimatch/internal/metrics"
+	"dimatch/internal/pattern"
+)
+
+// ReplicationConfig parameterizes the replication resilience sweep.
+type ReplicationConfig struct {
+	// Seed fixes the city and the placement, and therefore the whole run.
+	Seed uint64
+	// Persons sizes the placed population (default 400).
+	Persons int
+	// Stations is the cluster size (default 6).
+	Stations int
+	// Replications is the sweep of replication factors (default {1, 2}).
+	Replications []int
+	// CumulativeKills bounds the healing sweep's kill count (default
+	// stations-1, so one station always survives).
+	CumulativeKills int
+}
+
+func (c ReplicationConfig) withDefaults() ReplicationConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Persons == 0 {
+		c.Persons = 400
+	}
+	if c.Stations == 0 {
+		c.Stations = 6
+	}
+	if len(c.Replications) == 0 {
+		c.Replications = []int{1, 2}
+	}
+	if c.CumulativeKills == 0 || c.CumulativeKills > c.Stations-1 {
+		c.CumulativeKills = c.Stations - 1
+	}
+	return c
+}
+
+// ReplicationScenario is one measured cell of the sweep.
+type ReplicationScenario struct {
+	// Replication is the WithReplication factor the cluster was placed at.
+	Replication int `json:"replication"`
+	// Phase is "healthy" (no failures), "kill-one" (a single station killed
+	// on a fresh cluster) or "cumulative" (the n-th kill of the healing
+	// sweep, self-healing between kills).
+	Phase string `json:"phase"`
+	// Station is the killed station's ID (kill-one and cumulative), -1 for
+	// healthy.
+	Station int `json:"station"`
+	// Killed is the total stations dead at measurement time.
+	Killed int `json:"killed"`
+	// Stations is the cluster's total membership.
+	Stations  int     `json:"stations"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// ReplicationSummary is the headline per replication factor.
+type ReplicationSummary struct {
+	Replication   int     `json:"replication"`
+	HealthyRecall float64 `json:"healthy_recall"`
+	// MinSingleKillRecall is the worst recall over every possible
+	// single-station kill. With R >= 2 it must equal HealthyRecall — that
+	// is the acceptance gate CI enforces.
+	MinSingleKillRecall float64 `json:"min_single_kill_recall"`
+	// FinalCumulativeRecall is the recall after the full healing sweep
+	// (CumulativeKills sequential kills with re-replication in between).
+	FinalCumulativeRecall float64 `json:"final_cumulative_recall"`
+}
+
+// ReplicationReport is the full run, serialized to BENCH_replication.json.
+type ReplicationReport struct {
+	Schema     string                `json:"schema"`
+	GoVersion  string                `json:"go"`
+	GOOS       string                `json:"goos"`
+	GOARCH     string                `json:"goarch"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Config     ReplicationConfig     `json:"config"`
+	Scenarios  []ReplicationScenario `json:"scenarios"`
+	Summaries  []ReplicationSummary  `json:"summaries"`
+}
+
+// replicationSchema versions the JSON layout for the CI validator.
+const replicationSchema = "dimatch-replication-bench/v1"
+
+// replicationOptions are the search knobs shared by every scenario — the
+// resilience experiment's parameters, so the two failure studies compare.
+func replicationOptions(seed uint64) cluster.Options {
+	return cluster.Options{
+		Params: core.Params{
+			Bits:           1 << 18,
+			Hashes:         5,
+			Samples:        core.DefaultSamples,
+			Epsilon:        1,
+			Seed:           seed,
+			PositionSalted: true,
+		},
+		MinScore: 0.9,
+	}
+}
+
+// placedCluster stands up an empty in-process cluster over the city's
+// station IDs and places every person's global pattern at factor r.
+func placedCluster(d *cdr.Dataset, seed uint64, stations []uint32, r int) (*cluster.Cluster, error) {
+	c, err := cluster.NewEmpty(replicationOptions(seed), stations, d.Length())
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	globals := make(map[core.PersonID]pattern.Pattern)
+	for _, cat := range cdr.Categories() {
+		for _, p := range d.PersonsInCategory(cat) {
+			globals[core.PersonID(p)] = d.GlobalOf(p)
+		}
+	}
+	if err := c.Place(context.Background(), globals, cluster.WithReplication(r)); err != nil {
+		_ = c.Shutdown()
+		return nil, err
+	}
+	return c, nil
+}
+
+// replicationQuality runs the reference queries and scores them against the
+// category ground truth.
+func replicationQuality(c *cluster.Cluster, d *cdr.Dataset, refs []cdr.PersonID, queries []core.Query) (metrics.Confusion, error) {
+	out, err := c.Search(context.Background(), queries)
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	var total metrics.Confusion
+	for i, ref := range refs {
+		total.Add(scoreQuery(out, core.QueryID(i+1), ref, relevantSet(d, ref)))
+	}
+	return total, nil
+}
+
+// RunReplicationBench executes the full sweep and assembles the report.
+func RunReplicationBench(cfg ReplicationConfig) (*ReplicationReport, error) {
+	cfg = cfg.withDefaults()
+	city := cdr.DefaultConfig()
+	city.Seed = cfg.Seed
+	city.Persons = cfg.Persons
+	city.Stations = cfg.Stations
+	d, err := cdr.Generate(city)
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]uint32, 0, len(d.StationIDs()))
+	for _, s := range d.StationIDs() {
+		stations = append(stations, uint32(s))
+	}
+
+	var refs []cdr.PersonID
+	for _, c := range cdr.Categories() {
+		refs = append(refs, pickReferences(d, c, 1)...)
+	}
+	queries := make([]core.Query, len(refs))
+	for i, ref := range refs {
+		queries[i] = queryFor(d, core.QueryID(i+1), ref)
+	}
+
+	report := &ReplicationReport{
+		Schema:     replicationSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+	}
+
+	for _, r := range cfg.Replications {
+		summary := ReplicationSummary{Replication: r, MinSingleKillRecall: 1}
+
+		// Healthy baseline.
+		c, err := placedCluster(d, cfg.Seed, stations, r)
+		if err != nil {
+			return nil, err
+		}
+		conf, err := replicationQuality(c, d, refs, queries)
+		_ = c.Shutdown()
+		if err != nil {
+			return nil, err
+		}
+		summary.HealthyRecall = conf.Recall()
+		report.Scenarios = append(report.Scenarios, ReplicationScenario{
+			Replication: r, Phase: "healthy", Station: -1,
+			Stations:  len(stations),
+			Precision: conf.Precision(), Recall: conf.Recall(), F1: conf.F1(),
+		})
+
+		// Every possible single-station kill, each on a fresh cluster.
+		for _, victim := range stations {
+			c, err := placedCluster(d, cfg.Seed, stations, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.KillStation(victim); err != nil {
+				_ = c.Shutdown()
+				return nil, err
+			}
+			conf, err := replicationQuality(c, d, refs, queries)
+			_ = c.Shutdown()
+			if err != nil {
+				return nil, err
+			}
+			if conf.Recall() < summary.MinSingleKillRecall {
+				summary.MinSingleKillRecall = conf.Recall()
+			}
+			report.Scenarios = append(report.Scenarios, ReplicationScenario{
+				Replication: r, Phase: "kill-one", Station: int(victim), Killed: 1,
+				Stations:  len(stations),
+				Precision: conf.Precision(), Recall: conf.Recall(), F1: conf.F1(),
+			})
+		}
+
+		// Cumulative kills with self-healing in between: each KillStation
+		// re-replicates the dead station's placements onto the survivors
+		// before the next kill lands.
+		c, err = placedCluster(d, cfg.Seed, stations, r)
+		if err != nil {
+			return nil, err
+		}
+		for killed := 1; killed <= cfg.CumulativeKills; killed++ {
+			victim := stations[killed-1]
+			if err := c.KillStation(victim); err != nil {
+				_ = c.Shutdown()
+				return nil, err
+			}
+			conf, err := replicationQuality(c, d, refs, queries)
+			if err != nil {
+				_ = c.Shutdown()
+				return nil, err
+			}
+			summary.FinalCumulativeRecall = conf.Recall()
+			report.Scenarios = append(report.Scenarios, ReplicationScenario{
+				Replication: r, Phase: "cumulative", Station: int(victim), Killed: killed,
+				Stations:  len(stations),
+				Precision: conf.Precision(), Recall: conf.Recall(), F1: conf.F1(),
+			})
+		}
+		_ = c.Shutdown()
+
+		report.Summaries = append(report.Summaries, summary)
+	}
+	return report, nil
+}
+
+// WriteReplicationJSON serializes the report, indented for diff-friendly
+// commits of the recorded baseline.
+func WriteReplicationJSON(w io.Writer, r *ReplicationReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CheckReplicationJSON validates a serialized report: parseable, the right
+// schema, non-empty, and — the acceptance gate — at every replication
+// factor >= 2, the worst single-station kill keeps recall exactly at the
+// healthy cluster's value (the dead station's replicas cover it), and the
+// healthy recall is itself non-degenerate. The gate is deterministic: the
+// sweep is seeded and runs in-process, so CI regenerating the report on a
+// different machine reproduces the same quality figures.
+func CheckReplicationJSON(r io.Reader) error {
+	var report ReplicationReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return fmt.Errorf("bench: malformed replication report: %w", err)
+	}
+	if report.Schema != replicationSchema {
+		return fmt.Errorf("bench: schema %q, want %q", report.Schema, replicationSchema)
+	}
+	if len(report.Scenarios) == 0 || len(report.Summaries) == 0 {
+		return fmt.Errorf("bench: replication report is empty")
+	}
+	for _, s := range report.Scenarios {
+		switch s.Phase {
+		case "healthy", "kill-one", "cumulative":
+		default:
+			return fmt.Errorf("bench: unknown phase %q", s.Phase)
+		}
+	}
+	gated := false
+	for _, sm := range report.Summaries {
+		if sm.Replication < 2 {
+			continue
+		}
+		gated = true
+		if sm.HealthyRecall < 0.5 {
+			return fmt.Errorf("bench: R=%d healthy recall %.3f is degenerate", sm.Replication, sm.HealthyRecall)
+		}
+		if sm.MinSingleKillRecall < sm.HealthyRecall {
+			return fmt.Errorf("bench: R=%d worst single-kill recall %.3f below healthy %.3f — replicas are not covering failures",
+				sm.Replication, sm.MinSingleKillRecall, sm.HealthyRecall)
+		}
+		if sm.FinalCumulativeRecall < sm.HealthyRecall {
+			return fmt.Errorf("bench: R=%d recall after healing sweep %.3f below healthy %.3f — re-replication is not restoring copies",
+				sm.Replication, sm.FinalCumulativeRecall, sm.HealthyRecall)
+		}
+	}
+	if !gated {
+		return fmt.Errorf("bench: no replication factor >= 2 in report — nothing validates the replica guarantee")
+	}
+	return nil
+}
+
+// RenderReplication prints the report as an aligned text table plus the
+// headline guarantees.
+func RenderReplication(w io.Writer, r *ReplicationReport) {
+	fmt.Fprintf(w, "Replication resilience (%s, %s/%s, %d stations, %d persons placed)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.Config.Stations, r.Config.Persons)
+	fmt.Fprintf(w, "%12s %12s %8s %7s %10s %10s %10s\n",
+		"replication", "phase", "station", "killed", "precision", "recall", "f1")
+	for _, s := range r.Scenarios {
+		station := "-"
+		if s.Station >= 0 {
+			station = fmt.Sprintf("%d", s.Station)
+		}
+		fmt.Fprintf(w, "%12d %12s %8s %7d %10.3f %10.3f %10.3f\n",
+			s.Replication, s.Phase, station, s.Killed, s.Precision, s.Recall, s.F1)
+	}
+	for _, sm := range r.Summaries {
+		fmt.Fprintf(w, "R=%d: healthy recall %.3f, worst single kill %.3f, after healing sweep %.3f\n",
+			sm.Replication, sm.HealthyRecall, sm.MinSingleKillRecall, sm.FinalCumulativeRecall)
+	}
+}

@@ -208,7 +208,7 @@ func TestV2PeerFallsBackToPerQueryFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(st.Stations) != 2 || st.Stations[0].WireVersion != int(wire.Version3) || st.Stations[1].WireVersion != int(wire.Version2) {
+	if len(st.Stations) != 2 || st.Stations[0].WireVersion != int(wire.LatestVersion) || st.Stations[1].WireVersion != int(wire.Version2) {
 		t.Fatalf("stats versions: %+v", st.Stations)
 	}
 

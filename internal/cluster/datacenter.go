@@ -10,6 +10,7 @@ import (
 
 	"dimatch/internal/core"
 	"dimatch/internal/pattern"
+	"dimatch/internal/placement"
 	"dimatch/internal/transport"
 	"dimatch/internal/wire"
 )
@@ -281,6 +282,12 @@ type Cluster struct {
 	started bool
 	closed  bool
 
+	// placeTab tracks persons under automatic placement (see Place); nil
+	// until the first Place call, so station-addressed clusters pay nothing.
+	// healMu serializes reconciliation passes.
+	placeTab *placement.Table
+	healMu   sync.Mutex
+
 	wg       sync.WaitGroup
 	serveMu  sync.Mutex
 	serveErr []error
@@ -442,14 +449,20 @@ func (c *Cluster) PatternLength() int { return c.length }
 // stays a member — the data center is not told: subsequent (and in-flight)
 // searches discover the failure when their exchange fails and count it in
 // CostReport.StationsFailed. Use RemoveStation for a deliberate departure.
+//
+// When patterns are placed (see Place), the kill triggers a reconciliation
+// pass: copies the dead station held are re-replicated from their surviving
+// replicas onto the stations that now win the rendezvous hash, restoring the
+// requested replication factor.
 func (c *Cluster) KillStation(id uint32) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	i := c.ep.find(id)
 	if i < 0 {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: station %d", ErrUnknownStation, id)
 	}
 	if c.dead[id] {
+		c.mu.Unlock()
 		return nil
 	}
 	c.dead[id] = true
@@ -457,6 +470,8 @@ func (c *Cluster) KillStation(id uint32) error {
 	// Same membership, fresh epoch: cached stats must stop counting the
 	// severed station.
 	c.installEpochLocked(c.ep.ids, c.ep.muxes)
+	c.mu.Unlock()
+	c.heal(context.Background())
 	return err
 }
 
@@ -628,6 +643,11 @@ func (c *Cluster) mutate(ctx context.Context, id uint32, msg wire.Message) error
 // in-process station holding the given local patterns (which may be empty).
 // Searches already in flight complete against their own epoch; searches
 // started after the call fan out to the new station too.
+//
+// When patterns are placed (see Place), the join triggers a reconciliation
+// pass that rebalances exactly the placed patterns whose rendezvous winners
+// changed — the new station takes over the placements it out-scores an
+// incumbent for, and nothing else moves.
 func (c *Cluster) AddStation(ctx context.Context, id uint32, locals map[core.PersonID]pattern.Pattern) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -641,11 +661,12 @@ func (c *Cluster) AddStation(ctx context.Context, id uint32, locals map[core.Per
 		}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClusterClosed
 	}
 	if c.ep.find(id) >= 0 {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: station %d", ErrStationExists, id)
 	}
 	center, stationEnd := transport.Pipe(c.downMeter, c.upMeter)
@@ -656,6 +677,8 @@ func (c *Cluster) AddStation(ctx context.Context, id uint32, locals map[core.Per
 		c.pending = append(c.pending, st)
 	}
 	c.addMemberLocked(id, transport.NewMux(center))
+	c.mu.Unlock()
+	c.heal(ctx)
 	return nil
 }
 
@@ -700,16 +723,19 @@ func (c *Cluster) AddStationLink(ctx context.Context, id uint32, link transport.
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		_ = mux.Close()
 		return ErrClusterClosed
 	}
 	if c.ep.find(id) >= 0 {
+		c.mu.Unlock()
 		_ = mux.Close()
 		return fmt.Errorf("%w: station %d", ErrStationExists, id)
 	}
 	c.addMemberLocked(id, mux)
+	c.mu.Unlock()
+	c.heal(ctx)
 	return nil
 }
 
@@ -729,6 +755,9 @@ func (c *Cluster) addMemberLocked(id uint32, mux *transport.Mux) {
 // ctx and a grace period) and its link is closed. A search already in
 // flight over a previous epoch sees the closure as a failed exchange and
 // counts it in CostReport.StationsFailed — removal is never a search error.
+// When patterns are placed (see Place), the departure triggers a
+// reconciliation pass that re-replicates the copies the station held from
+// their surviving replicas onto the new rendezvous winners.
 func (c *Cluster) RemoveStation(ctx context.Context, id uint32) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -764,6 +793,7 @@ func (c *Cluster) RemoveStation(ctx context.Context, id uint32) error {
 	if !wasDead {
 		stopMux(ctx, mux)
 	}
+	c.heal(ctx)
 	return nil
 }
 
@@ -1066,6 +1096,10 @@ func (c *Cluster) peerVersions(ctx context.Context, ep *epoch) map[uint32]uint8 
 func (c *Cluster) searchWBF(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query) (*Outcome, error) {
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
 	agg := core.NewBatchAggregator()
+	// Replica-aware aggregation: placed persons' replicas report the same
+	// pattern, so the best report wins instead of the weights summing — and
+	// a replica that fails mid-fan-out is covered by any survivor.
+	agg.SetReplicated(c.replicatedPred())
 	legacyAll := cfg.batchSize == 1
 	roundSize := cfg.batchSize
 	if legacyAll {
@@ -1261,6 +1295,7 @@ func (c *Cluster) verifyWBF(ctx context.Context, ep *epoch, cfg searchConfig, qu
 	}
 
 	globals := make(map[core.PersonID]pattern.Pattern, len(candidates))
+	replicated := c.replicatedPred()
 	var fetchedBytes uint64
 	failed, err := c.fanOut(ctx, ep, wire.EncodeFetch(fetch), &out.Cost, func(reply wire.Message) error {
 		data, err := wire.DecodeNaiveData(reply)
@@ -1273,6 +1308,10 @@ func (c *Cluster) verifyWBF(ctx context.Context, ep *epoch, cfg searchConfig, qu
 			if g == nil {
 				g = make(pattern.Pattern, c.length)
 				globals[p] = g
+			} else if replicated != nil && replicated(p) {
+				// Replicas of a placed pattern are identical; the first
+				// fetched copy is the person's whole global.
+				continue
 			}
 			for j, v := range data.Locals[i] {
 				if j < len(g) {
@@ -1367,6 +1406,7 @@ func (c *Cluster) searchBF(ctx context.Context, ep *epoch, cfg searchConfig, que
 	filter := enc.Filter()
 
 	counts := make(map[core.PersonID]int)
+	replicated := c.replicatedPred()
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
 	msg := wire.EncodeBFQuery(wire.BFQuery{Filter: filter, Params: params, Length: c.length})
 	var reportBytes uint64
@@ -1378,6 +1418,16 @@ func (c *Cluster) searchBF(ctx context.Context, ep *epoch, cfg searchConfig, que
 		reportBytes += uint64(reply.EncodedSize())
 		for _, p := range batch.Persons {
 			out.Cost.ReportsReceived++
+			// A placed person's stations are replicas of one pattern, not
+			// independent sightings: they count as a single report so the
+			// station-count ranking is not inflated by the replication
+			// factor.
+			if replicated != nil && replicated(p) {
+				if counts[p] == 0 {
+					counts[p] = 1
+				}
+				continue
+			}
 			counts[p]++
 		}
 		return nil
@@ -1418,6 +1468,7 @@ func (c *Cluster) searchBF(ctx context.Context, ep *epoch, cfg searchConfig, que
 // predicate. Precision is 1 by construction; the cost is the point.
 func (c *Cluster) searchNaive(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query) (*Outcome, error) {
 	globals := make(map[core.PersonID]pattern.Pattern)
+	replicated := c.replicatedPred()
 	var shippedBytes uint64
 	out := &Outcome{PerQuery: make(map[core.QueryID][]core.Result, len(queries))}
 	failed, err := c.fanOut(ctx, ep, wire.ShipAllMessage(), &out.Cost, func(reply wire.Message) error {
@@ -1431,6 +1482,11 @@ func (c *Cluster) searchNaive(ctx context.Context, ep *epoch, cfg searchConfig, 
 			if g == nil {
 				g = make(pattern.Pattern, c.length)
 				globals[p] = g
+			} else if replicated != nil && replicated(p) {
+				// A placed person's stations ship identical replicas of one
+				// pattern: summing them would double the global, so the
+				// first copy stands for all of them.
+				continue
 			}
 			for j, v := range data.Locals[i] {
 				g[j] += v

@@ -29,6 +29,9 @@ var (
 	// ErrStationExists is returned by AddStation/AddStationLink when the id
 	// is already a member.
 	ErrStationExists = errors.New("cluster: station already exists")
+	// ErrNoAliveStations is returned by Place and Rebalance when every
+	// member station is dead — there is nowhere to put (or pull) a copy.
+	ErrNoAliveStations = errors.New("cluster: no alive stations")
 )
 
 // ParseStrategy is the inverse of Strategy.String: it maps "naive", "bf" and

@@ -99,6 +99,8 @@ func (s *Station) Serve() error {
 			reply, err = s.handleShipAll()
 		case wire.KindFetch:
 			reply, err = s.handleFetch(msg)
+		case wire.KindDump:
+			reply, err = s.handleDump(msg)
 		case wire.KindIngest:
 			reply, err = s.handleIngest(msg)
 		case wire.KindEvict:
@@ -208,6 +210,41 @@ func (s *Station) handleFetch(msg wire.Message) (*wire.Message, error) {
 		}
 	}
 	reply, err := wire.EncodeNaiveData(wire.NaiveData{
+		Station: s.id,
+		Persons: persons,
+		Locals:  locals,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	return &reply, nil
+}
+
+// handleDump ships the raw local patterns of the requested persons — or the
+// whole store when the filter is empty — for the coordinator's
+// re-replication pull. Persons the station does not hold are simply absent
+// from the reply.
+func (s *Station) handleDump(msg wire.Message) (*wire.Message, error) {
+	req, err := wire.DecodeDump(msg)
+	if err != nil {
+		return nil, fmt.Errorf("station %d: %w", s.id, err)
+	}
+	persons := s.persons
+	locals := s.locals
+	if len(req.Persons) > 0 {
+		wanted := make(map[core.PersonID]bool, len(req.Persons))
+		for _, p := range req.Persons {
+			wanted[p] = true
+		}
+		persons, locals = nil, nil
+		for i, p := range s.persons {
+			if wanted[p] {
+				persons = append(persons, p)
+				locals = append(locals, s.locals[i])
+			}
+		}
+	}
+	reply, err := wire.EncodeDumpReply(wire.DumpReply{
 		Station: s.id,
 		Persons: persons,
 		Locals:  locals,

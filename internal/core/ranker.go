@@ -52,6 +52,9 @@ type Aggregator struct {
 	// count for one person under query q.
 	perQuery map[QueryID]map[PersonID]*personAgg
 	denoms   map[QueryID]int64
+	// replicated, when set, marks persons whose stations hold full copies of
+	// one pattern rather than complementary pieces; see SetReplicated.
+	replicated func(PersonID) bool
 }
 
 type personAgg struct {
@@ -78,6 +81,20 @@ func NewBatchAggregator() *Aggregator {
 		perQuery: make(map[QueryID]map[PersonID]*personAgg),
 		denoms:   make(map[QueryID]int64),
 	}
+}
+
+// SetReplicated marks which persons are replicated: their stations hold full
+// copies of one pattern (a placement layer's replicas), not the
+// complementary local pieces the paper's summation model assumes. For a
+// replicated person, reports from different stations describe the same data,
+// so their weights must not be summed — the aggregation keeps the single
+// best (highest-numerator) report instead, and a replica that fails
+// mid-fan-out is covered by any surviving replica at full score. Stations
+// still counts every reporting station, so Result.Stations doubles as the
+// observed replica count. A nil predicate (the default) restores the pure
+// summation model.
+func (a *Aggregator) SetReplicated(pred func(PersonID) bool) {
+	a.replicated = pred
 }
 
 // Add ingests one station report, resolving pointers against the filter the
@@ -109,6 +126,7 @@ func (a *Aggregator) AddFrom(table []WeightEntry, r Report) error {
 		// mentions a query agrees on its global sum.
 		a.denoms[w.Query] = w.Denominator
 	}
+	dedup := a.replicated != nil && a.replicated(r.Person)
 	for q, num := range minPerQuery {
 		persons := a.perQuery[q]
 		if persons == nil {
@@ -120,7 +138,16 @@ func (a *Aggregator) AddFrom(table []WeightEntry, r Report) error {
 			agg = &personAgg{}
 			persons[r.Person] = agg
 		}
-		agg.numerator += num
+		if dedup {
+			// Replicas report the same underlying pattern: the highest score
+			// wins, duplicates are not summed (which would push a true match
+			// past 1 and delete it under Algorithm 3).
+			if num > agg.numerator {
+				agg.numerator = num
+			}
+		} else {
+			agg.numerator += num
+		}
 		agg.stations++
 	}
 	return nil

@@ -239,3 +239,66 @@ func TestResultScore(t *testing.T) {
 		t.Fatal("zero-denominator score should be 0")
 	}
 }
+
+// TestAggregatorReplicaDedup pins the replica-aware aggregation: for a person
+// marked replicated, reports from several stations describe the same
+// underlying pattern, so the highest-scoring report wins instead of the
+// weights summing (which would delete the person as over-matched). Unmarked
+// persons keep the paper's summation model even in the same aggregation.
+func TestAggregatorReplicaDedup(t *testing.T) {
+	f := rankerFixture(t)
+	a := NewAggregator(f)
+	a.SetReplicated(func(p PersonID) bool { return p == 9 })
+
+	// Person 9 is replicated on three stations; each replica matches the
+	// full combination (weight 1). Summed this is the paper's deletion
+	// counterexample; deduped it is one perfect match.
+	full := weightIDFor(t, f, 1, 0b11)
+	for i := 0; i < 3; i++ {
+		if err := a.Add(Report{Person: 9, WeightIDs: []WeightID{full}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Person 7 is a genuine split across two stations and must still sum.
+	if err := a.Add(Report{Person: 7, WeightIDs: []WeightID{weightIDFor(t, f, 1, 0b01)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(Report{Person: 7, WeightIDs: []WeightID{weightIDFor(t, f, 1, 0b10)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := a.TopK(1, 10)
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(res), res)
+	}
+	for _, r := range res {
+		if r.Score() != 1.0 {
+			t.Fatalf("person %d scored %.3f, want 1", r.Person, r.Score())
+		}
+		if r.Person == 9 && r.Stations != 3 {
+			t.Fatalf("replicated person reports %d stations, want 3 (the replica count)", r.Stations)
+		}
+	}
+}
+
+// TestAggregatorReplicaDedupHighestWins: replicas that drifted (one holds a
+// slightly different copy) resolve to the best report, not the first or the
+// sum.
+func TestAggregatorReplicaDedupHighestWins(t *testing.T) {
+	f := rankerFixture(t)
+	a := NewAggregator(f)
+	a.SetReplicated(func(PersonID) bool { return true })
+
+	half := weightIDFor(t, f, 1, 0b01) // numerator 6
+	full := weightIDFor(t, f, 1, 0b11) // numerator 12
+	// Lower score first, higher second, lower again: max must stick at 12.
+	for _, id := range []WeightID{half, full, half} {
+		if err := a.Add(Report{Person: 4, WeightIDs: []WeightID{id}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := a.TopK(1, 10)
+	if len(res) != 1 || res[0].Score() != 1.0 || res[0].Stations != 3 {
+		t.Fatalf("result = %+v, want score 1 from 3 replicas", res)
+	}
+}

@@ -1,0 +1,168 @@
+package placement
+
+import (
+	"testing"
+
+	"dimatch/internal/core"
+)
+
+func TestScoreDeterministic(t *testing.T) {
+	if Score(1, 2) != Score(1, 2) {
+		t.Fatal("score is not deterministic")
+	}
+	if Score(1, 2) == Score(1, 3) || Score(1, 2) == Score(2, 2) {
+		t.Fatal("scores collide on trivially different inputs")
+	}
+}
+
+func TestPickBasics(t *testing.T) {
+	stations := []uint32{1, 2, 3, 4, 5}
+	if got := Pick(7, stations, 0); got != nil {
+		t.Fatalf("r=0 picked %v", got)
+	}
+	if got := Pick(7, nil, 2); got != nil {
+		t.Fatalf("no stations picked %v", got)
+	}
+	if got := Pick(7, stations, 10); len(got) != len(stations) {
+		t.Fatalf("r beyond membership picked %d stations, want %d", len(got), len(stations))
+	}
+	two := Pick(7, stations, 2)
+	if len(two) != 2 || two[0] == two[1] {
+		t.Fatalf("Pick(7, _, 2) = %v", two)
+	}
+	// Pick is a prefix of Rank.
+	ranked := Rank(7, stations)
+	if ranked[0] != two[0] || ranked[1] != two[1] {
+		t.Fatalf("Pick %v is not a prefix of Rank %v", two, ranked)
+	}
+	// Rank must not mutate its input.
+	if stations[0] != 1 || stations[4] != 5 {
+		t.Fatalf("Rank mutated input: %v", stations)
+	}
+}
+
+// TestMinimalDisruption pins rendezvous hashing's defining property: removing
+// a station only reassigns the persons that station served — everyone else's
+// replica set is untouched — and adding a station never displaces more than
+// it wins.
+func TestMinimalDisruption(t *testing.T) {
+	stations := []uint32{10, 20, 30, 40, 50, 60}
+	const r = 2
+	const persons = 500
+
+	full := make(map[core.PersonID][]uint32, persons)
+	for p := core.PersonID(1); p <= persons; p++ {
+		full[p] = Pick(p, stations, r)
+	}
+
+	// Remove station 30.
+	var survivors []uint32
+	for _, s := range stations {
+		if s != 30 {
+			survivors = append(survivors, s)
+		}
+	}
+	for p, before := range full {
+		after := Pick(p, survivors, r)
+		held := false
+		for _, s := range before {
+			if s == 30 {
+				held = true
+			}
+		}
+		if !held {
+			// Persons station 30 did not serve keep their exact replica set.
+			for i := range before {
+				if after[i] != before[i] {
+					t.Fatalf("person %d moved from %v to %v though station 30 held no replica", p, before, after)
+				}
+			}
+			continue
+		}
+		// Persons it did serve keep their surviving replica.
+		for _, s := range before {
+			if s == 30 {
+				continue
+			}
+			found := false
+			for _, a := range after {
+				if a == s {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("person %d lost surviving replica %d: %v -> %v", p, s, before, after)
+			}
+		}
+	}
+
+	// Add station 70: a person's set changes only if 70 enters it.
+	grown := append(append([]uint32(nil), stations...), 70)
+	for p, before := range full {
+		after := Pick(p, grown, r)
+		joined := false
+		for _, a := range after {
+			if a == 70 {
+				joined = true
+			}
+		}
+		if joined {
+			continue
+		}
+		for i := range before {
+			if after[i] != before[i] {
+				t.Fatalf("person %d moved from %v to %v though station 70 did not win", p, before, after)
+			}
+		}
+	}
+}
+
+// TestDistribution sanity-checks load balance: with 6 stations and R=2, no
+// station should hold a wildly disproportionate share.
+func TestDistribution(t *testing.T) {
+	stations := []uint32{1, 2, 3, 4, 5, 6}
+	counts := make(map[uint32]int)
+	const persons = 3000
+	for p := core.PersonID(1); p <= persons; p++ {
+		for _, s := range Pick(p, stations, 2) {
+			counts[s]++
+		}
+	}
+	mean := 2 * persons / len(stations)
+	for s, n := range counts {
+		if n < mean/2 || n > 2*mean {
+			t.Fatalf("station %d holds %d replicas, mean is %d", s, n, mean)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable()
+	if tab.Len() != 0 || tab.Contains(1) {
+		t.Fatal("fresh table not empty")
+	}
+	tab.Set(5, 2)
+	tab.Set(3, 3)
+	tab.Set(5, 2)
+	if tab.Len() != 2 || !tab.Contains(5) {
+		t.Fatalf("table has %d entries", tab.Len())
+	}
+	if r, ok := tab.Factor(3); !ok || r != 3 {
+		t.Fatalf("Factor(3) = %d, %v", r, ok)
+	}
+	if _, ok := tab.Factor(4); ok {
+		t.Fatal("Factor(4) found an entry")
+	}
+	keys := tab.Keys()
+	if len(keys) != 2 || keys[0] != 3 || keys[1] != 5 {
+		t.Fatalf("Keys() = %v", keys)
+	}
+	snap := tab.Snapshot()
+	tab.Remove(5)
+	if tab.Contains(5) || tab.Len() != 1 {
+		t.Fatal("Remove did not remove")
+	}
+	if len(snap) != 2 {
+		t.Fatal("snapshot mutated by Remove")
+	}
+}

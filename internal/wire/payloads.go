@@ -530,6 +530,110 @@ func DecodeFetch(m Message) (Fetch, error) {
 	return out, nil
 }
 
+// ---- replication: dump (v4) ----
+
+// Dump asks a station for the raw local patterns of specific persons, or —
+// with an empty person filter — for its entire resident store. It is the
+// pull half of re-replication: after a membership change the coordinator
+// dumps the placed persons from surviving replicas and pushes the copies
+// onto their new rendezvous targets with KindIngest. Unlike KindFetch (which
+// feeds the verification phase and answers with KindNaiveData), a dump can
+// cover the whole store and its reply is a distinct kind, so the two
+// workloads stay separately meterable and separately versioned.
+type Dump struct {
+	// Persons restricts the dump; empty means every resident. IDs are sent
+	// sorted and delta-encoded.
+	Persons []core.PersonID
+}
+
+// EncodeDump renders the pull request.
+func EncodeDump(d Dump) Message {
+	sorted := append([]core.PersonID(nil), d.Persons...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var w writer
+	w.uvarint(uint64(len(sorted)))
+	prev := uint64(0)
+	for _, p := range sorted {
+		w.uvarint(uint64(p) - prev)
+		prev = uint64(p)
+	}
+	return Message{Kind: KindDump, Payload: w.buf}
+}
+
+// DecodeDump parses the pull request.
+func DecodeDump(m Message) (Dump, error) {
+	if m.Kind != KindDump {
+		return Dump{}, fmt.Errorf("wire: decoding %v as dump", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	n := r.count(1)
+	out := Dump{}
+	if n > 0 {
+		out.Persons = make([]core.PersonID, n)
+	}
+	prev := uint64(0)
+	for i := range out.Persons {
+		prev += r.uvarint()
+		out.Persons[i] = core.PersonID(prev)
+	}
+	if err := r.done(); err != nil {
+		return Dump{}, err
+	}
+	return out, nil
+}
+
+// DumpReply is a station's answer to KindDump: the requested (person, local
+// pattern) tuples it actually holds, person-ID ascending. Persons the
+// station does not hold are simply absent.
+type DumpReply struct {
+	Station uint32
+	Persons []core.PersonID
+	Locals  []pattern.Pattern
+}
+
+// EncodeDumpReply renders the dump answer.
+func EncodeDumpReply(d DumpReply) (Message, error) {
+	if len(d.Persons) != len(d.Locals) {
+		return Message{}, fmt.Errorf("wire: %d persons but %d locals", len(d.Persons), len(d.Locals))
+	}
+	var w writer
+	w.uvarint(uint64(d.Station))
+	w.uvarint(uint64(len(d.Persons)))
+	for i, p := range d.Persons {
+		w.uvarint(uint64(p))
+		w.uvarint(uint64(len(d.Locals[i])))
+		for _, v := range d.Locals[i] {
+			w.uvarint(zigzag(v))
+		}
+	}
+	return Message{Kind: KindDumpReply, Payload: w.buf}, nil
+}
+
+// DecodeDumpReply parses the dump answer.
+func DecodeDumpReply(m Message) (DumpReply, error) {
+	if m.Kind != KindDumpReply {
+		return DumpReply{}, fmt.Errorf("wire: decoding %v as dump-reply", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := DumpReply{Station: uint32(r.uvarint())}
+	n := r.count(2)
+	out.Persons = make([]core.PersonID, 0, n)
+	out.Locals = make([]pattern.Pattern, 0, n)
+	for i := 0; i < n; i++ {
+		out.Persons = append(out.Persons, core.PersonID(r.uvarint()))
+		l := r.count(1)
+		pat := make(pattern.Pattern, l)
+		for j := range pat {
+			pat[j] = unzigzag(r.uvarint())
+		}
+		out.Locals = append(out.Locals, pat)
+	}
+	if err := r.done(); err != nil {
+		return DumpReply{}, err
+	}
+	return out, nil
+}
+
 // ---- lifecycle: ingest / evict / stats / ack ----
 
 // Ingest adds (or replaces) resident patterns at one station — the center

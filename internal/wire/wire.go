@@ -22,10 +22,10 @@
 //
 // Version 3 keeps the version-2 header byte-for-byte and adds the batch
 // kinds (KindBatchQuery, KindBatchReply), which pack a whole search round
-// into one exchange. Those kinds exist only at version 3: a batch kind in a
-// frame stamped 1 or 2 is rejected with ErrBadKind, and Encode stamps batch
-// frames version 3 and everything else version 2, so pre-batch peers keep
-// decoding the frames a modern peer sends them — with one deliberate
+// into one exchange. Those kinds exist only from version 3: a batch kind in
+// a frame stamped 1 or 2 is rejected with ErrBadKind, and Encode stamps
+// batch frames version 3 and everything else version 2, so pre-batch peers
+// keep decoding the frames a modern peer sends them — with one deliberate
 // exception: StatsReply gained an optional trailing capability byte (see
 // MaxVersion) that pre-batch decoders reject as trailing garbage, so in a
 // rolling upgrade the data center must upgrade before its stations (the
@@ -34,6 +34,15 @@
 // version discovery, and it falls back to per-query version-2 frames for
 // stations that never advertised version 3. See docs/WIRE.md for the full
 // negotiation rules.
+//
+// Version 4 repeats the pattern for the replication layer: the header is
+// unchanged and the dump kinds (KindDump, KindDumpReply) — the coordinator
+// pulling a surviving replica's raw patterns during re-replication — exist
+// only from version 4. A dump kind in a frame stamped 3 or below is
+// rejected with ErrBadKind, Encode stamps dump frames version 4, and the
+// coordinator only sends KindDump to stations whose stats reply advertised
+// MaxVersion >= 4; older stations can still receive the KindIngest push
+// half of re-replication, they just cannot be pulled from.
 //
 // Payloads use unsigned varints for counts and small integers, raw 64-bit
 // words for bit arrays.
@@ -87,11 +96,20 @@ const (
 	// KindBatchReply answers a batch query with per-person reports covering
 	// every query of the batch (v3 only).
 	KindBatchReply
+	// KindDump asks a station for the raw local patterns of specific persons
+	// (or its whole store when the filter is empty) — the coordinator pulling
+	// a surviving replica's copy during re-replication (v4 only).
+	KindDump
+	// KindDumpReply answers a dump with (person, local pattern) tuples plus
+	// the reporting station's ID (v4 only).
+	KindDumpReply
 
 	// maxKindV2 is the last kind a version-1/2 peer understands; the batch
-	// kinds beyond it require version-3 frames.
+	// kinds beyond it require version-3 frames, and the dump kinds beyond
+	// those require version-4 frames.
 	maxKindV2 = KindAck
-	maxKind   = KindBatchReply
+	maxKindV3 = KindBatchReply
+	maxKind   = KindDumpReply
 )
 
 func (k Kind) String() string {
@@ -126,21 +144,27 @@ func (k Kind) String() string {
 		return "batch-query"
 	case KindBatchReply:
 		return "batch-reply"
+	case KindDump:
+		return "dump"
+	case KindDumpReply:
+		return "dump-reply"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
 }
 
 // Protocol versions. Version1 frames lack the requestID field; Version2
-// added it; Version3 added the batch kinds with an unchanged header. A
-// receiver accepts any version up to Version3.
+// added it; Version3 added the batch kinds with an unchanged header;
+// Version4 added the dump kinds, again with an unchanged header. A receiver
+// accepts any version up to Version4.
 const (
 	Version1 = uint8(1)
 	Version2 = uint8(2)
 	Version3 = uint8(3)
+	Version4 = uint8(4)
 	// LatestVersion is the highest version this codec speaks — what a
 	// station advertises in its StatsReply.
-	LatestVersion = Version3
+	LatestVersion = Version4
 )
 
 const (
@@ -193,24 +217,27 @@ func (m Message) WithRequest(id uint32) Message {
 // meters count.
 func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
 
-// encodeVersion resolves the version byte a frame is stamped with: batch
-// kinds require version 3, everything else defaults to version 2 so
-// pre-batch peers keep decoding it. An explicit Version in [2,3] overrides
-// the default (but never below a kind's floor); version-1 encoding is not
-// supported — v1 is a decode-compatibility floor only.
+// encodeVersion resolves the version byte a frame is stamped with: dump
+// kinds require version 4, batch kinds require version 3, everything else
+// defaults to version 2 so pre-batch peers keep decoding it. An explicit
+// Version in [2,4] overrides the default (but never below a kind's floor);
+// version-1 encoding is not supported — v1 is a decode-compatibility floor
+// only.
 func (m Message) encodeVersion() uint8 {
 	v := m.Version
 	if v < Version2 || v > LatestVersion {
 		v = Version2
 	}
-	if m.Kind > maxKindV2 {
+	if m.Kind > maxKindV3 {
+		v = Version4
+	} else if m.Kind > maxKindV2 && v < Version3 {
 		v = Version3
 	}
 	return v
 }
 
-// Encode renders the frame. Batch kinds are stamped version 3, everything
-// else version 2 (see encodeVersion).
+// Encode renders the frame. Dump kinds are stamped version 4, batch kinds
+// version 3, everything else version 2 (see encodeVersion).
 func (m Message) Encode() []byte {
 	out := make([]byte, headerSize+len(m.Payload))
 	binary.LittleEndian.PutUint16(out[0:2], magic)
@@ -230,7 +257,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 	}
 	version = hdr[2]
 	switch version {
-	case Version2, Version3:
+	case Version2, Version3, Version4:
 		size = headerSize
 		request = binary.LittleEndian.Uint32(hdr[4:8])
 		n = binary.LittleEndian.Uint32(hdr[8:12])
@@ -241,11 +268,15 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 		return 0, 0, 0, 0, 0, ErrBadVersion
 	}
 	kind = Kind(hdr[3])
-	// The batch kinds exist only at version 3: a batch kind in an older
-	// frame is as unknown as kind 200 would be.
+	// The batch kinds exist only from version 3 and the dump kinds only from
+	// version 4: a newer kind in an older frame is as unknown as kind 200
+	// would be.
 	limit := maxKind
-	if version < Version3 {
+	switch {
+	case version < Version3:
 		limit = maxKindV2
+	case version < Version4:
+		limit = maxKindV3
 	}
 	if kind == 0 || kind > limit {
 		return 0, 0, 0, 0, 0, ErrBadKind
@@ -257,7 +288,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 }
 
 // Decode parses a frame from b, which must contain exactly one frame.
-// Frames of any version up to Version3 are accepted; the version is
+// Frames of any version up to Version4 are accepted; the version is
 // recorded on the returned message.
 func Decode(b []byte) (Message, error) {
 	if len(b) < headerSizeV1 {
@@ -289,7 +320,7 @@ func WriteMessage(w io.Writer, m Message) error {
 }
 
 // ReadMessage reads exactly one frame from r, accepting frames of any
-// version up to Version3.
+// version up to Version4.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
 	// Read the version-1 prefix first: all layouts share magic, version and

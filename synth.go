@@ -78,6 +78,20 @@ func QueryFromPerson(city *City, id QueryID, person PersonID) Query {
 	return Query{ID: id, Locals: city.QueryLocalsOf(cdr.PersonID(person))}
 }
 
+// PersonGlobals returns every person's global pattern (the element-wise sum
+// of their locals) — the natural unit of a placement-first deployment,
+// where Cluster.Place distributes whole patterns onto rendezvous-hashed
+// replicas instead of the caller routing per-station pieces.
+func PersonGlobals(city *City) map[PersonID]Pattern {
+	out := make(map[PersonID]Pattern)
+	for _, c := range Categories() {
+		for _, p := range city.PersonsInCategory(c) {
+			out[core.PersonID(p)] = city.GlobalOf(p)
+		}
+	}
+	return out
+}
+
 // PersonLocals returns one person's local patterns keyed by the station
 // holding them — the station-addressed form Cluster.Ingest and
 // Cluster.Evict speak.
