@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication] [-quick] [-strategy wbf]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|routing] [-quick] [-strategy wbf]
 //	di-bench -run batch -batch-out BENCH_batch.json
 //	di-bench -batch-check BENCH_batch.json
 //	di-bench -run replication -replication-out BENCH_replication.json
 //	di-bench -replication-check BENCH_replication.json
+//	di-bench -run routing -routing-out BENCH_routing.json
+//	di-bench -routing-check BENCH_routing.json
 //
 // The default -run all executes every experiment at full scale (a few
 // minutes); -quick shrinks the workloads for a fast smoke run. -strategy
@@ -19,6 +21,14 @@
 // result as the repository's perf baseline (BENCH_batch.json).
 // -batch-check validates a previously recorded baseline file and exits
 // non-zero if it is empty or malformed — the CI gate.
+//
+// -run routing measures the summary-routed search pipeline against full
+// fan-out over TCP loopback — selective queries on a replicated
+// placement-first deployment at 4/16/64 stations — and, with -routing-out,
+// records the result as BENCH_routing.json. -routing-check validates a
+// recorded baseline and exits non-zero unless routed searches move fewer
+// messages per query than full fan-out at 16+ stations with results and
+// recall asserted identical — the CI gate for the routing claim.
 //
 // -run replication measures search quality on a placement-first deployment
 // under station loss at replication factors 1 and 2 — the healthy cluster,
@@ -43,13 +53,15 @@ import (
 
 func main() {
 	var (
-		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication")
+		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, routing")
 		quick            = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		strategy         = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
 		batchOut         = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
 		batchCheck       = flag.String("batch-check", "", "validate a recorded BENCH_batch.json and exit (no experiments run)")
 		replicationOut   = flag.String("replication-out", "", "with -run replication: also write the report as JSON to this file")
 		replicationCheck = flag.String("replication-check", "", "validate a recorded BENCH_replication.json and exit (no experiments run)")
+		routingOut       = flag.String("routing-out", "", "with -run routing: also write the report as JSON to this file")
+		routingCheck     = flag.String("routing-check", "", "validate a recorded BENCH_routing.json and exit (no experiments run)")
 	)
 	flag.Parse()
 	if *batchCheck != "" {
@@ -68,12 +80,20 @@ func main() {
 		fmt.Printf("%s: valid replication baseline\n", *replicationCheck)
 		return
 	}
+	if *routingCheck != "" {
+		if err := checkRoutingFile(*routingCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "di-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid routing baseline\n", *routingCheck)
+		return
+	}
 	strat, err := dimatch.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
-	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut); err != nil {
+	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *routingOut); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
@@ -108,6 +128,44 @@ func checkBatchFile(path string) error {
 // checkReplicationFile validates a recorded replication baseline.
 func checkReplicationFile(path string) error {
 	return checkBaselineFile(path, bench.CheckReplicationJSON)
+}
+
+// checkRoutingFile validates a recorded routing baseline.
+func checkRoutingFile(path string) error {
+	return checkBaselineFile(path, bench.CheckRoutingJSON)
+}
+
+// runRoutingBaseline runs the routed-vs-full sweep, prints it, and
+// optionally records the JSON baseline.
+func runRoutingBaseline(w *os.File, quick bool, out string) error {
+	cfg := bench.RoutingConfig{}
+	if quick {
+		cfg.Persons = 200
+		cfg.StationCounts = []int{4, 16}
+		cfg.Repetitions = 2
+	}
+	r, err := bench.RunRoutingBench(cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderRouting(w, r)
+	fmt.Fprintln(w)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteRoutingJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline recorded to %s\n", out)
+	return nil
 }
 
 // runReplicationBaseline runs the replication sweep, prints it, and
@@ -174,7 +232,7 @@ func runBatchBaseline(w *os.File, quick bool, out string) error {
 	return nil
 }
 
-func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut string) error {
+func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, routingOut string) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -320,8 +378,14 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			return err
 		}
 	}
+	if selected("routing") {
+		any = true
+		if err := runRoutingBaseline(os.Stdout, quick, routingOut); err != nil {
+			return err
+		}
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication)", strings.TrimSpace(run))
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication routing)", strings.TrimSpace(run))
 	}
 	return nil
 }

@@ -58,6 +58,7 @@ func main() {
 		strategy = flag.String("strategy", "wbf", "center: search strategy (naive, bf, wbf)")
 		queries  = flag.Int("queries", 1, "center: total queries in the search batch (the reference person, padded with further references)")
 		batch    = flag.Int("batch", 0, "center: WithBatching bound: 0 packs all queries into one wire exchange per station, 1 sends legacy per-query frames, n>1 splits into rounds of n")
+		routing  = flag.String("routing", "summary", "center: fan-out routing mode: summary (prune stations via cached summaries) or full (classic every-station fan-out)")
 		timeout  = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
 		churn    = flag.Bool("churn", false, "run the in-process live-mutation demo (ignores -role)")
 		replicas = flag.Int("replicas", 0, "with -churn: run the replicated-placement chaos demo at this replication factor (0 keeps the station-addressed demo)")
@@ -84,8 +85,12 @@ func main() {
 	case "center":
 		var strat dimatch.Strategy
 		strat, err = dimatch.ParseStrategy(*strategy)
+		var route dimatch.RoutingMode
 		if err == nil {
-			err = runCenter(cfg, *listen, *stations, dimatch.PersonID(*ref), *topK, strat, *timeout, *queries, *batch)
+			route, err = dimatch.ParseRoutingMode(*routing)
+		}
+		if err == nil {
+			err = runCenter(cfg, *listen, *stations, dimatch.PersonID(*ref), *topK, strat, *timeout, *queries, *batch, route)
 		}
 	case "station":
 		err = runStation(cfg, *connect, uint32(*station), *stations)
@@ -102,7 +107,7 @@ func main() {
 // Stations identify themselves by sending their index as the first byte
 // sequence of the demo protocol — here simplified: accept order must match
 // station start order, so start stations 0..n-1 in sequence.
-func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref dimatch.PersonID, topK int, strat dimatch.Strategy, timeout time.Duration, queryCount, batch int) error {
+func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref dimatch.PersonID, topK int, strat dimatch.Strategy, timeout time.Duration, queryCount, batch int, routing dimatch.RoutingMode) error {
 	city, err := dimatch.GenerateCity(cfg)
 	if err != nil {
 		return err
@@ -145,7 +150,8 @@ func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref 
 	}
 	searchQueries := centerQueries(city, ref, queryCount)
 	out, err := c.Search(ctx, searchQueries,
-		dimatch.WithStrategy(strat), dimatch.WithTopK(topK), dimatch.WithBatching(batch))
+		dimatch.WithStrategy(strat), dimatch.WithTopK(topK), dimatch.WithBatching(batch),
+		dimatch.WithRouting(routing))
 	if err != nil {
 		return err
 	}
@@ -157,6 +163,9 @@ func runCenter(cfg dimatch.CityConfig, listenAddr string, stationCount int, ref 
 	fmt.Printf("center: dissemination %d B / %d msgs, reports %d B / %d msgs, %d batched rounds, elapsed %v\n",
 		out.Cost.BytesDown, out.Cost.MessagesDown, out.Cost.BytesUp, out.Cost.MessagesUp,
 		out.Cost.Batches, out.Cost.Elapsed)
+	fmt.Printf("center: routing %s: %d stations pruned, %d summary refreshes (%d B)\n",
+		routing, out.Cost.StationsPruned, out.Cost.SummaryRefreshes,
+		out.Cost.SummaryBytesDown+out.Cost.SummaryBytesUp)
 	return nil
 }
 

@@ -35,6 +35,9 @@ type (
 	SearchOption = cluster.SearchOption
 	// Strategy selects naive / BF / WBF execution.
 	Strategy = cluster.Strategy
+	// RoutingMode selects how a WBF search picks the stations it fans out
+	// to: summary-routed pruning (the default) or classic full fan-out.
+	RoutingMode = cluster.RoutingMode
 	// Outcome is a search's ranked results plus cost accounting.
 	Outcome = cluster.Outcome
 	// CostReport quantifies a search's traffic, storage and latency.
@@ -62,6 +65,19 @@ const (
 	StrategyBF    = cluster.StrategyBF
 	StrategyWBF   = cluster.StrategyWBF
 )
+
+// Routing modes, re-exported. RoutingSummary — the default — probes the
+// coordinator's cached per-station summaries and skips stations that cannot
+// hold a match; RoutingFull forces the classic every-station fan-out.
+const (
+	RoutingSummary = cluster.RoutingSummary
+	RoutingFull    = cluster.RoutingFull
+)
+
+// ParseRoutingMode is the inverse of RoutingMode.String: it maps "summary"
+// and "full" (case-insensitively) to the routing constants — the canonical
+// way for CLIs to turn a flag into a RoutingMode.
+func ParseRoutingMode(s string) (RoutingMode, error) { return cluster.ParseRoutingMode(s) }
 
 // ParseStrategy is the inverse of Strategy.String: it maps "naive", "bf" and
 // "wbf" (case-insensitively) to the strategy constants — the canonical way
@@ -97,6 +113,16 @@ func WithTargetFP(fp float64) SearchOption { return cluster.WithTargetFP(fp) }
 // positives slip through.
 func WithBatching(n int) SearchOption { return cluster.WithBatching(n) }
 
+// WithRouting selects the fan-out routing mode for one WBF search (default
+// RoutingSummary, or the cluster's Options.Routing). Summary routing sends
+// each query batch only to stations whose cached routing summary admits a
+// possible match — stations without a usable summary are always visited and
+// an all-pruned plan falls back to full fan-out, so results and recall are
+// identical to RoutingFull; only the wasted exchanges differ
+// (CostReport.StationsPruned counts them). BF and naive searches ignore the
+// mode and always fan out fully.
+func WithRouting(m RoutingMode) SearchOption { return cluster.WithRouting(m) }
+
 // Sentinel errors returned by Search, re-exported for errors.Is checks.
 var (
 	// ErrNoQueries reports an empty query batch.
@@ -111,6 +137,8 @@ var (
 	ErrCancelled = cluster.ErrCancelled
 	// ErrUnknownStrategy reports a strategy outside the known set.
 	ErrUnknownStrategy = cluster.ErrUnknownStrategy
+	// ErrUnknownRouting reports a routing mode outside the known set.
+	ErrUnknownRouting = cluster.ErrUnknownRouting
 	// ErrUnknownStation reports a lifecycle call naming a non-member station.
 	ErrUnknownStation = cluster.ErrUnknownStation
 	// ErrStationExists reports an AddStation id that is already a member.

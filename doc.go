@@ -17,14 +17,27 @@
 //
 // # The approach
 //
-// DI-matching encodes the query's local-pattern combinations into a
-// Weighted Bloom Filter: patterns are converted to accumulated (prefix-sum)
-// form, sampled at b deterministic points, and hashed with an exact integer
-// weight attached to every set bit. Stations probe their residents against
-// the filter and return only (person, weight) pairs; the center sums
-// weights per person — disjoint combination weights add, a full partition
-// sums to exactly 1, and sums above 1 expose aggregates that cannot equal
-// the query — then ranks and returns the top-K.
+// The pipeline is place → route → probe → verify:
+//
+//   - Place: patterns live where the data (or the rendezvous hash) puts
+//     them. Station-addressed ingest pins a pattern to the station that
+//     observed it; Place copies it to the R stations that win the HRW hash
+//     and keeps that invariant standing through churn.
+//   - Route: the coordinator encodes the query's local-pattern
+//     combinations into a Weighted Bloom Filter — accumulated (prefix-sum)
+//     form, b deterministic sample points, an exact integer weight attached
+//     to every set bit — and, before fanning out, probes its cached
+//     per-station summaries to skip stations that provably hold no resident
+//     inside any combination's ε band. Query exchanges go only to stations
+//     that might answer.
+//   - Probe: each visited station probes its residents against the filter
+//     (a whole batch of queries in one walk) and returns only
+//     (person, weight) pairs; the center sums weights per person — disjoint
+//     combination weights add, a full partition sums to exactly 1, and sums
+//     above 1 expose aggregates that cannot equal the query — then ranks.
+//   - Verify: optionally, the center fetches the ranked candidates' local
+//     patterns from the full membership, materializes their globals and
+//     keeps only exact Eq. 2 matches.
 //
 // # Using the library
 //
@@ -45,6 +58,26 @@
 //		dimatch.WithStrategy(dimatch.StrategyBF),
 //		dimatch.WithTopK(5),
 //		dimatch.WithVerify(true))
+//
+// # Routed searches
+//
+// Summary routing is on by default: every station can answer a wire-v5
+// summary pull with a compact Bloom digest of its residents' accumulated
+// cells, the coordinator caches the digests (ingest delta-updates them,
+// evict and membership changes invalidate them), and each WBF search visits
+// only the stations whose digest admits a possible match. Pruning is
+// strictly conservative — stations without a usable digest are always
+// visited and an all-pruned plan falls back to full fan-out — so results
+// equal full fan-out and only the wasted exchanges differ:
+//
+//	out, err := c.Search(ctx, queries)                                  // routed (default)
+//	out, err = c.Search(ctx, queries, dimatch.WithRouting(dimatch.RoutingFull)) // classic fan-out
+//	fmt.Println(out.Cost.StationsPruned, out.Cost.SummaryRefreshes)
+//
+// BENCH_routing.json records the saving on a selective workload (at 64
+// stations a single-target search visits only the target's 2 replica
+// stations) and docs/OPERATIONS.md covers when routing pays and how
+// summaries are sized.
 //
 // # Batched searches
 //
@@ -105,6 +138,8 @@
 // in for the paper's proprietary dataset, and StrategyNaive / StrategyBF
 // reproduce the paper's two baselines for comparison. See README.md for
 // the architecture sketch and strategy comparison, ARCHITECTURE.md for the
-// full layer-by-layer walkthrough, and docs/WIRE.md for the frame-level
-// protocol specification.
+// full layer-by-layer walkthrough, docs/WIRE.md for the frame-level
+// protocol specification, and docs/OPERATIONS.md for the deployment and
+// tuning guide (choosing R and the routing mode, sizing summaries, reading
+// CostReport and Stats, the epoch/reconciliation lifecycle).
 package dimatch

@@ -68,6 +68,71 @@ func ExampleCluster_Search_options() {
 	// batched rounds used: 0
 }
 
+// ExampleCluster_Search_routing shows summary routing pruning fan-out: the
+// stores are well separated, so a single-target search visits only the one
+// station that can answer. Routing is the default — the option is spelled
+// out here only to contrast the two modes.
+func ExampleCluster_Search_routing() {
+	data := map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		0: {10: {1, 2, 3}},
+		1: {20: {50, 60, 70}},
+		2: {30: {500, 600, 700}},
+	}
+	c, err := dimatch.NewCluster(dimatch.Options{}, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+
+	q := dimatch.Query{ID: 1, Locals: []dimatch.Pattern{{50, 60, 70}}}
+	out, err := c.Search(ctx, []dimatch.Query{q}) // summary-routed by default
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range out.PerQuery[1] {
+		fmt.Printf("person %d scores %.1f\n", r.Person, r.Score())
+	}
+	fmt.Printf("stations pruned: %d of %d\n", out.Cost.StationsPruned, c.Stations())
+	// Output:
+	// person 20 scores 1.0
+	// stations pruned: 2 of 3
+}
+
+// ExampleWithRouting contrasts the two routing modes on one cluster: full
+// fan-out visits every station, summary routing skips the ones whose cached
+// summary admits no possible match — with identical results.
+func ExampleWithRouting() {
+	data := map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		0: {10: {1, 2, 3}},
+		1: {20: {50, 60, 70}},
+		2: {30: {500, 600, 700}},
+	}
+	c, err := dimatch.NewCluster(dimatch.Options{}, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+	q := dimatch.Query{ID: 1, Locals: []dimatch.Pattern{{1, 2, 3}}}
+
+	full, err := c.Search(ctx, []dimatch.Query{q}, dimatch.WithRouting(dimatch.RoutingFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	routed, err := c.Search(ctx, []dimatch.Query{q}) // dimatch.RoutingSummary
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full: %d query frames, %d pruned\n", full.Cost.MessagesDown, full.Cost.StationsPruned)
+	fmt.Printf("routed: %d query frames, %d pruned\n", routed.Cost.MessagesDown, routed.Cost.StationsPruned)
+	fmt.Println("same answer:", len(full.PerQuery[1]) == len(routed.PerQuery[1]))
+	// Output:
+	// full: 3 query frames, 0 pruned
+	// routed: 1 query frames, 2 pruned
+	// same answer: true
+}
+
 // ExampleCluster_Ingest mutates a running cluster: freshly observed call
 // data lands at the station that saw it, and an eviction removes it again
 // — all while searches may be in flight.

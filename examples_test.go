@@ -228,6 +228,45 @@ func TestReadmeBatchingClaims(t *testing.T) {
 	}
 }
 
+// TestReadmeRoutingSnippet is the README "Summary-routed search" block: the
+// snippet's two searches, run against a cluster whose stores are separated
+// enough for routing to prune, plus the section's identical-results claim.
+func TestReadmeRoutingSnippet(t *testing.T) {
+	c, err := dimatch.NewCluster(dimatch.Options{}, map[uint32]map[dimatch.PersonID]dimatch.Pattern{
+		0: {10: {1, 2, 3}},
+		1: {20: {50, 60, 70}},
+		2: {30: {500, 600, 700}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+	queries := []dimatch.Query{{ID: 1, Locals: []dimatch.Pattern{{50, 60, 70}}}}
+
+	// ---- the snippet, statement for statement ----
+	// Routing is on by default; force full fan-out to compare.
+	full, _ := c.Search(ctx, queries, dimatch.WithRouting(dimatch.RoutingFull))
+	routed, _ := c.Search(ctx, queries)
+	fmt.Println(routed.Cost.StationsPruned, "stations pruned")
+	// ---- end of snippet ----
+
+	if full == nil || routed == nil {
+		t.Fatal("searches failed")
+	}
+	if routed.Cost.StationsPruned != 2 {
+		t.Fatalf("StationsPruned = %d, want 2 of 3 stations skipped", routed.Cost.StationsPruned)
+	}
+	if full.Cost.StationsPruned != 0 {
+		t.Fatalf("full fan-out pruned %d stations", full.Cost.StationsPruned)
+	}
+	// "results are identical to full fan-out"
+	w, g := full.PerQuery[1], routed.PerQuery[1]
+	if len(w) != 1 || len(g) != 1 || w[0].Person != g[0].Person || w[0].Numerator != g[0].Numerator {
+		t.Fatalf("README promises identical results: full %v vs routed %v", w, g)
+	}
+}
+
 // TestReadmePlacementSnippet is the README "Replicated placement" block: an
 // empty cluster, Place with WithReplication(2), and the single-station-loss
 // guarantee the section claims.

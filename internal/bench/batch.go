@@ -174,22 +174,25 @@ func tcpBatchCluster(d *cdr.Dataset, opts cluster.Options) (*cluster.Cluster, fu
 	return c, cleanup, nil
 }
 
-// runBatchScenario times one (cluster, queries, mode) cell.
+// runBatchScenario times one (cluster, queries, mode) cell. Summary
+// routing is forced off so the cell isolates what batching buys — the
+// routed-vs-full comparison has its own baseline (BENCH_routing.json).
 func runBatchScenario(c *cluster.Cluster, queries []core.Query, mode string, reps int) (BatchScenario, error) {
 	batchSize := 0 // batched: whole set in one round
 	if mode == "unbatched" {
 		batchSize = 1
 	}
+	opts := []cluster.SearchOption{cluster.WithBatching(batchSize), cluster.WithRouting(cluster.RoutingFull)}
 	ctx := context.Background()
 	// Warm-up: fills the epoch's stats/version cache and the TCP buffers.
-	if _, err := c.Search(ctx, queries, cluster.WithBatching(batchSize)); err != nil {
+	if _, err := c.Search(ctx, queries, opts...); err != nil {
 		return BatchScenario{}, err
 	}
 	durations := make([]time.Duration, 0, reps)
 	var last *cluster.Outcome
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		out, err := c.Search(ctx, queries, cluster.WithBatching(batchSize))
+		out, err := c.Search(ctx, queries, opts...)
 		if err != nil {
 			return BatchScenario{}, err
 		}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickRoutingConfig keeps the sweep small enough for the unit-test tier
+// while still crossing the 16-station gate threshold.
+func quickRoutingConfig() RoutingConfig {
+	return RoutingConfig{
+		Persons:       200,
+		StationCounts: []int{4, 16},
+		QueryCounts:   []int{1, 8},
+		Repetitions:   2,
+	}
+}
+
+func TestRoutingBenchReportShape(t *testing.T) {
+	r, err := RunRoutingBench(quickRoutingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 station counts × 2 query counts × 2 modes.
+	if len(r.Scenarios) != 8 {
+		t.Fatalf("%d scenarios, want 8", len(r.Scenarios))
+	}
+	if len(r.Comparisons) != 4 {
+		t.Fatalf("%d comparisons, want 4", len(r.Comparisons))
+	}
+	for _, s := range r.Scenarios {
+		if s.Recall != 1 || !s.ResultsMatchFull {
+			t.Fatalf("scenario %+v: the runner must refuse to record recall drift", s)
+		}
+	}
+	for _, cmp := range r.Comparisons {
+		if cmp.Stations < 16 {
+			continue
+		}
+		if cmp.MessagesPerQueryRatio <= 1 || cmp.StationsPruned == 0 {
+			t.Fatalf("16-station cell did not prune: %+v", cmp)
+		}
+		if cmp.Queries == 1 && cmp.MessagesPerQueryRatio < 2 {
+			t.Fatalf("single-target ratio %.2f < 2 at 16 stations", cmp.MessagesPerQueryRatio)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRoutingJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRoutingJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-tripped report rejected: %v", err)
+	}
+	var render bytes.Buffer
+	RenderRouting(&render, r)
+	if !strings.Contains(render.String(), "fewer messages/query") {
+		t.Fatal("render missing comparison line")
+	}
+}
+
+func TestCheckRoutingJSONRejectsBadInput(t *testing.T) {
+	scenario := `{"mode":"routed","repetitions":1,"throughput_qps":1,"messages_total":1,"bytes_total":1,"recall":1,"results_match_full":true,"stations":16,"queries":1}`
+	comparison := `{"stations":16,"queries":1,"messages_per_query_ratio":4,"stations_pruned":10}`
+	cases := map[string]string{
+		"empty":        "",
+		"not json":     "not json at all",
+		"wrong schema": `{"schema":"other/v9","scenarios":[` + scenario + `],"comparisons":[` + comparison + `]}`,
+		"no scenarios": `{"schema":"dimatch-routing-bench/v1","scenarios":[],"comparisons":[]}`,
+		"recall drift": `{"schema":"dimatch-routing-bench/v1","scenarios":[
+			{"mode":"routed","repetitions":1,"throughput_qps":1,"messages_total":1,"bytes_total":1,"recall":0.5,"results_match_full":true,"stations":16,"queries":1}],"comparisons":[` + comparison + `]}`,
+		"result drift": `{"schema":"dimatch-routing-bench/v1","scenarios":[
+			{"mode":"routed","repetitions":1,"throughput_qps":1,"messages_total":1,"bytes_total":1,"recall":1,"results_match_full":false,"stations":16,"queries":1}],"comparisons":[` + comparison + `]}`,
+		"no pruning at 16": `{"schema":"dimatch-routing-bench/v1","scenarios":[` + scenario + `],"comparisons":[
+			{"stations":16,"queries":1,"messages_per_query_ratio":1.0,"stations_pruned":0}]}`,
+		"only small cells": `{"schema":"dimatch-routing-bench/v1","scenarios":[` + scenario + `],"comparisons":[
+			{"stations":4,"queries":1,"messages_per_query_ratio":2,"stations_pruned":2}]}`,
+	}
+	for name, in := range cases {
+		if err := CheckRoutingJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

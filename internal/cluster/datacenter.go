@@ -74,6 +74,11 @@ type Options struct {
 	// pipeline; n > 1 splits the set into rounds of at most n queries.
 	// Override per call with WithBatching.
 	BatchSize int
+	// Routing selects the default fan-out routing for WBF searches. The
+	// zero value, RoutingSummary, prunes stations whose cached routing
+	// summary admits no possible match; RoutingFull keeps the classic
+	// every-station fan-out. Override per call with WithRouting.
+	Routing RoutingMode
 }
 
 // CostReport quantifies one search, feeding Figures 4b-4d. Counts are
@@ -110,9 +115,29 @@ type CostReport struct {
 	// search or an all-pre-v3 fleet. Messages and bytes above reflect
 	// whatever mix of batched and per-query exchanges actually ran.
 	Batches int
+	// StationsPruned counts member stations the summary-routing step
+	// excluded from this search's query fan-out: their cached summaries
+	// admitted no possible match for any query of the batch. Pruned
+	// stations are not failed — they were never asked. Always 0 under
+	// RoutingFull, for BF/naive searches, and when the routed plan fell
+	// back to full fan-out.
+	StationsPruned int
+	// SummaryRefreshes counts the KindSummary exchanges this search
+	// triggered to (re)fill the coordinator's summary cache, and
+	// SummaryBytesDown / SummaryBytesUp their traffic. Like the per-epoch
+	// stats exchange, refresh traffic fills cluster-level state shared by
+	// every search, so it is billed here and NOT into the Bytes/Messages
+	// totals above; an operator weighs these against the exchanges routing
+	// pruned (docs/OPERATIONS.md).
+	SummaryRefreshes int
+	SummaryBytesDown uint64
+	SummaryBytesUp   uint64
 }
 
-// TotalBytes returns all traffic the search moved.
+// TotalBytes returns the search's dissemination plus report traffic.
+// Summary-refresh traffic is billed separately (SummaryBytesDown/Up): it
+// fills a cluster-level cache shared by every search, like the per-epoch
+// stats exchange.
 func (c CostReport) TotalBytes() uint64 { return c.BytesDown + c.BytesUp }
 
 // Outcome is one search's full result.
@@ -287,6 +312,12 @@ type Cluster struct {
 	// healMu serializes reconciliation passes.
 	placeTab *placement.Table
 	healMu   sync.Mutex
+
+	// summaries is the routing-summary cache: one probeable digest per
+	// station, filled lazily by routed searches and kept honest by the
+	// mutation hooks (ingest delta-updates, evict and membership changes
+	// invalidate). See route.go.
+	summaries summaryCache
 
 	wg       sync.WaitGroup
 	serveMu  sync.Mutex
@@ -471,6 +502,7 @@ func (c *Cluster) KillStation(id uint32) error {
 	// severed station.
 	c.installEpochLocked(c.ep.ids, c.ep.muxes)
 	c.mu.Unlock()
+	c.summaries.invalidate(id)
 	c.heal(context.Background())
 	return err
 }
@@ -565,7 +597,21 @@ func (c *Cluster) Ingest(ctx context.Context, stationID uint32, patterns map[cor
 	if err != nil {
 		return err
 	}
-	return c.mutate(ctx, stationID, msg)
+	if err := c.mutate(ctx, stationID, msg); err != nil {
+		// The exchange failed, but the frame may still have been delivered
+		// and applied (a lost ack, a deadline while awaiting it). A cached
+		// digest missing an applied ingest would prune the station away
+		// from its new residents — the one staleness direction that loses
+		// recall — so the slot is invalidated on the error path too.
+		c.summaries.invalidate(stationID)
+		return err
+	}
+	// The station's routing summary grew: delta-update the cached digest
+	// (Bloom inserts are monotone) so routed searches keep pruning without
+	// a refresh round trip. See summaryCache.noteIngest for the staleness
+	// contract.
+	c.summaries.noteIngest(stationID, in.Locals)
+	return nil
 }
 
 // Evict removes residents from one station — expired retention windows,
@@ -579,7 +625,14 @@ func (c *Cluster) Evict(ctx context.Context, stationID uint32, persons []core.Pe
 	if len(persons) == 0 {
 		return nil
 	}
-	return c.mutate(ctx, stationID, wire.EncodeEvict(wire.Evict{Persons: persons}))
+	if err := c.mutate(ctx, stationID, wire.EncodeEvict(wire.Evict{Persons: persons})); err != nil {
+		return err
+	}
+	// Bloom digests cannot delete: drop the cached summary and let the next
+	// routed search refetch. Keeping the stale digest would only waste
+	// probes, but it would also never shrink.
+	c.summaries.invalidate(stationID)
+	return nil
 }
 
 // mutate runs one acknowledged mutation exchange against a member station
@@ -678,6 +731,9 @@ func (c *Cluster) AddStation(ctx context.Context, id uint32, locals map[core.Per
 	}
 	c.addMemberLocked(id, transport.NewMux(center))
 	c.mu.Unlock()
+	// A departed member may have left a digest under the same id; the new
+	// station starts with a cold summary slot.
+	c.summaries.invalidate(id)
 	c.heal(ctx)
 	return nil
 }
@@ -735,6 +791,7 @@ func (c *Cluster) AddStationLink(ctx context.Context, id uint32, link transport.
 	}
 	c.addMemberLocked(id, mux)
 	c.mu.Unlock()
+	c.summaries.invalidate(id)
 	c.heal(ctx)
 	return nil
 }
@@ -789,6 +846,7 @@ func (c *Cluster) RemoveStation(ctx context.Context, id uint32) error {
 		}
 	}
 	c.mu.Unlock()
+	c.summaries.invalidate(id)
 
 	if !wasDead {
 		stopMux(ctx, mux)
@@ -1110,13 +1168,21 @@ func (c *Cluster) searchWBF(ctx context.Context, ep *epoch, cfg searchConfig, qu
 		roundSize = 0
 	}
 	var vers map[uint32]uint8
-	if !legacyAll && len(ep.ids) > 0 {
+	if len(ep.ids) > 0 && (!legacyAll || cfg.routing == RoutingSummary) {
 		vers = c.peerVersions(ctx, ep)
+	}
+	// The routing step: probe the per-station summaries and restrict the
+	// query fan-out to stations that might answer. Verification below still
+	// uses the full epoch — a candidate's locals can live on stations that
+	// hold no within-band resident, and the verify fetch must see them all.
+	routeEp := ep
+	if cfg.routing == RoutingSummary {
+		routeEp = c.planRoute(ctx, ep, cfg, queries, vers, &out.Cost)
 	}
 	var reportBytes, filterBytes uint64
 	failedStations := make(map[uint32]bool)
 	for _, batch := range batchQueries(queries, roundSize) {
-		if err := c.runWBFRound(ctx, ep, cfg, batch, vers, agg, out, &reportBytes, &filterBytes, failedStations); err != nil {
+		if err := c.runWBFRound(ctx, routeEp, cfg, batch, vers, agg, out, &reportBytes, &filterBytes, failedStations); err != nil {
 			return nil, err
 		}
 	}

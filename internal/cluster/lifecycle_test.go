@@ -454,9 +454,12 @@ func TestLiveMutationEndToEnd(t *testing.T) {
 	}()
 
 	// Search B, issued after the mutations, runs over the 4-station epoch
-	// and — with verification — finds the spanning target exactly.
+	// and — with verification — finds the spanning target exactly. Routing
+	// is forced off: the message-count assertions below pin full fan-out
+	// coverage of the new epoch (summary routing would legitimately skip
+	// the stations that cannot answer; routing_test.go covers that).
 	qB := core.Query{ID: 2, Locals: []pattern.Pattern{{5, 0, 1}, {1, 4, 2}}}
-	outB, err := c.Search(ctx, []core.Query{qB}, WithStrategy(StrategyWBF), WithVerify(true))
+	outB, err := c.Search(ctx, []core.Query{qB}, WithStrategy(StrategyWBF), WithVerify(true), WithRouting(RoutingFull))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+
+	"dimatch/internal/core"
+	"dimatch/internal/index"
+	"dimatch/internal/pattern"
+	"dimatch/internal/transport"
+	"dimatch/internal/wire"
+)
+
+// summaryCache is the coordinator's per-station routing-summary store. It
+// is generation-guarded: every mutation that can change a station's store
+// bumps the station's generation, and a summary fetched over the wire is
+// only installed if the generation it was fetched under still stands. That
+// closes the race where a summary request lands at a station just before an
+// ingest applies, and its (now stale) reply would otherwise overwrite the
+// invalidation — a stale summary that lags an ingest could prune a station
+// holding the new resident, which is the one staleness that loses recall.
+// A summary lagging an evict merely admits a station that reports nothing
+// (a wasted probe), so eviction staleness is only a cost concern.
+type summaryCache struct {
+	mu      sync.Mutex
+	entries map[uint32]*index.Summary
+	gens    map[uint32]uint64
+}
+
+// get returns the cached summary for a station (nil if absent) and the
+// station's current generation. Callers that intend to fetch must read the
+// generation BEFORE sending the request and pass it to put.
+func (c *summaryCache) get(id uint32) (*index.Summary, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[id], c.gens[id]
+}
+
+// put installs a fetched summary if the station's generation is still the
+// one the fetch was issued under; a summary outdated by a concurrent
+// mutation is dropped.
+func (c *summaryCache) put(id uint32, gen uint64, s *index.Summary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens[id] != gen {
+		return
+	}
+	if c.entries == nil {
+		c.entries = make(map[uint32]*index.Summary)
+	}
+	c.entries[id] = s
+}
+
+// invalidate bumps the station's generation and drops its digest: the next
+// routed search refetches (and until then the station is never pruned).
+func (c *summaryCache) invalidate(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens == nil {
+		c.gens = make(map[uint32]uint64)
+	}
+	c.gens[id]++
+	delete(c.entries, id)
+}
+
+// noteIngest applies an ingest to the cached digest: the generation bumps
+// (so any in-flight pre-ingest fetch is discarded) and, when a digest is
+// cached with matching geometry, the ingested patterns' cells are added to
+// a copy — Bloom inserts are monotone, so the updated digest covers the
+// post-ingest store without a wire refresh. Without a usable cached digest
+// the slot is simply left invalidated.
+func (c *summaryCache) noteIngest(id uint32, locals []pattern.Pattern) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens == nil {
+		c.gens = make(map[uint32]uint64)
+	}
+	c.gens[id]++
+	cur := c.entries[id]
+	if cur == nil {
+		return
+	}
+	updated := cur.Clone()
+	for _, l := range locals {
+		if l.Sum() == 0 {
+			continue // stations drop all-zero patterns on ingest
+		}
+		if updated.Add(l) != nil {
+			// Geometry mismatch (e.g. the placeholder digest of a station
+			// that was empty): the digest cannot absorb the delta — drop it
+			// and let the next routed search refetch.
+			delete(c.entries, id)
+			return
+		}
+	}
+	c.entries[id] = updated
+}
+
+// planRoute is the routing step of a WBF search: it probes each station's
+// cached summary with the query batch and returns the epoch restricted to
+// the stations that must be visited, charging summary-refresh traffic to
+// cost. The full epoch is returned — and nothing is pruned — whenever
+// pruning would be unsound or pointless: a single-station cluster, probes
+// over budget, or a plan that would exclude everything (stale summaries
+// must never turn a search into a silent no-op, so an empty candidate set
+// falls back to full fan-out).
+//
+// Stations are kept (never pruned) individually when they predate wire v5,
+// when their summary cannot be fetched, or when any query's probe admits
+// them. Pruning is therefore strictly conservative: a pruned station
+// provably held no resident inside any query combination's ε band at the
+// sampled positions, so it could only have contributed hash-collision
+// noise, never a true match's report.
+func (c *Cluster) planRoute(ctx context.Context, ep *epoch, cfg searchConfig, queries []core.Query, vers map[uint32]uint8, cost *CostReport) *epoch {
+	if len(ep.ids) < 2 {
+		return ep
+	}
+	p := cfg.params
+	samples := p.Samples
+	if samples == 0 {
+		samples = core.DefaultSamples
+	}
+	probes := make([]index.Probe, 0, len(queries))
+	selective := false
+	for _, q := range queries {
+		pr, err := index.NewProbe(q, samples, p.Epsilon)
+		if err != nil {
+			return ep // queries were validated already; be conservative
+		}
+		probes = append(probes, pr)
+		selective = selective || pr.Selective()
+	}
+	if !selective {
+		return ep // nothing can prune: skip the summary traffic entirely
+	}
+
+	// Collect cached summaries and fetch the missing ones concurrently.
+	// Generations are read before the requests go out (see summaryCache).
+	type slot struct {
+		sum *index.Summary
+		gen uint64
+	}
+	slots := make([]slot, len(ep.ids))
+	var fetchIdx []int
+	for i, id := range ep.ids {
+		if vers[id] < wire.Version5 {
+			continue // pre-v5 peer: never pruned, nothing to fetch
+		}
+		sum, gen := c.summaries.get(id)
+		slots[i] = slot{sum: sum, gen: gen}
+		if sum == nil {
+			fetchIdx = append(fetchIdx, i)
+		}
+	}
+	if len(fetchIdx) > 0 {
+		fetched := make([]*index.Summary, len(fetchIdx))
+		sizes := make([][2]uint64, len(fetchIdx)) // request, reply bytes
+		var wg sync.WaitGroup
+		req := wire.SummaryMessage()
+		for fi, i := range fetchIdx {
+			fi, mx := fi, ep.muxes[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				reply, err := mx.Roundtrip(ctx, req)
+				if err != nil {
+					return
+				}
+				_, sum, err := wire.DecodeSummaryReply(reply)
+				if err != nil {
+					return
+				}
+				fetched[fi] = sum
+				sizes[fi] = [2]uint64{uint64(req.EncodedSize()), uint64(reply.EncodedSize())}
+			}()
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return ep // cancelled mid-refresh: the round itself will surface it
+		}
+		for fi, i := range fetchIdx {
+			if fetched[fi] == nil {
+				continue // unreachable or corrupt: the station stays unpruned
+			}
+			slots[i].sum = fetched[fi]
+			c.summaries.put(ep.ids[i], slots[i].gen, fetched[fi])
+			// Refresh traffic fills a cluster-level cache shared by every
+			// search, so — like the per-epoch stats exchange — it is billed
+			// to the dedicated summary counters, not the search's
+			// dissemination/report totals.
+			cost.SummaryRefreshes++
+			cost.SummaryBytesDown += sizes[fi][0]
+			cost.SummaryBytesUp += sizes[fi][1]
+		}
+	}
+
+	included := make([]int, 0, len(ep.ids))
+	for i := range ep.ids {
+		sum := slots[i].sum
+		if sum == nil {
+			included = append(included, i)
+			continue
+		}
+		for _, pr := range probes {
+			if sum.Admits(pr) {
+				included = append(included, i)
+				break
+			}
+		}
+	}
+	if len(included) == len(ep.ids) || len(included) == 0 {
+		return ep
+	}
+	cost.StationsPruned = len(ep.ids) - len(included)
+	sub := &epoch{version: ep.version, ids: make([]uint32, len(included)), muxes: make([]*transport.Mux, len(included))}
+	for j, i := range included {
+		sub.ids[j] = ep.ids[i]
+		sub.muxes[j] = ep.muxes[i]
+	}
+	return sub
+}

@@ -1,0 +1,515 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/transport"
+	"dimatch/internal/wire"
+)
+
+// routingTestCluster holds well-separated stores: each station's residents
+// cluster around a distinct magnitude, so a single-target query admits
+// exactly one station.
+func routingTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	data := map[uint32]map[core.PersonID]pattern.Pattern{
+		0: {10: {1, 2, 3}, 11: {2, 1, 2}},
+		1: {20: {50, 60, 70}, 21: {55, 66, 77}},
+		2: {30: {500, 600, 700}},
+		3: {40: {5000, 6000, 7000}},
+	}
+	c, err := New(Options{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() { _ = c.Shutdown() })
+	return c
+}
+
+// assertSameResults fails unless the two outcomes rank identically for
+// every query.
+func assertSameResults(t *testing.T, label string, queries []core.Query, want, got *Outcome) {
+	t.Helper()
+	for _, q := range queries {
+		w, g := want.PerQuery[q.ID], got.PerQuery[q.ID]
+		if len(w) != len(g) {
+			t.Fatalf("%s query %d: %d results, want %d (%v vs %v)", label, q.ID, len(g), len(w), g, w)
+		}
+		for i := range w {
+			if w[i].Person != g[i].Person || w[i].Numerator != g[i].Numerator || w[i].Denominator != g[i].Denominator {
+				t.Fatalf("%s query %d result %d: %+v, want %+v", label, q.ID, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestRoutedSearchPrunesAndMatchesFullFanOut is the tentpole's core pin: a
+// routed search answers exactly like full fan-out while visiting only the
+// stations that can report, across batched and legacy pipelines.
+func TestRoutedSearchPrunesAndMatchesFullFanOut(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{{50, 60, 70}}}}
+
+	full, err := c.Search(ctx, queries, WithRouting(RoutingFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cost.StationsPruned != 0 || full.Cost.SummaryRefreshes != 0 {
+		t.Fatalf("full fan-out reported routing work: %+v", full.Cost)
+	}
+	if full.Cost.MessagesDown != 4 {
+		t.Fatalf("full MessagesDown = %d, want 4", full.Cost.MessagesDown)
+	}
+
+	routed, err := c.Search(ctx, queries) // routing is the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "routed", queries, full, routed)
+	if routed.Cost.StationsPruned != 3 {
+		t.Fatalf("StationsPruned = %d, want 3 (only station 1 can answer)", routed.Cost.StationsPruned)
+	}
+	if routed.Cost.MessagesDown != 1 {
+		t.Fatalf("routed MessagesDown = %d, want 1", routed.Cost.MessagesDown)
+	}
+	if routed.Cost.SummaryRefreshes != 4 || routed.Cost.SummaryBytesUp == 0 {
+		t.Fatalf("first routed search should refresh all 4 summaries: %+v", routed.Cost)
+	}
+
+	// The cache is warm now: the next routed search refreshes nothing.
+	warm, err := c.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "warm", queries, full, warm)
+	if warm.Cost.SummaryRefreshes != 0 || warm.Cost.StationsPruned != 3 {
+		t.Fatalf("warm routed search: %+v", warm.Cost)
+	}
+
+	// The legacy per-query pipeline routes identically.
+	legacy, err := c.Search(ctx, queries, WithBatching(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "legacy", queries, full, legacy)
+	if legacy.Cost.StationsPruned != 3 || legacy.Cost.MessagesDown != 1 {
+		t.Fatalf("legacy routed search: %+v", legacy.Cost)
+	}
+}
+
+// TestRoutedBatchUnionsQueryAdmits: a batch visits the union of its
+// queries' admitting stations — pruning is per batch, not per query.
+func TestRoutedBatchUnionsQueryAdmits(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	queries := []core.Query{
+		{ID: 1, Locals: []pattern.Pattern{{1, 2, 3}}},
+		{ID: 2, Locals: []pattern.Pattern{{500, 600, 700}}},
+	}
+	full, err := c.Search(ctx, queries, WithRouting(RoutingFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := c.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "union", queries, full, routed)
+	if routed.Cost.StationsPruned != 2 {
+		t.Fatalf("StationsPruned = %d, want 2 (stations 0 and 2 admit)", routed.Cost.StationsPruned)
+	}
+}
+
+// TestRoutingFallsBackWhenNothingAdmits pins the empty-candidate fallback:
+// a query matching no station must run a full fan-out (stale summaries must
+// never turn a search into a silent no-op), not a zero-station one.
+func TestRoutingFallsBackWhenNothingAdmits(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{{999999, 1, 1}}}}
+	out, err := c.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerQuery[1]) != 0 {
+		t.Fatalf("impossible query matched %v", out.PerQuery[1])
+	}
+	if out.Cost.StationsPruned != 0 {
+		t.Fatalf("StationsPruned = %d, want 0 (all-pruned plans fall back to full fan-out)", out.Cost.StationsPruned)
+	}
+	if out.Cost.MessagesDown != 4 {
+		t.Fatalf("MessagesDown = %d, want 4 (full fallback)", out.Cost.MessagesDown)
+	}
+}
+
+// TestIngestDeltaUpdatesSummary pins the freshness contract on the ingest
+// side: a person ingested onto a station the warm cache prunes must be
+// found by the very next routed search, without a summary refetch (the
+// cached digest absorbs the delta).
+func TestIngestDeltaUpdatesSummary(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	probe := []core.Query{{ID: 1, Locals: []pattern.Pattern{{7, 8, 9}}}}
+
+	// Warm the summary cache; nothing matches {7,8,9} yet.
+	if _, err := c.Search(ctx, probe); err != nil {
+		t.Fatal(err)
+	}
+	// Station 3 (residents around 6000) is prunable for this query; land
+	// the newcomer there.
+	if err := c.Ingest(ctx, 3, map[core.PersonID]pattern.Pattern{99: {7, 8, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Search(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerQuery[1]) != 1 || out.PerQuery[1][0].Person != 99 {
+		t.Fatalf("ingested person not found by routed search: %v", out.PerQuery[1])
+	}
+	if out.Cost.SummaryRefreshes != 0 {
+		t.Fatalf("SummaryRefreshes = %d, want 0 (ingest delta-updates the cached digest)", out.Cost.SummaryRefreshes)
+	}
+	if out.Cost.StationsPruned == 0 {
+		t.Fatal("unrelated stations should still be pruned after the delta update")
+	}
+}
+
+// TestEvictInvalidatesSummary pins the eviction side: the digest is dropped
+// (next routed search refetches) and the evicted person stays gone; the
+// interim staleness can only waste probes, never resurrect results.
+func TestEvictInvalidatesSummary(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{{500, 600, 700}}}}
+
+	if _, err := c.Search(ctx, queries); err != nil { // warm cache
+		t.Fatal(err)
+	}
+	if err := c.Evict(ctx, 2, []core.PersonID{30}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerQuery[1]) != 0 {
+		t.Fatalf("evicted person still retrieved: %v", out.PerQuery[1])
+	}
+	if out.Cost.SummaryRefreshes != 1 {
+		t.Fatalf("SummaryRefreshes = %d, want 1 (evict invalidates station 2's digest)", out.Cost.SummaryRefreshes)
+	}
+}
+
+// TestRoutedChurnNeverLosesRecall is the stale-summary correctness sweep
+// (run it under -race): random ingests and evicts interleave with routed
+// searches, and after every mutation the routed answer must equal the full
+// fan-out answer on the same store — summaries may only ever waste probes.
+func TestRoutedChurnNeverLosesRecall(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	stations := []uint32{0, 1, 2, 3}
+	next := core.PersonID(1000)
+	type placedAt struct {
+		person  core.PersonID
+		station uint32
+	}
+	var live []placedAt
+
+	for step := 0; step < 60; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(2) == 0:
+			p := next
+			next++
+			s := stations[rng.Intn(len(stations))]
+			pat := pattern.Pattern{rng.Int63n(40) + 1, rng.Int63n(40), rng.Int63n(40)}
+			if err := c.Ingest(ctx, s, map[core.PersonID]pattern.Pattern{p: pat}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, placedAt{person: p, station: s})
+		default:
+			i := rng.Intn(len(live)) // delete a random live person
+			if err := c.Evict(ctx, live[i].station, []core.PersonID{live[i].person}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		queries := []core.Query{
+			{ID: 1, Locals: []pattern.Pattern{{rng.Int63n(40) + 1, rng.Int63n(40), rng.Int63n(40)}}},
+			{ID: 2, Locals: []pattern.Pattern{{50, 60, 70}}},
+		}
+		full, err := c.Search(ctx, queries, WithRouting(RoutingFull))
+		if err != nil {
+			t.Fatal(err)
+		}
+		routed, err := c.Search(ctx, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, fmt.Sprintf("step %d", step), queries, full, routed)
+	}
+}
+
+// servePreRoutingStation emulates a wire-v4 station: it answers stats
+// (advertising MaxVersion 4) and per-query/batch frames, but a KindSummary
+// frame is recorded as a protocol violation and kills the link, exactly as
+// an old binary would fail on an unknown kind.
+func servePreRoutingStation(id uint32, locals map[core.PersonID]pattern.Pattern, link transport.Link, sawSummary *atomic.Bool) {
+	st := NewStation(id, locals, link)
+	for {
+		msg, err := link.Recv()
+		if err != nil {
+			return
+		}
+		var reply *wire.Message
+		switch msg.Kind {
+		case wire.KindStats:
+			length := 0
+			if len(st.locals) > 0 {
+				length = len(st.locals[0])
+			}
+			r := wire.EncodeStatsReply(wire.StatsReply{
+				Station:      id,
+				Residents:    uint64(len(st.persons)),
+				StorageBytes: st.StorageBytes(),
+				Length:       uint32(length),
+				MaxVersion:   wire.Version4,
+			})
+			reply = &r
+		case wire.KindBatchQuery:
+			reply, err = st.handleBatch(msg)
+		case wire.KindWBFQuery:
+			reply, err = st.handleWBF(msg)
+		case wire.KindSummary:
+			sawSummary.Store(true)
+			return
+		case wire.KindShutdown:
+			return
+		default:
+			return
+		}
+		if err != nil {
+			return
+		}
+		if err := link.Send(reply.WithRequest(msg.Request)); err != nil {
+			return
+		}
+	}
+}
+
+// TestPreV5StationIsNeverPruned is the negotiation pin: a station that
+// advertised wire v4 receives no summary frame and is visited by every
+// routed search, while its v5 neighbours still get pruned.
+func TestPreV5StationIsNeverPruned(t *testing.T) {
+	modernCenter, modernStation := transport.Pipe(nil, nil)
+	oldCenter, oldStation := transport.Pipe(nil, nil)
+	go func() {
+		_ = NewStation(1, map[core.PersonID]pattern.Pattern{10: {1, 2, 3}}, modernStation).Serve()
+	}()
+	var sawSummary atomic.Bool
+	go servePreRoutingStation(2, map[core.PersonID]pattern.Pattern{20: {50, 60, 70}}, oldStation, &sawSummary)
+
+	c, err := NewWithLinks(Options{}, map[uint32]transport.Link{1: modernCenter, 2: oldCenter}, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+
+	// The query matches nothing on either station; the v5 station is
+	// pruned, the v4 one must still be visited.
+	out, err := c.Search(ctx, []core.Query{{ID: 1, Locals: []pattern.Pattern{{900, 900, 900}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawSummary.Load() {
+		t.Fatal("v4 station received a summary frame")
+	}
+	if out.Cost.StationsPruned != 1 {
+		t.Fatalf("StationsPruned = %d, want 1 (only the v5 station is prunable)", out.Cost.StationsPruned)
+	}
+	if out.Cost.StationsFailed != 0 {
+		t.Fatalf("StationsFailed = %d", out.Cost.StationsFailed)
+	}
+	// And the v4 station's matches are still found end to end.
+	hit, err := c.Search(ctx, []core.Query{{ID: 1, Locals: []pattern.Pattern{{50, 60, 70}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hit.PerQuery[1]) != 1 || hit.PerQuery[1][0].Person != 20 {
+		t.Fatalf("v4 station's match lost under routing: %v", hit.PerQuery[1])
+	}
+}
+
+// TestRoutingPlacedReplicas: routed searches on a placement-first cluster
+// dedupe replicas exactly like full fan-out and visit only the replica
+// holders.
+func TestRoutingPlacedReplicas(t *testing.T) {
+	c, err := NewEmpty(Options{}, []uint32{1, 2, 3, 4, 5, 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Shutdown()
+	ctx := context.Background()
+
+	patterns := make(map[core.PersonID]pattern.Pattern)
+	for p := core.PersonID(1); p <= 30; p++ {
+		patterns[p] = pattern.Pattern{int64(p) * 10, int64(p), int64(p) * 3}
+	}
+	if err := c.Place(ctx, patterns, WithReplication(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{patterns[17]}}}
+	full, err := c.Search(ctx, queries, WithRouting(RoutingFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := c.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "placed", queries, full, routed)
+	if len(routed.PerQuery[1]) == 0 {
+		t.Fatal("placed person not found")
+	}
+	r := routed.PerQuery[1][0]
+	if r.Person != 17 || r.Score() != 1.0 {
+		t.Fatalf("replica dedup broke under routing: %+v", r)
+	}
+	if routed.Cost.StationsPruned < 3 {
+		t.Fatalf("StationsPruned = %d, want most of the 6 stations (R=2 replicas)", routed.Cost.StationsPruned)
+	}
+}
+
+// TestRoutingSurvivesDeadStation: a station killed after the cache warmed
+// stays in the plan (its summary admits), fails the exchange, and is
+// counted in StationsFailed exactly like an unrouted search would.
+func TestRoutingSurvivesDeadStation(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{{50, 60, 70}}}}
+	if _, err := c.Search(ctx, queries); err != nil { // warm
+		t.Fatal(err)
+	}
+	if err := c.KillStation(1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerQuery[1]) != 0 {
+		t.Fatalf("dead station's residents retrieved: %v", out.PerQuery[1])
+	}
+	if out.Cost.StationsFailed != 1 {
+		t.Fatalf("StationsFailed = %d, want 1", out.Cost.StationsFailed)
+	}
+}
+
+// TestIngestFailureInvalidatesSummary pins the lost-ack staleness hole: a
+// station that APPLIES an ingest but fails the acknowledgement (the
+// exchange errors at the coordinator) must not keep a pre-ingest digest in
+// the cache — that is the one staleness direction that loses recall. The
+// failed ingest invalidates the slot, so the next routed search refetches
+// and finds the applied resident.
+func TestIngestFailureInvalidatesSummary(t *testing.T) {
+	center, stationEnd := transport.Pipe(nil, nil)
+	st := NewStation(1, map[core.PersonID]pattern.Pattern{10: {1, 2, 3}}, nil)
+	go func() {
+		for {
+			msg, err := stationEnd.Recv()
+			if err != nil {
+				return
+			}
+			var reply *wire.Message
+			switch msg.Kind {
+			case wire.KindStats:
+				reply = st.handleStats()
+			case wire.KindSummary:
+				reply, err = st.handleSummary()
+			case wire.KindBatchQuery:
+				reply, err = st.handleBatch(msg)
+			case wire.KindIngest:
+				// Apply for real, then answer with a frame the coordinator
+				// cannot decode as an Ack — the applied-but-unacknowledged
+				// failure.
+				if _, err = st.handleIngest(msg); err == nil {
+					r := wire.StatsMessage()
+					reply = &r
+				}
+			case wire.KindShutdown:
+				return
+			default:
+				return
+			}
+			if err != nil {
+				return
+			}
+			if err := stationEnd.Send(reply.WithRequest(msg.Request)); err != nil {
+				return
+			}
+		}
+	}()
+	// A second, ordinary station: routing is skipped entirely on
+	// single-station clusters, and the test needs the digest cache warm.
+	otherCenter, otherEnd := transport.Pipe(nil, nil)
+	go func() {
+		_ = NewStation(2, map[core.PersonID]pattern.Pattern{20: {500, 600, 700}}, otherEnd).Serve()
+	}()
+	c, err := NewWithLinks(Options{}, map[uint32]transport.Link{1: center, 2: otherCenter}, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	ctx := context.Background()
+
+	probe := []core.Query{{ID: 1, Locals: []pattern.Pattern{{7, 8, 9}}}}
+	warm, err := c.Search(ctx, probe) // warm the (pre-ingest) digests
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cost.SummaryRefreshes != 2 {
+		t.Fatalf("warm-up SummaryRefreshes = %d, want 2", warm.Cost.SummaryRefreshes)
+	}
+	err = c.Ingest(ctx, 1, map[core.PersonID]pattern.Pattern{99: {7, 8, 9}})
+	if err == nil {
+		t.Fatal("corrupt ack accepted")
+	}
+	out, err := c.Search(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerQuery[1]) != 1 || out.PerQuery[1][0].Person != 99 {
+		t.Fatalf("applied-but-unacked ingest lost under routing: %v (stale digest survived the failed exchange)", out.PerQuery[1])
+	}
+	if out.Cost.SummaryRefreshes != 1 {
+		t.Fatalf("SummaryRefreshes = %d, want 1 (failed ingest must invalidate the slot)", out.Cost.SummaryRefreshes)
+	}
+}
+
+// TestParseRoutingMode pins the CLI surface.
+func TestParseRoutingMode(t *testing.T) {
+	for in, want := range map[string]RoutingMode{"summary": RoutingSummary, " FULL ": RoutingFull} {
+		got, err := ParseRoutingMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseRoutingMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseRoutingMode("sideways"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if RoutingSummary.String() != "summary" || RoutingFull.String() != "full" {
+		t.Fatal("RoutingMode.String drifted")
+	}
+}

@@ -23,6 +23,8 @@ var (
 	ErrCancelled = errors.New("cluster: search cancelled")
 	// ErrUnknownStrategy is returned for a strategy outside the known set.
 	ErrUnknownStrategy = errors.New("cluster: unknown strategy")
+	// ErrUnknownRouting is returned for a routing mode outside the known set.
+	ErrUnknownRouting = errors.New("cluster: unknown routing mode")
 	// ErrUnknownStation is returned by lifecycle calls naming a station that
 	// is not a member of the current epoch.
 	ErrUnknownStation = errors.New("cluster: unknown station")
@@ -49,6 +51,47 @@ func ParseStrategy(s string) (Strategy, error) {
 	}
 }
 
+// RoutingMode selects how a WBF search picks the stations it fans out to.
+type RoutingMode int
+
+const (
+	// RoutingSummary (the default) probes the coordinator's cached
+	// per-station routing summaries and sends each query round only to
+	// stations whose summary admits a possible match. Stations without a
+	// usable summary — pre-v5 peers, failed refreshes, probes over budget —
+	// are always visited, and a plan that would prune everything falls back
+	// to full fan-out, so routing never loses recall; it only skips
+	// exchanges that provably cannot produce a report.
+	RoutingSummary RoutingMode = iota
+	// RoutingFull forces the classic full fan-out: every member station is
+	// visited, no summaries are fetched or probed.
+	RoutingFull
+)
+
+func (m RoutingMode) String() string {
+	switch m {
+	case RoutingSummary:
+		return "summary"
+	case RoutingFull:
+		return "full"
+	default:
+		return fmt.Sprintf("RoutingMode(%d)", int(m))
+	}
+}
+
+// ParseRoutingMode is the inverse of RoutingMode.String: it maps "summary"
+// and "full" (case-insensitively) to the routing constants.
+func ParseRoutingMode(s string) (RoutingMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "summary":
+		return RoutingSummary, nil
+	case "full":
+		return RoutingFull, nil
+	default:
+		return 0, fmt.Errorf("%w: %q (want summary or full)", ErrUnknownRouting, s)
+	}
+}
+
 // searchConfig is one search's resolved knobs: the cluster Options provide
 // the defaults, per-call SearchOptions override them.
 type searchConfig struct {
@@ -59,6 +102,7 @@ type searchConfig struct {
 	verify    bool
 	targetFP  float64
 	batchSize int
+	routing   RoutingMode
 }
 
 // SearchOption configures a single Search call.
@@ -105,6 +149,17 @@ func WithBatching(n int) SearchOption {
 	return func(c *searchConfig) { c.batchSize = n }
 }
 
+// WithRouting selects the fan-out routing mode for this call (default
+// RoutingSummary, or the cluster's Options.Routing). Routing applies to WBF
+// searches only: BF and naive searches always fan out to every station —
+// the naive strategy needs every store by definition, and the baseline is
+// kept at the paper's cost model. Use WithRouting(RoutingFull) to force the
+// classic full fan-out, e.g. to measure routing's saving or to sidestep
+// summary refreshes in a mutation-heavy burst.
+func WithRouting(m RoutingMode) SearchOption {
+	return func(c *searchConfig) { c.routing = m }
+}
+
 // searchDefaults resolves the cluster-level Options into a per-call config.
 func (c *Cluster) searchDefaults() searchConfig {
 	return searchConfig{
@@ -115,6 +170,7 @@ func (c *Cluster) searchDefaults() searchConfig {
 		verify:    c.opts.Verify,
 		targetFP:  c.opts.TargetFP,
 		batchSize: c.opts.BatchSize,
+		routing:   c.opts.Routing,
 	}
 }
 

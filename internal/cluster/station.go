@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"dimatch/internal/core"
+	"dimatch/internal/index"
 	"dimatch/internal/pattern"
 	"dimatch/internal/transport"
 	"dimatch/internal/wire"
@@ -34,6 +35,12 @@ type Station struct {
 	// touches them after construction.
 	persons []core.PersonID
 	locals  []pattern.Pattern
+
+	// summary memoizes the routing summary between store mutations, so a
+	// coordinator refreshing after every search round does not rebuild the
+	// digest per request. Only the Serve loop touches it (mutations arrive
+	// on the same loop), so no locking is needed.
+	summary *index.Summary
 }
 
 // NewStation builds a station from its local pattern store. All-zero
@@ -107,6 +114,8 @@ func (s *Station) Serve() error {
 			reply, err = s.handleEvict(msg)
 		case wire.KindStats:
 			reply = s.handleStats()
+		case wire.KindSummary:
+			reply, err = s.handleSummary()
 		case wire.KindShutdown:
 			return nil
 		default:
@@ -272,6 +281,9 @@ func (s *Station) handleIngest(msg wire.Message) (*wire.Message, error) {
 		s.upsert(p, in.Locals[i])
 		applied++
 	}
+	if applied > 0 {
+		s.summary = nil // the memoized routing summary no longer covers the store
+	}
 	reply := wire.EncodeAck(wire.Ack{Station: s.id, Applied: uint64(applied)})
 	return &reply, nil
 }
@@ -309,6 +321,9 @@ func (s *Station) handleEvict(msg wire.Message) (*wire.Message, error) {
 		s.locals = append(s.locals[:i], s.locals[i+1:]...)
 		applied++
 	}
+	if applied > 0 {
+		s.summary = nil // rebuild on next pull: Bloom filters cannot delete
+	}
 	reply := wire.EncodeAck(wire.Ack{Station: s.id, Applied: uint64(applied)})
 	return &reply, nil
 }
@@ -328,6 +343,31 @@ func (s *Station) handleStats() *wire.Message {
 		Length:       uint32(length),
 	})
 	return &reply
+}
+
+// handleSummary answers the coordinator's routing-summary pull: a Bloom
+// digest of every resident's accumulated cells (see internal/index). The
+// digest is memoized until the next ingest or evict, so steady-state
+// refreshes cost one encode, not one store walk.
+func (s *Station) handleSummary() (*wire.Message, error) {
+	if s.summary == nil {
+		length := 0
+		if len(s.locals) > 0 {
+			length = len(s.locals[0])
+		}
+		if length == 0 {
+			// An empty store has no length of its own; a 1-cell summary with
+			// nothing inserted admits no query, which is exactly right.
+			length = 1
+		}
+		sum, err := index.Build(length, s.locals)
+		if err != nil {
+			return nil, fmt.Errorf("station %d: %w", s.id, err)
+		}
+		s.summary = sum
+	}
+	reply := wire.EncodeSummaryReply(s.summary, s.id)
+	return &reply, nil
 }
 
 // handleShipAll ships the whole local store (the naive strategy).

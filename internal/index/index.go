@@ -1,0 +1,317 @@
+// Package index implements the coordinator's summary-routing layer: a
+// compact per-station Bloom summary of the station's resident patterns,
+// probed at the data center to decide which stations a search batch must
+// fan out to at all.
+//
+// The idea follows Bloofi (Crainiceanu & Lemire): keep a hierarchy of Bloom
+// summaries above the stores so a membership query visits only the servers
+// that might hold a match. Here the hierarchy is one level deep — one
+// summary per station, cached at the coordinator — and the "membership"
+// being summarized is the set of discriminative cells of the station's
+// residents: every (position, accumulated value) pair of every resident
+// pattern. A query combination can only be matched by a resident whose
+// accumulated value sits inside the combination's ε band at every sampled
+// position, so a station whose summary shows no resident value inside the
+// band at even one sampled position cannot contribute a within-band report
+// and may be skipped.
+//
+// The summary is a plain Bloom filter, so it has false positives (a pruned
+// fan-out may still visit a station that reports nothing — a wasted probe)
+// but no false negatives: a station holding a resident inside every band is
+// always admitted. Routing therefore never loses a true match; see
+// docs/OPERATIONS.md for the operator's view of the trade.
+package index
+
+import (
+	"fmt"
+
+	"dimatch/internal/bloom"
+	"dimatch/internal/core"
+	"dimatch/internal/hash"
+	"dimatch/internal/pattern"
+)
+
+// DefaultSeed fixes the summary key space. Every station and the
+// coordinator must hash identically; the seed travels in the summary reply,
+// so a deployment could vary it per station, but the stock stations all use
+// this value.
+const DefaultSeed = 0x51a7e5bf0c3d9a71
+
+// DefaultFPTarget sizes a summary's filter: roughly one false admit per
+// hundred probed bands. Larger stations pay proportionally more bits
+// (OptimalParams is linear in insertions), keeping the false-route rate
+// flat as stores grow.
+const DefaultFPTarget = 0.01
+
+// MaxProbeValues bounds the total number of membership probes one query's
+// admission test may cost (every combination, every sampled position, every
+// value in the ε band). A query whose bands are wider than the budget —
+// huge ε against a long series — is treated as admitting every station:
+// routing degrades to full fan-out rather than burning coordinator CPU.
+const MaxProbeValues = 1 << 16
+
+// saltConst spreads position salts across the key space (an odd 64-bit
+// multiplier, the same construction core's position-salted keyer uses).
+const saltConst = 0x8f3c9d1b5a7e42d1
+
+// positionSalt derives the key-space salt of one pattern position.
+func positionSalt(seed uint64, pos int) uint64 {
+	return hash.Mix64(seed ^ (uint64(pos+1) * saltConst))
+}
+
+// key maps a (position, accumulated value) cell to the hashed element. Every
+// position gets its own key space, so a value observed at hour 3 never
+// satisfies a probe for hour 7.
+func key(seed uint64, pos int, value int64) int64 {
+	return int64(hash.Mix64(uint64(value)) ^ positionSalt(seed, pos))
+}
+
+// Summary is one station's routing summary: a Bloom filter containing the
+// cell (g, acc[g]) of every resident pattern at every position g, where acc
+// is the resident's accumulated (prefix-sum) form. Covering every position —
+// not a fixed sample subset — is what keeps admission sound for any
+// per-search sample count: whatever positions a search samples, the summary
+// has the residents' values there.
+//
+// A Summary is immutable from the coordinator's point of view once shared:
+// delta updates go through Clone + Add so concurrent probers never observe a
+// half-written filter.
+type Summary struct {
+	length    int
+	seed      uint64
+	residents uint64
+	filter    *bloom.Filter
+}
+
+// New returns an empty summary for patterns of the given length, sized for
+// expectedResidents patterns at the false-positive target (DefaultFPTarget
+// when fpTarget <= 0).
+func New(length, expectedResidents int, fpTarget float64, seed uint64) (*Summary, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("index: summary pattern length %d, want > 0", length)
+	}
+	if fpTarget <= 0 {
+		fpTarget = DefaultFPTarget
+	}
+	if expectedResidents < 0 {
+		expectedResidents = 0
+	}
+	m, k := bloom.OptimalParams(uint64(expectedResidents)*uint64(length), fpTarget)
+	f, err := bloom.New(m, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{length: length, seed: seed, filter: f}, nil
+}
+
+// Build constructs a summary over a station's resident patterns with the
+// default seed and false-positive target — what a station does to answer a
+// summary request.
+func Build(length int, locals []pattern.Pattern) (*Summary, error) {
+	s, err := New(length, len(locals), DefaultFPTarget, DefaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range locals {
+		if err := s.Add(l); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Add inserts one resident pattern's cells. Adding beyond the sizing
+// estimate only raises the false-admit rate (wasted probes), never causes a
+// false prune.
+func (s *Summary) Add(local pattern.Pattern) error {
+	if len(local) != s.length {
+		return fmt.Errorf("index: pattern length %d, summary wants %d", len(local), s.length)
+	}
+	run := int64(0)
+	for g, v := range local {
+		run += v
+		s.filter.Add(key(s.seed, g, run))
+	}
+	s.residents++
+	return nil
+}
+
+// Clone returns an independent deep copy, the basis of copy-on-write delta
+// updates at the coordinator.
+func (s *Summary) Clone() *Summary {
+	words := append([]uint64(nil), s.filter.Words()...)
+	f, err := bloom.FromParts(words, s.filter.M(), s.filter.K(), s.seed, s.filter.N())
+	if err != nil {
+		// The parts come from a valid filter; reconstruction cannot fail.
+		panic(fmt.Sprintf("index: clone of valid summary failed: %v", err))
+	}
+	return &Summary{length: s.length, seed: s.seed, residents: s.residents, filter: f}
+}
+
+// contains probes one cell.
+func (s *Summary) contains(pos int, value int64) bool {
+	return s.filter.Contains(key(s.seed, pos, value))
+}
+
+// Length returns the pattern length the summary covers.
+func (s *Summary) Length() int { return s.length }
+
+// Seed returns the summary's key-space seed.
+func (s *Summary) Seed() uint64 { return s.seed }
+
+// Residents returns the number of patterns added.
+func (s *Summary) Residents() uint64 { return s.residents }
+
+// Bits returns the filter length in bits.
+func (s *Summary) Bits() uint64 { return s.filter.M() }
+
+// Hashes returns the filter's hash count.
+func (s *Summary) Hashes() int { return s.filter.K() }
+
+// Inserted returns the number of cell insertions performed.
+func (s *Summary) Inserted() uint64 { return s.filter.N() }
+
+// Words exposes the filter's bit storage for serialization.
+func (s *Summary) Words() []uint64 { return s.filter.Words() }
+
+// SizeBytes returns the summary's in-memory footprint — the figure an
+// operator weighs against the raw store when sizing the false-route rate
+// (docs/OPERATIONS.md).
+func (s *Summary) SizeBytes() uint64 { return s.filter.SizeBytes() }
+
+// FalseAdmitRate returns the filter's analytic per-probe false-positive
+// rate at its current load.
+func (s *Summary) FalseAdmitRate() float64 { return s.filter.FalsePositiveRate() }
+
+// FromParts reconstructs a received summary (wire decoding).
+func FromParts(length int, seed uint64, words []uint64, bits uint64, hashes int, inserted, residents uint64) (*Summary, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("index: summary pattern length %d, want > 0", length)
+	}
+	f, err := bloom.FromParts(words, bits, hashes, seed, inserted)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	return &Summary{length: length, seed: seed, residents: residents, filter: f}, nil
+}
+
+// band is one admission condition: some resident value in [lo, hi] must
+// exist at position pos.
+type band struct {
+	pos    int
+	lo, hi int64
+}
+
+// Probe is the precomputed admission test of one query: the sampled ε bands
+// of every non-zero-weight combination of the query's locals. It is built
+// once per search and shared across every station's summary, so the
+// combination enumeration is not repeated per station.
+type Probe struct {
+	// combos holds one band list per combination; a summary admits the
+	// query if any combination has a resident-value hit in every band.
+	combos [][]band
+	// selective is false when the probe budget was exceeded (or the query
+	// has nothing usable): Admits then always reports true and the query
+	// cannot prune anything.
+	selective bool
+}
+
+// NewProbe builds a query's admission test for the given per-search sample
+// count and tolerance ε. Bands use the scaled (per-position) widening
+// ε·(g+1) — the accumulated-domain superset of the per-interval Eq. 2
+// tolerance — so the test admits every station that could report the query
+// under either tolerance mode. A probe whose total band volume exceeds
+// MaxProbeValues is returned unselective rather than failing the search.
+func NewProbe(q core.Query, samples int, eps int64) (Probe, error) {
+	if err := q.Validate(); err != nil {
+		return Probe{}, err
+	}
+	if samples <= 0 {
+		samples = core.DefaultSamples
+	}
+	if eps < 0 {
+		return Probe{}, fmt.Errorf("index: negative epsilon %d", eps)
+	}
+	positions, err := pattern.SampleIndexes(q.Length(), samples)
+	if err != nil {
+		return Probe{}, err
+	}
+	subsets, err := pattern.EnumerateSubsets(len(q.Locals))
+	if err != nil {
+		return Probe{}, err
+	}
+	p := Probe{combos: make([][]band, 0, len(subsets))}
+	budget := int64(MaxProbeValues)
+	for _, mask := range subsets {
+		num, err := pattern.WeightNumerator(q.Locals, mask)
+		if err != nil {
+			return Probe{}, err
+		}
+		if num == 0 {
+			// Zero-weight combinations are never encoded into a search
+			// filter, so no station reports them; probing for one would
+			// admit stations for matches that cannot be asked about.
+			continue
+		}
+		combined, err := pattern.Combine(q.Locals, mask)
+		if err != nil {
+			return Probe{}, err
+		}
+		acc := combined.Accumulate()
+		bands := make([]band, len(positions))
+		for i, g := range positions {
+			tol := eps * int64(g+1)
+			bands[i] = band{pos: g, lo: acc[g] - tol, hi: acc[g] + tol}
+			budget -= 2*tol + 1
+			if budget < 0 {
+				return Probe{}, nil // over budget: unselective
+			}
+		}
+		p.combos = append(p.combos, bands)
+	}
+	if len(p.combos) == 0 {
+		return Probe{}, nil // nothing usable: unselective
+	}
+	p.selective = true
+	return p, nil
+}
+
+// Selective reports whether the probe can prune at all.
+func (p Probe) Selective() bool { return p.selective }
+
+// Admits reports whether the summary's station might hold a resident
+// matching the probed query: some combination must have a summarized cell
+// inside its band at every sampled position. An unselective probe (over
+// budget) always admits; so does a summary built for a shorter pattern
+// length, since its cells are incomparable and pruning on them would be
+// unsound.
+func (s *Summary) Admits(p Probe) bool {
+	if !p.selective {
+		return true
+	}
+	if s.filter.N() == 0 {
+		// Nothing was ever summarized: the station holds no residents and
+		// cannot report, whatever the geometry.
+		return false
+	}
+combos:
+	for _, bands := range p.combos {
+		for _, b := range bands {
+			if b.pos >= s.length {
+				return true // incomparable geometry: never prune on it
+			}
+			hit := false
+			for v := b.lo; v <= b.hi; v++ {
+				if s.contains(b.pos, v) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue combos
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -6,6 +6,7 @@ import (
 
 	"dimatch/internal/bloom"
 	"dimatch/internal/core"
+	"dimatch/internal/index"
 	"dimatch/internal/pattern"
 )
 
@@ -634,6 +635,75 @@ func DecodeDumpReply(m Message) (DumpReply, error) {
 	return out, nil
 }
 
+// ---- routing: summary (v5) ----
+
+// SummaryReply carries one station's routing summary: the Bloom digest of
+// every resident pattern's accumulated cells, which the coordinator caches
+// and probes to decide whether a search batch needs to visit the station at
+// all. The filter parameters travel with the words so the coordinator
+// reconstructs the exact key space the station inserted into; Residents is
+// diagnostic (how many patterns the digest covers).
+type SummaryReply struct {
+	Station   uint32
+	Length    uint32
+	Residents uint64
+	Seed      uint64
+	Bits      uint64
+	Hashes    uint32
+	Inserted  uint64
+	Words     []uint64
+}
+
+// EncodeSummaryReply renders a station's routing summary from its parts.
+func EncodeSummaryReply(s *index.Summary, station uint32) Message {
+	var w writer
+	w.uvarint(uint64(station))
+	w.uvarint(uint64(s.Length()))
+	w.uvarint(s.Residents())
+	w.u64(s.Seed())
+	w.u64(s.Bits())
+	w.uvarint(uint64(s.Hashes()))
+	w.uvarint(s.Inserted())
+	words := s.Words()
+	w.uvarint(uint64(len(words)))
+	for _, word := range words {
+		w.u64(word)
+	}
+	return Message{Kind: KindSummaryReply, Payload: w.buf}
+}
+
+// DecodeSummaryReply parses a routing summary, reconstructing the probeable
+// filter through index.FromParts (which validates the word count against
+// the declared bit length).
+func DecodeSummaryReply(m Message) (SummaryReply, *index.Summary, error) {
+	if m.Kind != KindSummaryReply {
+		return SummaryReply{}, nil, fmt.Errorf("wire: decoding %v as summary-reply", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := SummaryReply{
+		Station:   uint32(r.uvarint()),
+		Length:    uint32(r.uvarint()),
+		Residents: r.uvarint(),
+		Seed:      r.u64(),
+		Bits:      r.u64(),
+		Hashes:    uint32(r.uvarint()),
+		Inserted:  r.uvarint(),
+	}
+	nWords := r.count(8)
+	out.Words = make([]uint64, nWords)
+	for i := range out.Words {
+		out.Words[i] = r.u64()
+	}
+	if err := r.done(); err != nil {
+		return SummaryReply{}, nil, err
+	}
+	s, err := index.FromParts(int(out.Length), out.Seed, out.Words, out.Bits, int(out.Hashes), out.Inserted, out.Residents)
+	if err != nil {
+		return SummaryReply{}, nil, err
+	}
+	return out, s, nil
+}
+
 // ---- lifecycle: ingest / evict / stats / ack ----
 
 // Ingest adds (or replaces) resident patterns at one station — the center
@@ -816,6 +886,9 @@ func DecodeAck(m Message) (Ack, error) {
 
 // StatsMessage asks a station for its resident count and storage footprint.
 func StatsMessage() Message { return Message{Kind: KindStats} }
+
+// SummaryMessage asks a station for its routing summary (v5).
+func SummaryMessage() Message { return Message{Kind: KindSummary} }
 
 // ShipAllMessage asks a station to ship its complete local data.
 func ShipAllMessage() Message { return Message{Kind: KindShipAll} }

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/index"
+	"dimatch/internal/pattern"
+)
+
+func TestSummaryReplyRoundtrip(t *testing.T) {
+	s, err := index.Build(4, []pattern.Pattern{{1, 2, 3, 4}, {0, 5, 0, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := EncodeSummaryReply(s, 7)
+	decoded, err := Decode(msg.WithRequest(9).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Version != Version5 {
+		t.Fatalf("summary reply stamped v%d, want v5", decoded.Version)
+	}
+	sr, got, err := DecodeSummaryReply(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Station != 7 || sr.Residents != 2 || int(sr.Length) != 4 {
+		t.Fatalf("header %+v, want station 7, 2 residents, length 4", sr)
+	}
+	probe, err := index.NewProbe(core.Query{ID: 1, Locals: []pattern.Pattern{{1, 2, 3, 4}}}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Admits(probe) {
+		t.Fatal("round-tripped summary lost its cells")
+	}
+	miss, err := index.NewProbe(core.Query{ID: 1, Locals: []pattern.Pattern{{9, 9, 9, 9}}}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Admits(miss) {
+		t.Fatal("round-tripped summary admits an unrelated query at ε=0")
+	}
+}
+
+// TestSummaryKindsVersionGated pins the v5 gate: a summary kind inside a
+// frame stamped 4 or below is ErrBadKind, exactly like an unknown kind.
+func TestSummaryKindsVersionGated(t *testing.T) {
+	for _, kind := range []Kind{KindSummary, KindSummaryReply} {
+		for _, v := range []uint8{Version1, Version2, Version3, Version4} {
+			frame := Message{Kind: kind, Payload: nil}.Encode()
+			frame[2] = v
+			if v == Version1 {
+				// v1 headers are 4 bytes shorter; rebuild the frame.
+				frame = append(frame[:4], frame[8:]...)
+			}
+			if _, err := Decode(frame); !errors.Is(err, ErrBadKind) {
+				t.Errorf("kind %v in v%d frame: err %v, want ErrBadKind", kind, v, err)
+			}
+		}
+		// The same kind in a v5 frame decodes.
+		if _, err := Decode(Message{Kind: kind}.Encode()); err != nil {
+			t.Errorf("kind %v in v5 frame: %v", kind, err)
+		}
+	}
+}
+
+// TestSummaryReplyRejectsCorruption: truncated payloads and implausible
+// word counts fail with typed errors, never panic.
+func TestSummaryReplyRejectsCorruption(t *testing.T) {
+	s, err := index.Build(3, []pattern.Pattern{{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := EncodeSummaryReply(s, 1)
+	for cut := 1; cut < len(msg.Payload); cut++ {
+		bad := Message{Kind: KindSummaryReply, Payload: msg.Payload[:cut]}
+		if _, _, err := DecodeSummaryReply(bad); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := DecodeSummaryReply(Message{Kind: KindStats}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	// Word count disagreeing with the declared bit length is rejected by
+	// the index reconstruction.
+	trunc := append([]byte(nil), msg.Payload...)
+	bad := Message{Kind: KindSummaryReply, Payload: append(trunc, 0, 0, 0, 0, 0, 0, 0, 0)}
+	if _, _, err := DecodeSummaryReply(bad); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestStatsReplyAdvertisesV5 pins the capability handshake: a modern
+// station's stats reply advertises LatestVersion = 5.
+func TestStatsReplyAdvertisesV5(t *testing.T) {
+	sr, err := DecodeStatsReply(EncodeStatsReply(StatsReply{Station: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.MaxVersion != Version5 {
+		t.Fatalf("MaxVersion %d, want %d", sr.MaxVersion, Version5)
+	}
+}

@@ -44,6 +44,15 @@
 // MaxVersion >= 4; older stations can still receive the KindIngest push
 // half of re-replication, they just cannot be pulled from.
 //
+// Version 5 adds the summary kinds (KindSummary, KindSummaryReply) the same
+// way: the coordinator pulls a station's routing summary — a compact Bloom
+// digest of the resident patterns' accumulated cells — and probes it before
+// fanning a search out, skipping stations whose summary admits no possible
+// match. A summary kind in a frame stamped 4 or below is rejected with
+// ErrBadKind, Encode stamps summary frames version 5, and the coordinator
+// only sends KindSummary to stations that advertised MaxVersion >= 5;
+// pre-v5 stations are simply never pruned — every search still visits them.
+//
 // Payloads use unsigned varints for counts and small integers, raw 64-bit
 // words for bit arrays.
 package wire
@@ -103,13 +112,20 @@ const (
 	// KindDumpReply answers a dump with (person, local pattern) tuples plus
 	// the reporting station's ID (v4 only).
 	KindDumpReply
+	// KindSummary asks a station for its routing summary — the Bloom digest
+	// of its residents' accumulated cells the coordinator probes to prune
+	// search fan-out (v5 only).
+	KindSummary
+	// KindSummaryReply carries one station's routing summary (v5 only).
+	KindSummaryReply
 
 	// maxKindV2 is the last kind a version-1/2 peer understands; the batch
-	// kinds beyond it require version-3 frames, and the dump kinds beyond
-	// those require version-4 frames.
+	// kinds beyond it require version-3 frames, the dump kinds beyond those
+	// require version-4 frames, and the summary kinds version-5 frames.
 	maxKindV2 = KindAck
 	maxKindV3 = KindBatchReply
-	maxKind   = KindDumpReply
+	maxKindV4 = KindDumpReply
+	maxKind   = KindSummaryReply
 )
 
 func (k Kind) String() string {
@@ -148,6 +164,10 @@ func (k Kind) String() string {
 		return "dump"
 	case KindDumpReply:
 		return "dump-reply"
+	case KindSummary:
+		return "summary"
+	case KindSummaryReply:
+		return "summary-reply"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -155,16 +175,17 @@ func (k Kind) String() string {
 
 // Protocol versions. Version1 frames lack the requestID field; Version2
 // added it; Version3 added the batch kinds with an unchanged header;
-// Version4 added the dump kinds, again with an unchanged header. A receiver
-// accepts any version up to Version4.
+// Version4 added the dump kinds and Version5 the summary kinds, each again
+// with an unchanged header. A receiver accepts any version up to Version5.
 const (
 	Version1 = uint8(1)
 	Version2 = uint8(2)
 	Version3 = uint8(3)
 	Version4 = uint8(4)
+	Version5 = uint8(5)
 	// LatestVersion is the highest version this codec speaks — what a
 	// station advertises in its StatsReply.
-	LatestVersion = Version4
+	LatestVersion = Version5
 )
 
 const (
@@ -217,27 +238,31 @@ func (m Message) WithRequest(id uint32) Message {
 // meters count.
 func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
 
-// encodeVersion resolves the version byte a frame is stamped with: dump
-// kinds require version 4, batch kinds require version 3, everything else
-// defaults to version 2 so pre-batch peers keep decoding it. An explicit
-// Version in [2,4] overrides the default (but never below a kind's floor);
-// version-1 encoding is not supported — v1 is a decode-compatibility floor
-// only.
+// encodeVersion resolves the version byte a frame is stamped with: summary
+// kinds require version 5, dump kinds version 4, batch kinds version 3, and
+// everything else defaults to version 2 so pre-batch peers keep decoding
+// it. An explicit Version in [2,5] overrides the default (but never below a
+// kind's floor); version-1 encoding is not supported — v1 is a
+// decode-compatibility floor only.
 func (m Message) encodeVersion() uint8 {
 	v := m.Version
 	if v < Version2 || v > LatestVersion {
 		v = Version2
 	}
-	if m.Kind > maxKindV3 {
+	switch {
+	case m.Kind > maxKindV4:
+		v = Version5
+	case m.Kind > maxKindV3 && v < Version4:
 		v = Version4
-	} else if m.Kind > maxKindV2 && v < Version3 {
+	case m.Kind > maxKindV2 && v < Version3:
 		v = Version3
 	}
 	return v
 }
 
-// Encode renders the frame. Dump kinds are stamped version 4, batch kinds
-// version 3, everything else version 2 (see encodeVersion).
+// Encode renders the frame. Summary kinds are stamped version 5, dump kinds
+// version 4, batch kinds version 3, everything else version 2 (see
+// encodeVersion).
 func (m Message) Encode() []byte {
 	out := make([]byte, headerSize+len(m.Payload))
 	binary.LittleEndian.PutUint16(out[0:2], magic)
@@ -257,7 +282,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 	}
 	version = hdr[2]
 	switch version {
-	case Version2, Version3, Version4:
+	case Version2, Version3, Version4, Version5:
 		size = headerSize
 		request = binary.LittleEndian.Uint32(hdr[4:8])
 		n = binary.LittleEndian.Uint32(hdr[8:12])
@@ -268,15 +293,17 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 		return 0, 0, 0, 0, 0, ErrBadVersion
 	}
 	kind = Kind(hdr[3])
-	// The batch kinds exist only from version 3 and the dump kinds only from
-	// version 4: a newer kind in an older frame is as unknown as kind 200
-	// would be.
+	// The batch kinds exist only from version 3, the dump kinds only from
+	// version 4 and the summary kinds only from version 5: a newer kind in
+	// an older frame is as unknown as kind 200 would be.
 	limit := maxKind
 	switch {
 	case version < Version3:
 		limit = maxKindV2
 	case version < Version4:
 		limit = maxKindV3
+	case version < Version5:
+		limit = maxKindV4
 	}
 	if kind == 0 || kind > limit {
 		return 0, 0, 0, 0, 0, ErrBadKind
@@ -288,7 +315,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 }
 
 // Decode parses a frame from b, which must contain exactly one frame.
-// Frames of any version up to Version4 are accepted; the version is
+// Frames of any version up to Version5 are accepted; the version is
 // recorded on the returned message.
 func Decode(b []byte) (Message, error) {
 	if len(b) < headerSizeV1 {
@@ -320,7 +347,7 @@ func WriteMessage(w io.Writer, m Message) error {
 }
 
 // ReadMessage reads exactly one frame from r, accepting frames of any
-// version up to Version4.
+// version up to Version5.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
 	// Read the version-1 prefix first: all layouts share magic, version and
