@@ -53,7 +53,7 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkConvergence regenerates the sample-count study (E4).
 func BenchmarkConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := bench.Convergence(bench.ConvergenceConfig{
+		_, err := bench.Convergence(context.Background(), bench.ConvergenceConfig{
 			Groups:       2,
 			SampleCounts: []int{4, 8, 12},
 			Persons:      60,
@@ -68,7 +68,7 @@ func BenchmarkConvergence(b *testing.B) {
 // (E5-E8) at a reduced scale.
 func BenchmarkFigure4Sweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := bench.Figure4(bench.Figure4Config{
+		_, err := bench.Figure4(context.Background(), bench.Figure4Config{
 			Persons:       2000,
 			Stations:      36,
 			PatternCounts: []int{10, 30},
@@ -159,7 +159,7 @@ func BenchmarkSearchWBF(b *testing.B) {
 // scale.
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.TableII(bench.TableIIConfig{Persons: 120, Days: 2, QueriesPerDay: 6})
+		rows, err := bench.TableII(context.Background(), bench.TableIIConfig{Persons: 120, Days: 2, QueriesPerDay: 6})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,7 +219,7 @@ func BenchmarkMatcherMatch(b *testing.B) {
 // BenchmarkRenderers exercises the text renderers (cheap, but keeps them
 // covered under -bench runs too).
 func BenchmarkRenderers(b *testing.B) {
-	points, err := bench.Figure4(bench.Figure4Config{
+	points, err := bench.Figure4(context.Background(), bench.Figure4Config{
 		Persons:       1000,
 		Stations:      25,
 		PatternCounts: []int{5},

@@ -41,6 +41,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -144,7 +145,7 @@ func runRoutingBaseline(w *os.File, quick bool, out string) error {
 		cfg.StationCounts = []int{4, 16}
 		cfg.Repetitions = 2
 	}
-	r, err := bench.RunRoutingBench(cfg)
+	r, err := bench.RunRoutingBench(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func runReplicationBaseline(w *os.File, quick bool, out string) error {
 		cfg.Persons = 150
 		cfg.Stations = 4
 	}
-	r, err := bench.RunReplicationBench(cfg)
+	r, err := bench.RunReplicationBench(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -208,7 +209,7 @@ func runBatchBaseline(w *os.File, quick bool, out string) error {
 		cfg.Persons = 600
 		cfg.Repetitions = 4
 	}
-	r, err := bench.RunBatchBench(cfg)
+	r, err := bench.RunBatchBench(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -276,7 +277,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			cfg.SampleCounts = []int{2, 5, 8, 12}
 			cfg.Persons = 60
 		}
-		points, err := bench.Convergence(cfg)
+		points, err := bench.Convergence(context.Background(), cfg)
 		if err != nil {
 			return err
 		}
@@ -292,7 +293,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			cfg.PatternCounts = []int{5, 15, 30}
 			cfg.QueriesScored = 5
 		}
-		points, err := bench.Figure4(cfg)
+		points, err := bench.Figure4(context.Background(), cfg)
 		if err != nil {
 			return err
 		}
@@ -307,7 +308,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			cfg.Days = 2
 			cfg.QueriesPerDay = 6
 		}
-		rows, err := bench.TableII(cfg)
+		rows, err := bench.TableII(context.Background(), cfg)
 		if err != nil {
 			return err
 		}
@@ -320,7 +321,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 		if quick {
 			cfg.Persons = 120
 		}
-		rows, err := bench.AblationSalting(cfg)
+		rows, err := bench.AblationSalting(context.Background(), cfg)
 		if err != nil {
 			return err
 		}
@@ -333,7 +334,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 		if quick {
 			cfg.Persons = 120
 		}
-		rows, err := bench.AblationTolerance(cfg)
+		rows, err := bench.AblationTolerance(context.Background(), cfg)
 		if err != nil {
 			return err
 		}
@@ -346,7 +347,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 		if quick {
 			cfg.Persons = 120
 		}
-		rows, err := bench.SizingSweep(cfg, nil)
+		rows, err := bench.SizingSweep(context.Background(), cfg, nil)
 		if err != nil {
 			return err
 		}
@@ -359,7 +360,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 		if quick {
 			cfg.Persons = 120
 		}
-		rows, err := bench.Resilience(cfg, nil, strat)
+		rows, err := bench.Resilience(context.Background(), cfg, nil, strat)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,207 @@
+// Command di-lint runs the repo's invariant analyzers (wirekind, epochpin,
+// lockio, ctxflow, noalloc — see docs/ANALYZERS.md) over Go packages.
+//
+// Standalone:
+//
+//	go run ./cmd/di-lint ./...
+//
+// As a vet tool, speaking the cmd/go unitchecker protocol (-V=full
+// handshake, then one JSON config file per package):
+//
+//	go install ./cmd/di-lint
+//	go vet -vettool=$(go env GOPATH)/bin/di-lint ./...
+//
+// With -allocharness, instead of linting it prints a testing.AllocsPerRun
+// skeleton for every //dimatch:noalloc function not yet covered by its
+// package's alloc_pin_test.go.
+//
+// Exit status: 0 clean, 2 findings, 1 failure of the tool itself.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dimatch/internal/analyzers"
+	"dimatch/internal/analyzers/analysis"
+	"dimatch/internal/analyzers/noalloc"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (cmd/go vettool handshake)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flag schema as JSON and exit (cmd/go vettool handshake)")
+	allocHarness := flag.Bool("allocharness", false, "print AllocsPerRun pin-test skeletons for unpinned //dimatch:noalloc functions")
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// The exact shape cmd/go expects from a vet tool's -V=full output.
+		fmt.Printf("di-lint version devel comments-go-here buildID=8e3a92f4c1d7b6509e3a92f4c1d7b650\n")
+		return
+	}
+	if *flagsFlag {
+		// cmd/go asks which analyzer flags the tool accepts; the suite has none
+		// it wants forwarded, so the schema is empty.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	if *allocHarness {
+		os.Exit(runAllocHarness(args))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone loads packages via the go tool and prints findings.
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "di-lint:", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers.All)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "di-lint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Position(pkg.Fset), d.Message, d.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "di-lint: %d finding(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON config cmd/go hands a vet tool for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one package described by a vet config file.
+func runUnitchecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "di-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "di-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go expects a facts file regardless of findings; the suite keeps no
+	// cross-package facts, so an empty one is complete.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "di-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for path, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[path] = file
+		}
+	}
+
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "di-lint:", err)
+		return 1
+	}
+	diags, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "di-lint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Position(pkg.Fset), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runAllocHarness prints pin-test skeletons for annotated functions that no
+// alloc_pin_test.go in their package mentions yet.
+func runAllocHarness(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "di-lint:", err)
+		return 1
+	}
+	missing := 0
+	for _, pkg := range pkgs {
+		var dir, pkgName string
+		var unpinned []string
+		for _, f := range pkg.Files {
+			dir = filepath.Dir(pkg.Fset.Position(f.Pos()).Filename)
+			pkgName = f.Name.Name
+			pins, _ := os.ReadFile(filepath.Join(dir, "alloc_pin_test.go"))
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !noalloc.Annotated(fn) {
+					continue
+				}
+				name := noalloc.DisplayName(fn)
+				if !strings.Contains(string(pins), name) {
+					unpinned = append(unpinned, name)
+				}
+			}
+		}
+		if len(unpinned) == 0 {
+			continue
+		}
+		missing += len(unpinned)
+		fmt.Printf("// %s: %d //dimatch:noalloc function(s) without an AllocsPerRun pin.\n", pkg.ImportPath, len(unpinned))
+		fmt.Printf("// Complete and save as %s:\n\npackage %s\n\nimport \"testing\"\n\n", filepath.Join(dir, "alloc_pin_test.go"), pkgName)
+		for _, name := range unpinned {
+			testName := strings.NewReplacer("(", "", ")", "", "*", "", ".", "").Replace(name)
+			fmt.Printf("func TestNoalloc%s(t *testing.T) {\n\t// arrange: build a warm receiver/arguments for %s\n\tif n := testing.AllocsPerRun(100, func() {\n\t\t// call %s here\n\t}); n != 0 {\n\t\tt.Fatalf(\"%s allocates %%v times per run; //dimatch:noalloc requires 0\", n)\n\t}\n}\n\n", testName, name, name, name)
+		}
+	}
+	if missing > 0 {
+		return 2
+	}
+	return 0
+}

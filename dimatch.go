@@ -221,7 +221,7 @@ func (c *Cluster) Search(ctx context.Context, queries []Query, opts ...SearchOpt
 // per-call options. SearchWithStrategy remains only so existing callers can
 // migrate incrementally.
 func (c *Cluster) SearchWithStrategy(queries []Query, strategy Strategy) (*Outcome, error) {
-	return c.inner.Search(context.Background(), queries, cluster.WithStrategy(strategy))
+	return c.inner.Search(context.Background(), queries, cluster.WithStrategy(strategy)) //dimatch:allow ctxflow — deprecated pre-context shim kept for migration
 }
 
 // Ingest adds (or replaces) resident patterns at one station of a running

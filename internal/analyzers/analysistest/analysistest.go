@@ -1,0 +1,243 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its findings against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture file marks each line where a finding is expected:
+//
+//	bad()  // want `regexp matching the message`
+//
+// Multiple expectations on one line are written as consecutive quoted
+// regexps. Every finding must be wanted and every want must be found.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dimatch/internal/analyzers/analysis"
+)
+
+// TestData returns the calling test's testdata directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package (a directory under dir/src), applies the
+// analyzer, and reports any mismatch between findings and // want
+// expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader := &fixtureLoader{
+		srcRoot: filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*fixturePkg),
+	}
+	for _, path := range pkgpaths {
+		fp, err := loader.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(loader.fset, fp.files, fp.pkg, fp.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, loader.fset, fp.files, diags)
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader type-checks fixture packages, resolving imports first
+// against other fixtures under srcRoot and then against the real build's
+// export data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*fixturePkg
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg, info, err := analysis.Check(path, l.fset, files, importerFunc(l.importPkg))
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	l.pkgs[path] = fp
+	return fp, nil
+}
+
+func (l *fixtureLoader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	exports, err := stdExports(path)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.ExportImporter(l.fset, exports).Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdExports resolves a real (non-fixture) import path and its transitive
+// dependencies to export-data files, caching across calls so each test
+// binary shells out to the go tool at most once per new path.
+var stdExportsCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+func stdExports(path string) (map[string]string, error) {
+	stdExportsCache.Lock()
+	defer stdExportsCache.Unlock()
+	if _, ok := stdExportsCache.m[path]; !ok {
+		cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(&stdout)
+		for {
+			var e struct{ ImportPath, Export string }
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if e.Export != "" {
+				stdExportsCache.m[e.ImportPath] = e.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(stdExportsCache.m))
+	for k, v := range stdExportsCache.m {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// wantRe matches one quoted or backquoted expectation in a // want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares findings against // want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // file -> line -> expectations
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[i+len("// want "):], -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = make(map[int][]*expectation)
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := d.Position(fset)
+		found := false
+		for _, exp := range wants[pos.Filename][pos.Line] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected finding: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+
+	var missing []string
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, exp := range exps {
+				if !exp.matched {
+					missing = append(missing, fmt.Sprintf("%s:%d: no finding matched %q", file, line, exp.re))
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}

@@ -1,0 +1,22 @@
+// Package analyzers registers the repo's invariant checkers for cmd/di-lint
+// and the suite test. See docs/ANALYZERS.md for what each pass enforces and
+// how to suppress a finding.
+package analyzers
+
+import (
+	"dimatch/internal/analyzers/analysis"
+	"dimatch/internal/analyzers/ctxflow"
+	"dimatch/internal/analyzers/epochpin"
+	"dimatch/internal/analyzers/lockio"
+	"dimatch/internal/analyzers/noalloc"
+	"dimatch/internal/analyzers/wirekind"
+)
+
+// All is every analyzer di-lint runs, in reporting order.
+var All = []*analysis.Analyzer{
+	wirekind.Analyzer,
+	epochpin.Analyzer,
+	lockio.Analyzer,
+	ctxflow.Analyzer,
+	noalloc.Analyzer,
+}

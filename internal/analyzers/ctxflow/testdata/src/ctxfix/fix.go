@@ -1,0 +1,45 @@
+// Package ctxfix exercises the ctxflow rules: fresh contexts in library
+// paths, the blessed nil-guard, and unused ctx parameters.
+package ctxfix
+
+import "context"
+
+type station struct{}
+
+func (s *station) query(ctx context.Context) error { return ctx.Err() }
+
+// searchDetached mints its own context: the caller's cancellation is lost.
+func searchDetached(s *station) error {
+	return s.query(context.Background()) // want `context\.Background in a library path`
+}
+
+// searchDeferred parks cleanup on a TODO context: same severed lineage.
+func searchDeferred(s *station) error {
+	ctx := context.TODO() // want `context\.TODO in a library path`
+	return s.query(ctx)
+}
+
+// decorative accepts a ctx it never reads.
+func decorative(ctx context.Context, s *station) error { // want `ctx parameter ctx is never used`
+	return s.query(context.TODO()) // want `context\.TODO in a library path`
+}
+
+// guarded is the conforming boundary shape: Background only as the nil
+// default, then threaded everywhere.
+func guarded(ctx context.Context, s *station) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.query(ctx)
+}
+
+// threaded is the ordinary conforming shape.
+func threaded(ctx context.Context, s *station) error {
+	return s.query(ctx)
+}
+
+// anonymous explicitly discards the context with a blank name: allowed,
+// the signature is honest about it.
+func anonymous(_ context.Context, s *station) error {
+	return s.query(context.TODO()) //dimatch:allow ctxflow — demo of the escape hatch
+}

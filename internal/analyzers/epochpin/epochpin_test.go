@@ -1,0 +1,12 @@
+package epochpin_test
+
+import (
+	"testing"
+
+	"dimatch/internal/analyzers/analysistest"
+	"dimatch/internal/analyzers/epochpin"
+)
+
+func TestEpochpin(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochpin.Analyzer, "epochfix")
+}

@@ -1,0 +1,71 @@
+// Package epochfix is a miniature cluster for the epochpin fixture: a
+// guarded epoch pointer touched with and without its mutex.
+package epochfix
+
+import "sync"
+
+type epoch struct{ members []string }
+
+type Cluster struct {
+	mu     sync.Mutex
+	ep     *epoch // dimatch:guardedby mu
+	closed bool   // dimatch:guardedby mu
+}
+
+// Members reads live membership without the lock: the invariant epochpin
+// exists to catch.
+func (c *Cluster) Members() []string {
+	return c.ep.members // want `field c\.ep is guarded by c\.mu`
+}
+
+// Sloppy writes a guarded field after releasing the lock.
+func (c *Cluster) Sloppy() bool {
+	c.mu.Lock()
+	v := c.closed
+	c.mu.Unlock()
+	c.ep = nil // want `field c\.ep is guarded by c\.mu`
+	return v
+}
+
+// Async touches a guarded field from a goroutine: the closure runs under
+// its own lock discipline, so the deferred unlock outside does not cover it.
+func (c *Cluster) Async() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		_ = c.ep // want `field c\.ep is guarded by c\.mu`
+	}()
+}
+
+// Close is the conforming shape: deferred unlock covers the write.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+}
+
+// Snapshot is the conforming early-unlock shape: the branch releases and
+// returns, and the code after it still holds the lock.
+func (c *Cluster) Snapshot() *epoch {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	ep := c.ep
+	c.mu.Unlock()
+	return ep
+}
+
+// installLocked follows the callers-hold-the-lock naming convention.
+func (c *Cluster) installLocked(e *epoch) {
+	c.ep = e
+}
+
+// New writes guarded fields of a value no other goroutine can see yet.
+func New() *Cluster {
+	c := &Cluster{}
+	c.ep = &epoch{}
+	c.installLocked(c.ep)
+	return c
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"dimatch/internal/analyzers/analysistest"
+	"dimatch/internal/analyzers/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockio.Analyzer, "lockiofix")
+}

@@ -1,0 +1,230 @@
+// Package noalloc guards the hot paths: a function whose doc comment
+// carries //dimatch:noalloc is checked for allocating constructs — make,
+// new, slice/map/pointer composite literals, closures, goroutines,
+// string/byte conversions, interface boxing (including variadic ...any
+// calls like fmt.Errorf), and append onto anything that is not a reused
+// buffer (a variable initialized from a slice expression such as
+// b := m.buf[:0]).
+//
+// The static check is the early warning; the per-package alloc_pin_test.go
+// harness holds the same functions to 0 allocs/op at runtime with
+// testing.AllocsPerRun, and the analyzers suite test keeps the two lists in
+// sync. Cold paths inside a hot function (error formatting on a
+// length-mismatch, say) are suppressed line by line with
+// //dimatch:allow noalloc and a rationale.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dimatch/internal/analyzers/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs inside //dimatch:noalloc functions",
+	Run:  run,
+}
+
+// Marker is the doc-comment annotation that opts a function in.
+const Marker = "//dimatch:noalloc"
+
+// Annotated reports whether fn opted in to the zero-allocation check.
+func Annotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// DisplayName renders fn as it appears in diagnostics and pin harnesses:
+// "Match" or "(*Matcher).Match".
+func DisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fn.Name.Name
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !Annotated(fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	name := DisplayName(fn)
+	reused := reusedBuffers(pass.TypesInfo, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in noalloc function %s", name)
+			return false // its body is the closure's problem
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine in noalloc function %s", name)
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Reportf(lit.Pos(), "&composite literal allocates in noalloc function %s", name)
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "slice or map literal allocates in noalloc function %s", name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, name, reused)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, name string, reused map[types.Object]bool) {
+	// Conversions: string <-> []byte/[]rune copy, concrete -> interface box.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := pass.TypesInfo.TypeOf(call.Args[0])
+		if isStringBytesConv(dst, src) {
+			pass.Reportf(call.Pos(), "string/byte conversion copies in noalloc function %s", name)
+		}
+		if _, dstIface := dst.(*types.Interface); dstIface && src != nil {
+			if _, srcIface := src.Underlying().(*types.Interface); !srcIface && !isNilConst(pass.TypesInfo, call.Args[0]) {
+				pass.Reportf(call.Pos(), "interface conversion boxes in noalloc function %s", name)
+			}
+		}
+		return
+	}
+
+	switch callee(call) {
+	case "make":
+		pass.Reportf(call.Pos(), "make allocates in noalloc function %s", name)
+		return
+	case "new":
+		pass.Reportf(call.Pos(), "new allocates in noalloc function %s", name)
+		return
+	case "append":
+		if len(call.Args) > 0 && !isReusedBuffer(pass.TypesInfo, call.Args[0], reused) {
+			pass.Reportf(call.Pos(), "append onto a non-reused buffer may allocate in noalloc function %s; grow a b := buf[:0] scratch instead", name)
+		}
+		return
+	}
+
+	// Variadic ...interface{} calls box every argument (fmt.Errorf and kin).
+	if sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature); ok && sig.Variadic() {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok {
+			if _, iface := slice.Elem().Underlying().(*types.Interface); iface && len(call.Args) >= sig.Params().Len() {
+				pass.Reportf(call.Pos(), "variadic interface call boxes its arguments in noalloc function %s", name)
+			}
+		}
+	}
+}
+
+func callee(call *ast.CallExpr) string {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isStringBytesConv(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	src = src.Underlying()
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isNilConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// reusedBuffers collects variables initialized from a slice expression
+// (b := m.buf[:0]): append may grow them without the analyzer objecting,
+// because steady-state capacity makes the append free and the runtime pin
+// harness catches any regression.
+func reusedBuffers(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isScratchInit(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isScratchInit reports whether rhs establishes a buffer appends may grow:
+// a reslice of existing storage (m.buf[:0]) or an explicit
+// make-with-capacity (which is itself reported, once, as the allocation).
+func isScratchInit(rhs ast.Expr) bool {
+	switch rhs := rhs.(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		return callee(rhs) == "make" && len(rhs.Args) == 3
+	}
+	return false
+}
+
+// isReusedBuffer reports whether the append target is a slice expression
+// itself (append(buf[:0], ...)) or a variable marked as a reused buffer.
+func isReusedBuffer(info *types.Info, e ast.Expr, reused map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		return reused[info.ObjectOf(e)]
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"dimatch/internal/analyzers/analysistest"
+	"dimatch/internal/analyzers/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noalloc.Analyzer, "noallocfix")
+}

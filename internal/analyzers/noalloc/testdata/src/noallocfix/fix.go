@@ -1,0 +1,83 @@
+// Package noallocfix exercises the noalloc rules over annotated and
+// unannotated functions.
+package noallocfix
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+//dimatch:noalloc
+func (s *scratch) sumFresh(vals []int) []int {
+	out := make([]int, 0, len(vals)) // want `make allocates in noalloc function \(\*scratch\)\.sumFresh`
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+//dimatch:noalloc
+func (s *scratch) sumGrowing(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v) // want `append onto a non-reused buffer may allocate in noalloc function`
+	}
+	return out
+}
+
+//dimatch:noalloc
+func describe(v int) error {
+	if v < 0 {
+		return fmt.Errorf("negative: %d", v) // want `variadic interface call boxes its arguments in noalloc function describe`
+	}
+	return nil
+}
+
+//dimatch:noalloc
+func stringify(b []byte) string {
+	return string(b) // want `string/byte conversion copies in noalloc function stringify`
+}
+
+//dimatch:noalloc
+func boxed(v int) interface{} {
+	return interface{}(v) // want `interface conversion boxes in noalloc function boxed`
+}
+
+//dimatch:noalloc
+func deferred(v int) func() int {
+	return func() int { return v } // want `closure allocates in noalloc function deferred`
+}
+
+// sumReused is the conforming shape: a b := buf[:0] scratch reused across
+// calls, appends allowed, no fresh allocations on the steady path.
+//
+//dimatch:noalloc
+func (s *scratch) sumReused(vals []int) []int {
+	out := s.buf[:0]
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	s.buf = out
+	return out
+}
+
+// coldPath shows the per-line escape hatch for an error branch that is
+// allowed to allocate.
+//
+//dimatch:noalloc
+func (s *scratch) coldPath(vals []int) ([]int, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("empty input") //dimatch:allow noalloc — cold error path
+	}
+	out := s.buf[:0]
+	out = append(out, vals[0])
+	return out, nil
+}
+
+// unannotated allocates freely: not a finding without the marker.
+func unannotated(vals []int) []int {
+	out := make([]int, len(vals))
+	copy(out, vals)
+	return out
+}

@@ -1,0 +1,37 @@
+// Package wirekinduse exercises the dispatch-switch and discarded-error
+// rules from a package that consumes the wire fixture.
+package wirekinduse
+
+import "wirefix"
+
+func dispatch(k wire.Kind) string {
+	switch k { // want `switch over wire.Kind without a default`
+	case wire.KindA:
+		return "a"
+	case wire.KindB:
+		return "b"
+	}
+	return ""
+}
+
+// dispatchOK carries a default clause: the conforming counterexample.
+func dispatchOK(k wire.Kind) string {
+	switch k {
+	case wire.KindA:
+		return "a"
+	default:
+		return "?"
+	}
+}
+
+func sloppy(b []byte) int {
+	wire.DecodeThing(b)          // want `result of DecodeThing is discarded`
+	v, _ := wire.DecodeThing(b)  // want `error result of DecodeThing is assigned to _`
+	wire.EncodeThing(v)          // want `result of EncodeThing is discarded`
+	return v + wire.DecodeLen(b) // no error result: not a finding
+}
+
+// careful propagates the codec error: the conforming counterexample.
+func careful(b []byte) (int, error) {
+	return wire.DecodeThing(b)
+}

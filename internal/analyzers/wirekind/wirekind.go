@@ -1,0 +1,282 @@
+// Package wirekind enforces the wire-protocol registration invariant: a
+// message kind that the version-gating table or the String table does not
+// know is a kind that old peers cannot reject cleanly (docs/WIRE.md).
+//
+// In the package that declares the Kind type (internal/wire), every
+// exported Kind constant must appear as a key of the version-gating map
+// (the package-level map[Kind]uint8) and as a case of Kind.String. In every
+// package, a switch over a Kind-typed value must carry a default clause, so
+// a newly added kind falls into explicit unknown-handling instead of being
+// silently dropped; and the error result of a wire Encode*/Decode* call
+// must not be discarded.
+package wirekind
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dimatch/internal/analyzers/analysis"
+)
+
+// Analyzer is the wirekind pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirekind",
+	Doc:  "check that every wire.Kind is version-gated, stringable, and dispatched with a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	kindType := lookupKindType(pass.Pkg)
+	if kindType != nil && pass.Pkg.Scope().Lookup("Kind") != nil {
+		checkRegistration(pass, kindType)
+	}
+	checkSwitches(pass)
+	checkDiscardedErrors(pass)
+	return nil
+}
+
+// lookupKindType returns the package's named integer type Kind, if any.
+func lookupKindType(pkg *types.Package) *types.Named {
+	obj := pkg.Scope().Lookup("Kind")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named
+}
+
+// checkRegistration verifies every exported Kind constant is a key of the
+// version-gating map and a case of Kind.String.
+func checkRegistration(pass *analysis.Pass, kindType *types.Named) {
+	var consts []*types.Const
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && c.Exported() && types.Identical(c.Type(), kindType) {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) == 0 {
+		return
+	}
+
+	gating, gatingFound := gatingKeys(pass, kindType)
+	strung, stringFound := stringCases(pass, kindType)
+	for _, c := range consts {
+		if gatingFound && !gating[c.Name()] {
+			pass.Reportf(c.Pos(), "wire kind %s is not registered in the version-gating table", c.Name())
+		}
+		if stringFound && !strung[c.Name()] {
+			pass.Reportf(c.Pos(), "wire kind %s has no case in Kind.String", c.Name())
+		}
+	}
+}
+
+// gatingKeys collects the constant names used as keys of the package-level
+// map[Kind]<integer> literal (the version-gating table).
+func gatingKeys(pass *analysis.Pass, kindType *types.Named) (map[string]bool, bool) {
+	keys := make(map[string]bool)
+	found := false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					lit, ok := v.(*ast.CompositeLit)
+					if !ok || !isKindKeyedMap(pass.TypesInfo.TypeOf(lit), kindType) {
+						continue
+					}
+					found = true
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id := constName(kv.Key); id != "" {
+							keys[id] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return keys, found
+}
+
+func isKindKeyedMap(t types.Type, kindType *types.Named) bool {
+	m, ok := t.(*types.Map)
+	if !ok {
+		return false
+	}
+	if !types.Identical(m.Key(), kindType) {
+		return false
+	}
+	basic, ok := m.Elem().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// stringCases collects the constant names appearing as switch cases in the
+// Kind.String method.
+func stringCases(pass *analysis.Pass, kindType *types.Named) (map[string]bool, bool) {
+	cases := make(map[string]bool)
+	found := false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "String" || fn.Recv == nil || len(fn.Recv.List) != 1 {
+				continue
+			}
+			recv := pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if !types.Identical(recv, kindType) {
+				continue
+			}
+			found = true
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					if id := constName(e); id != "" {
+						cases[id] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return cases, found
+}
+
+// constName returns the identifier name of e if it is a plain or qualified
+// identifier.
+func constName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// checkSwitches requires a default clause on every switch over a Kind-typed
+// value, in any package.
+func checkSwitches(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named, ok := pass.TypesInfo.TypeOf(sw.Tag).(*types.Named)
+			if !ok || named.Obj().Name() != "Kind" {
+				return true
+			}
+			if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+				return true
+			}
+			for _, c := range sw.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+					return true // has default
+				}
+			}
+			pass.Reportf(sw.Pos(), "switch over %s.Kind without a default: an unknown kind would be silently dropped", named.Obj().Pkg().Name())
+			return true
+		})
+	}
+}
+
+// checkDiscardedErrors flags wire Encode*/Decode* calls whose error result
+// is dropped, either by using the call as a statement or by assigning the
+// error position to the blank identifier. Test files are exempt: fuzz and
+// property tests probe decoders with inputs whose rejection is the point.
+func checkDiscardedErrors(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && codecErrIndex(pass, call) >= 0 {
+					pass.Reportf(call.Pos(), "result of %s is discarded: a codec error would go unnoticed", codecName(call))
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				i := codecErrIndex(pass, call)
+				if i < 0 || i >= len(n.Lhs) {
+					return true
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "error result of %s is assigned to _: a codec error would go unnoticed", codecName(call))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// codecErrIndex returns the index of the error result if call is a wire
+// Encode*/Decode* function returning an error, else -1.
+func codecErrIndex(pass *analysis.Pass, call *ast.CallExpr) int {
+	name := codecName(call)
+	if !strings.HasPrefix(name, "Encode") && !strings.HasPrefix(name, "Decode") {
+		return -1
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "wire" {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" {
+			return i
+		}
+	}
+	return -1
+}
+
+func codecName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package wirekind_test
+
+import (
+	"testing"
+
+	"dimatch/internal/analyzers/analysistest"
+	"dimatch/internal/analyzers/wirekind"
+)
+
+func TestWirekind(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wirekind.Analyzer, "wirefix", "wirekinduse")
+}

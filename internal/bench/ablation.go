@@ -44,7 +44,7 @@ type AblationRow struct {
 
 // runVariant executes one parameter variant over a fresh city and scores
 // one query per category.
-func runVariant(cfg AblationConfig, name string, params core.Params, minScore float64) (AblationRow, error) {
+func runVariant(ctx context.Context, cfg AblationConfig, name string, params core.Params, minScore float64) (AblationRow, error) {
 	city := cdr.DefaultConfig()
 	city.Seed = cfg.Seed
 	city.Persons = cfg.Persons
@@ -70,7 +70,7 @@ func runVariant(cfg AblationConfig, name string, params core.Params, minScore fl
 	for i, ref := range refs {
 		queries[i] = queryFor(d, core.QueryID(i+1), ref)
 	}
-	out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(cluster.StrategyWBF))
+	out, err := cl.Search(ctx, queries, cluster.WithStrategy(cluster.StrategyWBF))
 	if err != nil {
 		return AblationRow{}, err
 	}
@@ -91,7 +91,7 @@ func runVariant(cfg AblationConfig, name string, params core.Params, minScore fl
 // AblationSalting measures DESIGN.md D8: position-salted vs the paper's
 // unsalted keys at ε = 1, plus the unsalted exact-matching (ε = 0) case
 // where the original scheme is sound.
-func AblationSalting(cfg AblationConfig) ([]AblationRow, error) {
+func AblationSalting(ctx context.Context, cfg AblationConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	base := core.Params{
 		Bits:    1 << 18,
@@ -112,7 +112,7 @@ func AblationSalting(cfg AblationConfig) ([]AblationRow, error) {
 	for _, v := range variants {
 		p := base
 		v.mutate(&p)
-		row, err := runVariant(cfg, v.name, p, v.minScore)
+		row, err := runVariant(ctx, cfg, v.name, p, v.minScore)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +123,7 @@ func AblationSalting(cfg AblationConfig) ([]AblationRow, error) {
 
 // AblationTolerance measures DESIGN.md D1: scaled (no false negatives)
 // versus absolute (cheaper, lossy) ε banding.
-func AblationTolerance(cfg AblationConfig) ([]AblationRow, error) {
+func AblationTolerance(ctx context.Context, cfg AblationConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	base := core.Params{
 		Bits:           1 << 18,
@@ -143,7 +143,7 @@ func AblationTolerance(cfg AblationConfig) ([]AblationRow, error) {
 	} {
 		p := base
 		p.Tolerance = v.mode
-		row, err := runVariant(cfg, v.name, p, 0.9)
+		row, err := runVariant(ctx, cfg, v.name, p, 0.9)
 		if err != nil {
 			return nil, err
 		}
@@ -165,7 +165,7 @@ type SizingRow struct {
 // rate and the measured rate on guaranteed-absent probes, across filter
 // sizes — the empirical side of the paper's "upper bound tightness"
 // discussion (Section V).
-func SizingSweep(cfg AblationConfig, bitSizes []uint64) ([]SizingRow, error) {
+func SizingSweep(ctx context.Context, cfg AblationConfig, bitSizes []uint64) ([]SizingRow, error) {
 	cfg = cfg.withDefaults()
 	if len(bitSizes) == 0 {
 		bitSizes = []uint64{1 << 14, 1 << 16, 1 << 18, 1 << 20}
@@ -217,7 +217,7 @@ func SizingSweep(cfg AblationConfig, bitSizes []uint64) ([]SizingRow, error) {
 		}
 
 		// Precision at this sizing through the full pipeline.
-		row, err := runVariant(cfg, fmt.Sprintf("m=%d", bits), params, 0.9)
+		row, err := runVariant(ctx, cfg, fmt.Sprintf("m=%d", bits), params, 0.9)
 		if err != nil {
 			return nil, err
 		}

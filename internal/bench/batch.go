@@ -177,13 +177,12 @@ func tcpBatchCluster(d *cdr.Dataset, opts cluster.Options) (*cluster.Cluster, fu
 // runBatchScenario times one (cluster, queries, mode) cell. Summary
 // routing is forced off so the cell isolates what batching buys — the
 // routed-vs-full comparison has its own baseline (BENCH_routing.json).
-func runBatchScenario(c *cluster.Cluster, queries []core.Query, mode string, reps int) (BatchScenario, error) {
+func runBatchScenario(ctx context.Context, c *cluster.Cluster, queries []core.Query, mode string, reps int) (BatchScenario, error) {
 	batchSize := 0 // batched: whole set in one round
 	if mode == "unbatched" {
 		batchSize = 1
 	}
 	opts := []cluster.SearchOption{cluster.WithBatching(batchSize), cluster.WithRouting(cluster.RoutingFull)}
-	ctx := context.Background()
 	// Warm-up: fills the epoch's stats/version cache and the TCP buffers.
 	if _, err := c.Search(ctx, queries, opts...); err != nil {
 		return BatchScenario{}, err
@@ -225,7 +224,7 @@ func runBatchScenario(c *cluster.Cluster, queries []core.Query, mode string, rep
 }
 
 // RunBatchBench executes the full sweep and assembles the report.
-func RunBatchBench(cfg BatchBenchConfig) (*BatchReport, error) {
+func RunBatchBench(ctx context.Context, cfg BatchBenchConfig) (*BatchReport, error) {
 	cfg = cfg.withDefaults()
 	report := &BatchReport{
 		Schema:     batchBenchSchema,
@@ -259,7 +258,7 @@ func RunBatchBench(cfg BatchBenchConfig) (*BatchReport, error) {
 			}
 			var cell [2]BatchScenario
 			for i, mode := range []string{"batched", "unbatched"} {
-				s, err := runBatchScenario(c, queries, mode, cfg.Repetitions)
+				s, err := runBatchScenario(ctx, c, queries, mode, cfg.Repetitions)
 				if err != nil {
 					cleanup()
 					return nil, err

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func quickBatchConfig() BatchBenchConfig {
 }
 
 func TestBatchBenchReportShape(t *testing.T) {
-	r, err := RunBatchBench(quickBatchConfig())
+	r, err := RunBatchBench(context.Background(), quickBatchConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func BenchmarkBatchPipeline(b *testing.B) {
 	}
 	cfg := BatchBenchConfig{Persons: 1200, Repetitions: 6}
 	for i := 0; i < b.N; i++ {
-		r, err := RunBatchBench(cfg)
+		r, err := RunBatchBench(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

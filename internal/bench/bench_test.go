@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestFigure1bStatistic(t *testing.T) {
 }
 
 func TestConvergenceShape(t *testing.T) {
-	points, err := Convergence(ConvergenceConfig{
+	points, err := Convergence(context.Background(), ConvergenceConfig{
 		Groups:       2,
 		SampleCounts: []int{2, 8, 12},
 		Persons:      60,
@@ -123,7 +124,7 @@ func TestConvergenceShape(t *testing.T) {
 }
 
 func TestFigure4SmallSweep(t *testing.T) {
-	points, err := Figure4(Figure4Config{
+	points, err := Figure4(context.Background(), Figure4Config{
 		Persons:       1500,
 		Stations:      36,
 		PatternCounts: []int{5, 30},
@@ -184,7 +185,7 @@ func TestFigure4SmallSweep(t *testing.T) {
 }
 
 func TestTableIISmall(t *testing.T) {
-	rows, err := TableII(TableIIConfig{Persons: 120, Days: 2, QueriesPerDay: 6})
+	rows, err := TableII(context.Background(), TableIIConfig{Persons: 120, Days: 2, QueriesPerDay: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestTableIISmall(t *testing.T) {
 }
 
 func TestAblationSalting(t *testing.T) {
-	rows, err := AblationSalting(AblationConfig{Persons: 120})
+	rows, err := AblationSalting(context.Background(), AblationConfig{Persons: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestAblationSalting(t *testing.T) {
 }
 
 func TestAblationTolerance(t *testing.T) {
-	rows, err := AblationTolerance(AblationConfig{Persons: 120})
+	rows, err := AblationTolerance(context.Background(), AblationConfig{Persons: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestAblationTolerance(t *testing.T) {
 }
 
 func TestResilienceDegradesGracefully(t *testing.T) {
-	rows, err := Resilience(AblationConfig{Persons: 120}, []int{0, 8, 24}, cluster.StrategyWBF)
+	rows, err := Resilience(context.Background(), AblationConfig{Persons: 120}, []int{0, 8, 24}, cluster.StrategyWBF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestResilienceDegradesGracefully(t *testing.T) {
 }
 
 func TestSizingSweep(t *testing.T) {
-	rows, err := SizingSweep(AblationConfig{Persons: 120}, []uint64{1 << 13, 1 << 17})
+	rows, err := SizingSweep(context.Background(), AblationConfig{Persons: 120}, []uint64{1 << 13, 1 << 17})
 	if err != nil {
 		t.Fatal(err)
 	}

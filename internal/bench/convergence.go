@@ -73,7 +73,7 @@ func (p ConvergencePoint) Spread() float64 {
 
 // Convergence runs the study. Patterns are four days long (16 intervals)
 // so the b sweep has room above the paper's stable point of 12.
-func Convergence(cfg ConvergenceConfig) ([]ConvergencePoint, error) {
+func Convergence(ctx context.Context, cfg ConvergenceConfig) ([]ConvergencePoint, error) {
 	cfg = cfg.withDefaults()
 
 	type group struct {
@@ -130,7 +130,7 @@ func Convergence(cfg ConvergenceConfig) ([]ConvergencePoint, error) {
 			for i, ref := range refs {
 				queries[i] = queryFor(d, core.QueryID(i+1), ref)
 			}
-			out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(cluster.StrategyWBF))
+			out, err := cl.Search(ctx, queries, cluster.WithStrategy(cluster.StrategyWBF))
 			if err != nil {
 				_ = cl.Shutdown()
 				return nil, err

@@ -88,7 +88,7 @@ var figure4Strategies = []cluster.Strategy{cluster.StrategyNaive, cluster.Strate
 // levels, and ground truth per query is the exact IPM answer (Eq. 2 over
 // materialized globals) — so naive precision is 1 by construction, exactly
 // as the paper's Figure 4(a) shows.
-func Figure4(cfg Figure4Config) ([]Figure4Point, error) {
+func Figure4(ctx context.Context, cfg Figure4Config) ([]Figure4Point, error) {
 	cfg = cfg.withDefaults()
 	city := cdr.DefaultConfig()
 	city.Seed = cfg.Seed
@@ -158,7 +158,7 @@ func Figure4(cfg Figure4Config) ([]Figure4Point, error) {
 			CenterStorage:      make(map[cluster.Strategy]uint64, 3),
 		}
 		for _, strat := range figure4Strategies {
-			out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(strat))
+			out, err := cl.Search(ctx, queries, cluster.WithStrategy(strat))
 			if err != nil {
 				return nil, err
 			}

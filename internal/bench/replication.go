@@ -128,7 +128,7 @@ func replicationOptions(seed uint64) cluster.Options {
 
 // placedCluster stands up an empty in-process cluster over the city's
 // station IDs and places every person's global pattern at factor r.
-func placedCluster(d *cdr.Dataset, seed uint64, stations []uint32, r int) (*cluster.Cluster, error) {
+func placedCluster(ctx context.Context, d *cdr.Dataset, seed uint64, stations []uint32, r int) (*cluster.Cluster, error) {
 	c, err := cluster.NewEmpty(replicationOptions(seed), stations, d.Length())
 	if err != nil {
 		return nil, err
@@ -140,7 +140,7 @@ func placedCluster(d *cdr.Dataset, seed uint64, stations []uint32, r int) (*clus
 			globals[core.PersonID(p)] = d.GlobalOf(p)
 		}
 	}
-	if err := c.Place(context.Background(), globals, cluster.WithReplication(r)); err != nil {
+	if err := c.Place(ctx, globals, cluster.WithReplication(r)); err != nil {
 		_ = c.Shutdown()
 		return nil, err
 	}
@@ -149,8 +149,8 @@ func placedCluster(d *cdr.Dataset, seed uint64, stations []uint32, r int) (*clus
 
 // replicationQuality runs the reference queries and scores them against the
 // category ground truth.
-func replicationQuality(c *cluster.Cluster, d *cdr.Dataset, refs []cdr.PersonID, queries []core.Query) (metrics.Confusion, error) {
-	out, err := c.Search(context.Background(), queries)
+func replicationQuality(ctx context.Context, c *cluster.Cluster, d *cdr.Dataset, refs []cdr.PersonID, queries []core.Query) (metrics.Confusion, error) {
+	out, err := c.Search(ctx, queries)
 	if err != nil {
 		return metrics.Confusion{}, err
 	}
@@ -162,7 +162,7 @@ func replicationQuality(c *cluster.Cluster, d *cdr.Dataset, refs []cdr.PersonID,
 }
 
 // RunReplicationBench executes the full sweep and assembles the report.
-func RunReplicationBench(cfg ReplicationConfig) (*ReplicationReport, error) {
+func RunReplicationBench(ctx context.Context, cfg ReplicationConfig) (*ReplicationReport, error) {
 	cfg = cfg.withDefaults()
 	city := cdr.DefaultConfig()
 	city.Seed = cfg.Seed
@@ -199,11 +199,11 @@ func RunReplicationBench(cfg ReplicationConfig) (*ReplicationReport, error) {
 		summary := ReplicationSummary{Replication: r, MinSingleKillRecall: 1}
 
 		// Healthy baseline.
-		c, err := placedCluster(d, cfg.Seed, stations, r)
+		c, err := placedCluster(ctx, d, cfg.Seed, stations, r)
 		if err != nil {
 			return nil, err
 		}
-		conf, err := replicationQuality(c, d, refs, queries)
+		conf, err := replicationQuality(ctx, c, d, refs, queries)
 		_ = c.Shutdown()
 		if err != nil {
 			return nil, err
@@ -217,7 +217,7 @@ func RunReplicationBench(cfg ReplicationConfig) (*ReplicationReport, error) {
 
 		// Every possible single-station kill, each on a fresh cluster.
 		for _, victim := range stations {
-			c, err := placedCluster(d, cfg.Seed, stations, r)
+			c, err := placedCluster(ctx, d, cfg.Seed, stations, r)
 			if err != nil {
 				return nil, err
 			}
@@ -225,7 +225,7 @@ func RunReplicationBench(cfg ReplicationConfig) (*ReplicationReport, error) {
 				_ = c.Shutdown()
 				return nil, err
 			}
-			conf, err := replicationQuality(c, d, refs, queries)
+			conf, err := replicationQuality(ctx, c, d, refs, queries)
 			_ = c.Shutdown()
 			if err != nil {
 				return nil, err
@@ -243,7 +243,7 @@ func RunReplicationBench(cfg ReplicationConfig) (*ReplicationReport, error) {
 		// Cumulative kills with self-healing in between: each KillStation
 		// re-replicates the dead station's placements onto the survivors
 		// before the next kill lands.
-		c, err = placedCluster(d, cfg.Seed, stations, r)
+		c, err = placedCluster(ctx, d, cfg.Seed, stations, r)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +253,7 @@ func RunReplicationBench(cfg ReplicationConfig) (*ReplicationReport, error) {
 				_ = c.Shutdown()
 				return nil, err
 			}
-			conf, err := replicationQuality(c, d, refs, queries)
+			conf, err := replicationQuality(ctx, c, d, refs, queries)
 			if err != nil {
 				_ = c.Shutdown()
 				return nil, err

@@ -26,7 +26,7 @@ type ResilienceRow struct {
 // (zero selects the WBF default). Losing a station loses the local pieces
 // it held — affected persons' weight sums fall below 1, so recall decays
 // while precision holds (the surviving evidence is still exact).
-func Resilience(cfg AblationConfig, killSteps []int, strat cluster.Strategy) ([]ResilienceRow, error) {
+func Resilience(ctx context.Context, cfg AblationConfig, killSteps []int, strat cluster.Strategy) ([]ResilienceRow, error) {
 	if strat == 0 {
 		strat = cluster.StrategyWBF
 	}
@@ -80,7 +80,7 @@ func Resilience(cfg AblationConfig, killSteps []int, strat cluster.Strategy) ([]
 			}
 			killed++
 		}
-		out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(strat))
+		out, err := cl.Search(ctx, queries, cluster.WithStrategy(strat))
 		if err != nil {
 			return nil, err
 		}

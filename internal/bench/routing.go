@@ -189,7 +189,7 @@ func routingQuerySet(pop map[core.PersonID]pattern.Pattern, n int) ([]core.Query
 // tcpRoutedCluster stands up a loopback-TCP placement-first deployment:
 // stationCount empty serving stations, then the whole population placed at
 // the configured replication factor.
-func tcpRoutedCluster(cfg RoutingConfig, pop map[core.PersonID]pattern.Pattern, stationCount int) (*cluster.Cluster, func(), error) {
+func tcpRoutedCluster(ctx context.Context, cfg RoutingConfig, pop map[core.PersonID]pattern.Pattern, stationCount int) (*cluster.Cluster, func(), error) {
 	ln, err := transport.Listen("127.0.0.1:0", nil, nil)
 	if err != nil {
 		return nil, nil, err
@@ -220,7 +220,7 @@ func tcpRoutedCluster(cfg RoutingConfig, pop map[core.PersonID]pattern.Pattern, 
 		_ = c.Shutdown()
 		_ = ln.Close()
 	}
-	if err := c.Place(context.Background(), pop, cluster.WithReplication(cfg.Replication)); err != nil {
+	if err := c.Place(ctx, pop, cluster.WithReplication(cfg.Replication)); err != nil {
 		cleanup()
 		return nil, nil, err
 	}
@@ -264,12 +264,11 @@ func targetRecall(out *cluster.Outcome, targets []core.PersonID) float64 {
 // runRoutingScenario times one (cluster, queries, mode) cell. reference is
 // the full-fan-out outcome the routed mode must reproduce (nil when this
 // cell IS the reference).
-func runRoutingScenario(c *cluster.Cluster, cfg RoutingConfig, queries []core.Query, targets []core.PersonID, mode string, reference *cluster.Outcome) (RoutingScenario, *cluster.Outcome, error) {
+func runRoutingScenario(ctx context.Context, c *cluster.Cluster, cfg RoutingConfig, queries []core.Query, targets []core.PersonID, mode string, reference *cluster.Outcome) (RoutingScenario, *cluster.Outcome, error) {
 	var opts []cluster.SearchOption
 	if mode == "full" {
 		opts = append(opts, cluster.WithRouting(cluster.RoutingFull))
 	}
-	ctx := context.Background()
 	// Warm-up: fills the epoch's stats/version cache, the TCP buffers and —
 	// in routed mode — the coordinator's summary cache; its refresh bytes
 	// are the recorded one-time cost.
@@ -325,7 +324,7 @@ func runRoutingScenario(c *cluster.Cluster, cfg RoutingConfig, queries []core.Qu
 }
 
 // RunRoutingBench executes the full sweep and assembles the report.
-func RunRoutingBench(cfg RoutingConfig) (*RoutingReport, error) {
+func RunRoutingBench(ctx context.Context, cfg RoutingConfig) (*RoutingReport, error) {
 	cfg = cfg.withDefaults()
 	pop := routingPopulation(cfg)
 	report := &RoutingReport{
@@ -337,18 +336,18 @@ func RunRoutingBench(cfg RoutingConfig) (*RoutingReport, error) {
 		Config:     cfg,
 	}
 	for _, stations := range cfg.StationCounts {
-		c, cleanup, err := tcpRoutedCluster(cfg, pop, stations)
+		c, cleanup, err := tcpRoutedCluster(ctx, cfg, pop, stations)
 		if err != nil {
 			return nil, err
 		}
 		for _, nq := range cfg.QueryCounts {
 			queries, targets := routingQuerySet(pop, nq)
-			full, fullOut, err := runRoutingScenario(c, cfg, queries, targets, "full", nil)
+			full, fullOut, err := runRoutingScenario(ctx, c, cfg, queries, targets, "full", nil)
 			if err != nil {
 				cleanup()
 				return nil, err
 			}
-			routed, _, err := runRoutingScenario(c, cfg, queries, targets, "routed", fullOut)
+			routed, _, err := runRoutingScenario(ctx, c, cfg, queries, targets, "routed", fullOut)
 			if err != nil {
 				cleanup()
 				return nil, err

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -18,7 +19,7 @@ func quickRoutingConfig() RoutingConfig {
 }
 
 func TestRoutingBenchReportShape(t *testing.T) {
-	r, err := RunRoutingBench(quickRoutingConfig())
+	r, err := RunRoutingBench(context.Background(), quickRoutingConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,7 +57,7 @@ type TableIIRow struct {
 // TableII runs the per-day effectiveness evaluation: for each one-day
 // window, query a sample of labelled persons and score retrieval against
 // category membership (the paper's ground truth).
-func TableII(cfg TableIIConfig) ([]TableIIRow, error) {
+func TableII(ctx context.Context, cfg TableIIConfig) ([]TableIIRow, error) {
 	cfg = cfg.withDefaults()
 	dayNames := []string{
 		"March 28th, 2009", "March 29th, 2009", "March 30th, 2009", "March 31st, 2009",
@@ -115,7 +115,7 @@ func TableII(cfg TableIIConfig) ([]TableIIRow, error) {
 		for i, ref := range refs {
 			queries[i] = queryFor(d, core.QueryID(i+1), ref)
 		}
-		out, err := cl.Search(context.Background(), queries, cluster.WithStrategy(cluster.StrategyWBF))
+		out, err := cl.Search(ctx, queries, cluster.WithStrategy(cluster.StrategyWBF))
 		if err != nil {
 			_ = cl.Shutdown()
 			return nil, err

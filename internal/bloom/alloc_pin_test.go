@@ -1,0 +1,26 @@
+// AllocsPerRun pins for the //dimatch:noalloc functions of this package.
+// The noalloc analyzer is the static early warning; these tests are the
+// runtime ground truth. cmd/di-lint -allocharness reports any annotated
+// function missing from this file.
+package bloom
+
+import "testing"
+
+var containsSink bool
+
+func TestNoallocFilterContains(t *testing.T) {
+	f, err := New(1<<12, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 100; v++ {
+		f.Add(v * 3)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for v := int64(0); v < 50; v++ {
+			containsSink = f.Contains(v)
+		}
+	}); n != 0 {
+		t.Fatalf("(*Filter).Contains allocates %v times per run; //dimatch:noalloc requires 0", n)
+	}
+}

@@ -38,10 +38,15 @@ func New(m uint64, k int, seed uint64) (*Filter, error) {
 	}, nil
 }
 
+// maxWireK caps the hash count accepted from serialized state: k bounds the
+// loop every Contains runs, and a BF-baseline query frame carries k verbatim,
+// so values beyond any useful configuration are corruption, not parameters.
+const maxWireK = 512
+
 // FromParts reconstructs a filter from serialized state (wire decoding).
 func FromParts(words []uint64, m uint64, k int, seed uint64, n uint64) (*Filter, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("bloom: k must be positive, got %d", k)
+	if k <= 0 || k > maxWireK {
+		return nil, fmt.Errorf("bloom: k = %d, want 1..%d", k, maxWireK)
 	}
 	bits, err := bitset.FromWords(words, m)
 	if err != nil {
@@ -65,6 +70,8 @@ func (f *Filter) Add(v int64) {
 
 // Contains reports whether v may be in the filter. False positives are
 // possible; false negatives are not.
+//
+//dimatch:noalloc
 func (f *Filter) Contains(v int64) bool {
 	var buf [16]uint64
 	for _, idx := range f.family.Indexes(v, buf[:0]) {

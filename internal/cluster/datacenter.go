@@ -224,7 +224,7 @@ type epoch struct {
 	// mutation installs a fresh epoch, so a filled cache can never go
 	// stale.
 	statsMu sync.Mutex
-	stats   *Stats
+	stats   *Stats // dimatch:guardedby statsMu
 }
 
 // find returns the index of id in the epoch's membership, or -1.
@@ -300,12 +300,12 @@ type Cluster struct {
 	upMeter   *transport.Meter
 
 	mu      sync.Mutex
-	ep      *epoch
-	epochs  uint64     // version counter feeding ep.version
-	pending []*Station // in-process stations awaiting Start
-	dead    map[uint32]bool
-	started bool
-	closed  bool
+	ep      *epoch          // dimatch:guardedby mu — searches pin a snapshot via pinEpoch, never read this live
+	epochs  uint64          // dimatch:guardedby mu — version counter feeding ep.version
+	pending []*Station      // dimatch:guardedby mu — in-process stations awaiting Start
+	dead    map[uint32]bool // dimatch:guardedby mu
+	started bool            // dimatch:guardedby mu
+	closed  bool            // dimatch:guardedby mu
 
 	// placeTab tracks persons under automatic placement (see Place); nil
 	// until the first Place call, so station-addressed clusters pay nothing.
@@ -321,7 +321,7 @@ type Cluster struct {
 
 	wg       sync.WaitGroup
 	serveMu  sync.Mutex
-	serveErr []error
+	serveErr []error // dimatch:guardedby serveMu
 }
 
 // New builds a cluster from per-station local data. All patterns must share
@@ -503,7 +503,7 @@ func (c *Cluster) KillStation(id uint32) error {
 	c.installEpochLocked(c.ep.ids, c.ep.muxes)
 	c.mu.Unlock()
 	c.summaries.invalidate(id)
-	c.heal(context.Background())
+	c.heal(context.Background()) //dimatch:allow ctxflow — KillStation is a ctx-less fault-injection API; healing must outlive the injected fault
 	return err
 }
 
@@ -554,7 +554,7 @@ func (c *Cluster) Shutdown() error {
 		stopWg.Add(1)
 		go func() {
 			defer stopWg.Done()
-			stopMux(context.Background(), m)
+			stopMux(context.Background(), m) //dimatch:allow ctxflow — Shutdown tears the cluster down unconditionally; shutdownGrace bounds it instead of a ctx
 		}()
 	}
 	stopWg.Wait()

@@ -23,8 +23,8 @@ import (
 // (a wasted probe), so eviction staleness is only a cost concern.
 type summaryCache struct {
 	mu      sync.Mutex
-	entries map[uint32]*index.Summary
-	gens    map[uint32]uint64
+	entries map[uint32]*index.Summary // dimatch:guardedby mu
+	gens    map[uint32]uint64         // dimatch:guardedby mu
 }
 
 // get returns the cached summary for a station (nil if absent) and the

@@ -35,6 +35,8 @@ func NewMatcher(f *Filter) *Matcher {
 // matcher's sample positions in one pass, without materializing the full
 // accumulated series — the per-resident allocation the probe path used to
 // pay. Sample indexes ascend by construction (pattern.SampleIndexes).
+//
+//dimatch:noalloc
 func (m *Matcher) sampledAccumulate(p pattern.Pattern) []int64 {
 	vals := m.valBuf[:0]
 	run := int64(0)
@@ -60,8 +62,11 @@ func (m *Matcher) sampledAccumulate(p pattern.Pattern) []int64 {
 // forwards all of them and the ranker resolves per query.
 //
 // The returned slice is valid until the next Match call.
+//
+//dimatch:noalloc
 func (m *Matcher) Match(p pattern.Pattern) (ids []WeightID, ok bool, err error) {
 	if len(p) != m.filter.length {
+		//dimatch:allow noalloc — cold path: caller bug, never taken per-resident
 		return nil, false, fmt.Errorf("core: pattern length %d, filter wants %d", len(p), m.filter.length)
 	}
 	vals := m.sampledAccumulate(p)

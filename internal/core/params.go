@@ -89,17 +89,27 @@ func DefaultParams(expectedValues uint64) Params {
 	}
 }
 
+// Sanity ceilings on parameters that size allocations or per-probe work.
+// Parameters arrive over the wire (a filter ships its Params in every query
+// frame), so values far beyond any useful configuration are treated as
+// corruption rather than honored: Hashes bounds the loop every probe runs,
+// and Samples bounds the sample-index table a filter allocates.
+const (
+	MaxHashes  = 512
+	MaxSamples = 1 << 16
+)
+
 // Validate checks the parameter set and returns a descriptive error for the
 // first violation found.
 func (p Params) Validate() error {
 	if p.Bits == 0 {
 		return errors.New("core: Params.Bits must be positive")
 	}
-	if p.Hashes <= 0 {
-		return fmt.Errorf("core: Params.Hashes = %d, want > 0", p.Hashes)
+	if p.Hashes <= 0 || p.Hashes > MaxHashes {
+		return fmt.Errorf("core: Params.Hashes = %d, want 1..%d", p.Hashes, MaxHashes)
 	}
-	if p.Samples <= 0 {
-		return fmt.Errorf("core: Params.Samples = %d, want > 0", p.Samples)
+	if p.Samples <= 0 || p.Samples > MaxSamples {
+		return fmt.Errorf("core: Params.Samples = %d, want 1..%d", p.Samples, MaxSamples)
 	}
 	if p.Epsilon < 0 {
 		return fmt.Errorf("core: Params.Epsilon = %d, want >= 0", p.Epsilon)

@@ -138,6 +138,8 @@ func (f *Filter) insert(slot int, value int64, id WeightID) {
 // the value is definitely absent — and otherwise the sorted intersection of
 // the weight-pointer lists across the k bits: the weights every probed bit
 // agrees on.
+//
+//dimatch:noalloc
 func (f *Filter) probe(slot int, value int64, scratch []WeightID) ([]WeightID, bool) {
 	var buf [16]uint64
 	indexes := f.family.Indexes(f.key(slot, value), buf[:0])
@@ -161,6 +163,8 @@ func (f *Filter) probe(slot int, value int64, scratch []WeightID) ([]WeightID, b
 
 // intersectSorted intersects two ascending WeightID slices in place of a,
 // returning the (possibly shortened) result.
+//
+//dimatch:noalloc
 func intersectSorted(a, b []WeightID) []WeightID {
 	out := a[:0]
 	i, j := 0, 0

@@ -27,6 +27,8 @@ const (
 // Mix64 applies the splitmix64 finalizer to x, producing a well-distributed
 // 64-bit value. It is a bijection on uint64, so distinct inputs can never
 // collide at this stage.
+//
+//dimatch:noalloc
 func Mix64(x uint64) uint64 {
 	x += splitmixGamma
 	x = (x ^ (x >> 30)) * mixMul1

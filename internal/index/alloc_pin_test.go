@@ -1,0 +1,47 @@
+// AllocsPerRun pins for the //dimatch:noalloc functions of this package:
+// (*Summary).Admits and (*Summary).contains, the coordinator's per-station
+// routing decision. The noalloc analyzer is the static early warning; these
+// tests are the runtime ground truth. cmd/di-lint -allocharness reports any
+// annotated function missing from this file.
+package index
+
+import (
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+)
+
+var admitSink bool
+
+func buildPinFixture(t *testing.T) (*Summary, Probe) {
+	t.Helper()
+	s, err := Build(3, []pattern.Pattern{{1, 2, 3}, {2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{ID: 1, Locals: []pattern.Pattern{{1, 2, 3}}}
+	p, err := NewProbe(q, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p
+}
+
+func TestNoallocSummaryAdmits(t *testing.T) {
+	s, p := buildPinFixture(t)
+	if n := testing.AllocsPerRun(100, func() {
+		admitSink = s.Admits(p)
+	}); n != 0 {
+		t.Fatalf("(*Summary).Admits allocates %v times per run; //dimatch:noalloc requires 0", n)
+	}
+}
+
+func TestNoallocSummarycontains(t *testing.T) {
+	s, _ := buildPinFixture(t)
+	if n := testing.AllocsPerRun(100, func() {
+		admitSink = s.contains(0, 1)
+	}); n != 0 {
+		t.Fatalf("(*Summary).contains allocates %v times per run; //dimatch:noalloc requires 0", n)
+	}
+}

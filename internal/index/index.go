@@ -149,6 +149,8 @@ func (s *Summary) Clone() *Summary {
 }
 
 // contains probes one cell.
+//
+//dimatch:noalloc
 func (s *Summary) contains(pos int, value int64) bool {
 	return s.filter.Contains(key(s.seed, pos, value))
 }
@@ -285,6 +287,8 @@ func (p Probe) Selective() bool { return p.selective }
 // budget) always admits; so does a summary built for a shorter pattern
 // length, since its cells are incomparable and pruning on them would be
 // unsound.
+//
+//dimatch:noalloc
 func (s *Summary) Admits(p Probe) bool {
 	if !p.selective {
 		return true

@@ -22,10 +22,10 @@ type Mux struct {
 	sendMu sync.Mutex // serializes frames onto the link
 
 	mu      sync.Mutex
-	pending map[uint32]chan wire.Message
-	nextID  uint32
-	err     error         // first link failure, sticky
-	done    chan struct{} // closed on link failure or Close
+	pending map[uint32]chan wire.Message // dimatch:guardedby mu
+	nextID  uint32                       // dimatch:guardedby mu
+	err     error                        // dimatch:guardedby mu — first link failure, sticky
+	done    chan struct{}                // closed on link failure or Close
 }
 
 // NewMux wraps a link and starts its dispatcher goroutine. The caller must
@@ -152,6 +152,7 @@ func (m *Mux) RoundtripMany(ctx context.Context, msgs []wire.Message) ([]wire.Me
 				return
 			default:
 			}
+			//dimatch:allow lockio — sendMu exists precisely to serialize link writes; Send is non-blocking on the pipe transport
 			if err := m.link.Send(msg.WithRequest(ids[i])); err != nil {
 				sendDone <- err
 				return
@@ -206,6 +207,7 @@ func (m *Mux) forget(id uint32) {
 func (m *Mux) Send(msg wire.Message) error {
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
+	//dimatch:allow lockio — sendMu exists precisely to serialize link writes; Send is non-blocking on the pipe transport
 	return m.link.Send(msg.WithRequest(0))
 }
 

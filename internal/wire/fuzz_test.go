@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+)
+
+// The two worked frames from docs/WIRE.md, byte for byte: a v3
+// KindBatchQuery carrying one query's combined filter, and a v5
+// KindSummaryReply carrying a one-resident routing digest. Seeding the
+// fuzzers with real, documented frames means every mutation starts from a
+// fully valid header + payload and immediately explores the interesting
+// corrupt-field space instead of rediscovering the magic number.
+const (
+	workedBatchQueryHex = "a7d1030e2a000000" + "34000000" +
+		"0101400000000000000002020001050000000000000000" +
+		"020201000000050020200001010103030418010002010013010008" + "0100"
+	workedSummaryReplyHex = "a7d105132a000000" + "1e000000" +
+		"030201719a3d0cbfe5a75114000000000000000702" +
+		"01093e000000000000"
+)
+
+func mustHex(t testing.TB, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex seed: %v", err)
+	}
+	return b
+}
+
+// FuzzDecode exercises the frame codec: any byte string must either be
+// rejected with an error or decode into a message that survives an
+// encode/decode roundtrip, respects the kind's version-gating floor, and
+// reads back identically through the streaming ReadMessage path.
+func FuzzDecode(f *testing.F) {
+	f.Add(mustHex(f, workedBatchQueryHex))
+	f.Add(mustHex(f, workedSummaryReplyHex))
+	f.Add(Message{Kind: KindStats, Request: 7}.Encode())
+	f.Add(Message{Kind: KindShutdown}.Encode())
+	f.Add(EncodeFetch(Fetch{Persons: []core.PersonID{1, 2, 3}}).WithRequest(9).Encode())
+	f.Add(EncodeAck(Ack{Station: 4, Applied: 2}).Encode())
+	// Truncation and corruption seeds: a frame cut mid-header, mid-payload,
+	// and one with a poisoned version byte.
+	full := mustHex(f, workedBatchQueryHex)
+	f.Add(full[:7])
+	f.Add(full[:20])
+	bad := append([]byte(nil), full...)
+	bad[2] = 9
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return // rejected input: nothing further to hold
+		}
+		if m.Version < Version1 || m.Version > LatestVersion {
+			t.Fatalf("decoded version %d outside [%d, %d]", m.Version, Version1, LatestVersion)
+		}
+		floor, known := MinVersion(m.Kind)
+		if !known {
+			t.Fatalf("decoded unknown kind %d", m.Kind)
+		}
+		if m.Version < floor {
+			t.Fatalf("kind %v decoded from version-%d frame below its floor %d", m.Kind, m.Version, floor)
+		}
+		// The streaming reader must agree with the one-shot decoder on the
+		// exact same bytes.
+		ms, err := ReadMessage(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("Decode accepted but ReadMessage rejected: %v", err)
+		}
+		if ms.Kind != m.Kind || ms.Request != m.Request || ms.Version != m.Version || !bytes.Equal(ms.Payload, m.Payload) {
+			t.Fatalf("ReadMessage disagrees with Decode: %+v vs %+v", ms, m)
+		}
+		// Re-encoding must produce a decodable frame carrying the same
+		// message (the version may be re-stamped: v1 frames re-encode as v2,
+		// and every kind is raised to at least its floor).
+		re, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("re-encode of decoded message rejected: %v", err)
+		}
+		if re.Kind != m.Kind || re.Request != m.Request || !bytes.Equal(re.Payload, m.Payload) {
+			t.Fatalf("encode/decode roundtrip changed the message: %+v vs %+v", re, m)
+		}
+		if re.Version < floor {
+			t.Fatalf("re-encoded kind %v stamped version %d below floor %d", m.Kind, re.Version, floor)
+		}
+	})
+}
+
+// FuzzDecodePayload drives every payload decoder with arbitrary bytes
+// under its own kind: decoders must reject garbage with an error (the
+// reader's count guard bounds allocations), never panic, and — for the
+// fixed-shape payloads — survive a decode/encode/decode roundtrip.
+func FuzzDecodePayload(f *testing.F) {
+	// Payloads of the worked frames (frame header stripped).
+	f.Add(uint8(KindBatchQuery), mustHex(f, workedBatchQueryHex)[12:])
+	f.Add(uint8(KindSummaryReply), mustHex(f, workedSummaryReplyHex)[12:])
+	f.Add(uint8(KindFetch), EncodeFetch(Fetch{Persons: []core.PersonID{1, 2, 3}}).Payload)
+	f.Add(uint8(KindEvict), EncodeEvict(Evict{Persons: []core.PersonID{9, 10}}).Payload)
+	f.Add(uint8(KindAck), EncodeAck(Ack{Station: 7, Applied: 2}).Payload)
+	f.Add(uint8(KindStatsReply), EncodeStatsReply(StatsReply{Station: 3, Residents: 5, StorageBytes: 80, Length: 24}).Payload)
+	f.Add(uint8(KindBFMatches), EncodeBFMatches(BFMatches{Station: 2, Persons: []core.PersonID{11}}).Payload)
+	if nd, err := EncodeNaiveData(NaiveData{Station: 1, Persons: []core.PersonID{4}, Locals: []pattern.Pattern{{1, 2, 3}}}); err == nil {
+		f.Add(uint8(KindNaiveData), nd.Payload)
+		f.Add(uint8(KindDumpReply), nd.Payload)
+	}
+	f.Add(uint8(KindDump), EncodeDump(Dump{}).Payload)
+
+	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
+		k := Kind(kind%uint8(maxKind)) + 1
+		m := Message{Kind: k, Payload: payload}
+		switch k {
+		case KindWBFQuery:
+			_, _ = DecodeWBFQuery(m)
+		case KindBFQuery:
+			_, _ = DecodeBFQuery(m)
+		case KindReports:
+			_, _ = DecodeReports(m)
+		case KindBFMatches:
+			bm, err := DecodeBFMatches(m)
+			if err == nil {
+				roundtripBFMatches(t, bm)
+			}
+		case KindNaiveData:
+			_, _ = DecodeNaiveData(m)
+		case KindFetch:
+			fe, err := DecodeFetch(m)
+			if err == nil {
+				re, err := DecodeFetch(EncodeFetch(fe))
+				if err != nil {
+					t.Fatalf("fetch re-decode failed: %v", err)
+				}
+				if !personsEqual(re.Persons, fe.Persons) {
+					t.Fatalf("fetch roundtrip changed persons: %v vs %v", re.Persons, fe.Persons)
+				}
+			}
+		case KindIngest:
+			_, _ = DecodeIngest(m)
+		case KindEvict:
+			ev, err := DecodeEvict(m)
+			if err == nil {
+				re, err := DecodeEvict(EncodeEvict(ev))
+				if err != nil {
+					t.Fatalf("evict re-decode failed: %v", err)
+				}
+				if !personsEqual(re.Persons, ev.Persons) {
+					t.Fatalf("evict roundtrip changed persons: %v vs %v", re.Persons, ev.Persons)
+				}
+			}
+		case KindStatsReply:
+			sr, err := DecodeStatsReply(m)
+			if err == nil {
+				re, err := DecodeStatsReply(EncodeStatsReply(sr))
+				if err != nil {
+					t.Fatalf("stats-reply re-decode failed: %v", err)
+				}
+				// Encode always writes the capability byte, so a legacy
+				// payload without one reads back advertising the latest
+				// version — every other field must hold exactly.
+				if re.Station != sr.Station || re.Residents != sr.Residents || re.StorageBytes != sr.StorageBytes || re.Length != sr.Length {
+					t.Fatalf("stats-reply roundtrip changed fields: %+v vs %+v", re, sr)
+				}
+			}
+		case KindAck:
+			a, err := DecodeAck(m)
+			if err == nil {
+				re, err := DecodeAck(EncodeAck(a))
+				if err != nil || re != a {
+					t.Fatalf("ack roundtrip: %+v, %v; want %+v", re, err, a)
+				}
+			}
+		case KindBatchQuery:
+			_, _ = DecodeBatchQuery(m)
+		case KindBatchReply:
+			_, _ = DecodeBatchReply(m)
+		case KindDump:
+			_, _ = DecodeDump(m)
+		case KindDumpReply:
+			_, _ = DecodeDumpReply(m)
+		case KindSummaryReply:
+			_, _, _ = DecodeSummaryReply(m)
+		case KindShipAll, KindShutdown, KindStats, KindSummary:
+			// Bare request kinds carry no payload and have no decoder.
+		default:
+			t.Fatalf("fuzz dispatch misses kind %v; add its decoder here", k)
+		}
+	})
+}
+
+func roundtripBFMatches(t *testing.T, bm BFMatches) {
+	t.Helper()
+	re, err := DecodeBFMatches(EncodeBFMatches(bm))
+	if err != nil {
+		t.Fatalf("bf-matches re-decode failed: %v", err)
+	}
+	if re.Station != bm.Station || !personsEqual(re.Persons, bm.Persons) {
+		t.Fatalf("bf-matches roundtrip changed: %+v vs %+v", re, bm)
+	}
+}
+
+func personsEqual(a, b []core.PersonID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -70,6 +70,13 @@ func readFilter(r *reader) (*core.Filter, error) {
 	inserted := r.uvarint()
 
 	nWords := r.count(8)
+	// A filter's serialized form carries exactly ceil(Bits/64) words, so the
+	// declared bit-array size is bounded by the payload actually present.
+	// Checking here — before FromParts — keeps a forged header from driving
+	// the bitset allocation inside reconstruction with an arbitrary size.
+	if p.Bits == 0 || uint64(nWords) != (p.Bits-1)/64+1 {
+		return nil, fmt.Errorf("wire: filter declares %d bits but carries %d words: %w", p.Bits, nWords, ErrTruncated)
+	}
 	words := make([]uint64, nWords)
 	for i := range words {
 		words[i] = r.u64()

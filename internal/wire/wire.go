@@ -188,6 +188,43 @@ const (
 	LatestVersion = Version5
 )
 
+// kindFloors is the version-gating table: the lowest frame version each
+// kind may travel in. A kind absent from this table does not exist, and a
+// kind in a frame stamped below its floor is as unknown as kind 200 would
+// be (ErrBadKind) — that is what stops an old peer from silently accepting
+// a frame it cannot interpret. Every Kind constant MUST be registered here,
+// in the String table, and below maxKind; the wirekind analyzer
+// (cmd/di-lint) checks the first two mechanically and TestKindTablesInSync
+// pins all three against each other at runtime.
+var kindFloors = map[Kind]uint8{
+	KindWBFQuery:     Version1,
+	KindBFQuery:      Version1,
+	KindShipAll:      Version1,
+	KindReports:      Version1,
+	KindBFMatches:    Version1,
+	KindNaiveData:    Version1,
+	KindFetch:        Version1,
+	KindShutdown:     Version1,
+	KindIngest:       Version1,
+	KindEvict:        Version1,
+	KindStats:        Version1,
+	KindStatsReply:   Version1,
+	KindAck:          Version1,
+	KindBatchQuery:   Version3,
+	KindBatchReply:   Version3,
+	KindDump:         Version4,
+	KindDumpReply:    Version4,
+	KindSummary:      Version5,
+	KindSummaryReply: Version5,
+}
+
+// MinVersion returns the lowest frame version the kind may appear in, and
+// false for kinds this codec does not know.
+func MinVersion(k Kind) (uint8, bool) {
+	v, ok := kindFloors[k]
+	return v, ok
+}
+
 const (
 	magic        = uint16(0xD1A7)
 	headerSizeV1 = 8
@@ -238,24 +275,20 @@ func (m Message) WithRequest(id uint32) Message {
 // meters count.
 func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
 
-// encodeVersion resolves the version byte a frame is stamped with: summary
-// kinds require version 5, dump kinds version 4, batch kinds version 3, and
-// everything else defaults to version 2 so pre-batch peers keep decoding
-// it. An explicit Version in [2,5] overrides the default (but never below a
-// kind's floor); version-1 encoding is not supported — v1 is a
-// decode-compatibility floor only.
+// encodeVersion resolves the version byte a frame is stamped with: the
+// kind's gating floor (kindFloors) is the minimum — summary kinds version
+// 5, dump kinds version 4, batch kinds version 3 — and everything else
+// defaults to version 2 so pre-batch peers keep decoding it. An explicit
+// Version in [2,5] overrides the default (but never below a kind's floor);
+// version-1 encoding is not supported — v1 is a decode-compatibility floor
+// only.
 func (m Message) encodeVersion() uint8 {
 	v := m.Version
 	if v < Version2 || v > LatestVersion {
 		v = Version2
 	}
-	switch {
-	case m.Kind > maxKindV4:
-		v = Version5
-	case m.Kind > maxKindV3 && v < Version4:
-		v = Version4
-	case m.Kind > maxKindV2 && v < Version3:
-		v = Version3
+	if floor, ok := kindFloors[m.Kind]; ok && v < floor {
+		v = floor
 	}
 	return v
 }
@@ -294,18 +327,9 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 	}
 	kind = Kind(hdr[3])
 	// The batch kinds exist only from version 3, the dump kinds only from
-	// version 4 and the summary kinds only from version 5: a newer kind in
-	// an older frame is as unknown as kind 200 would be.
-	limit := maxKind
-	switch {
-	case version < Version3:
-		limit = maxKindV2
-	case version < Version4:
-		limit = maxKindV3
-	case version < Version5:
-		limit = maxKindV4
-	}
-	if kind == 0 || kind > limit {
+	// version 4 and the summary kinds only from version 5 (kindFloors): a
+	// newer kind in an older frame is as unknown as kind 200 would be.
+	if floor, ok := kindFloors[kind]; !ok || version < floor {
 		return 0, 0, 0, 0, 0, ErrBadKind
 	}
 	if n > MaxPayload {
