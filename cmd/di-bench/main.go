@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|routing] [-quick] [-strategy wbf]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|routing|stream] [-quick] [-strategy wbf]
 //	di-bench -run batch -batch-out BENCH_batch.json
 //	di-bench -batch-check BENCH_batch.json
 //	di-bench -run replication -replication-out BENCH_replication.json
 //	di-bench -replication-check BENCH_replication.json
 //	di-bench -run routing -routing-out BENCH_routing.json
 //	di-bench -routing-check BENCH_routing.json
+//	di-bench -run stream -stream-out BENCH_stream.json
+//	di-bench -stream-check BENCH_stream.json
 //
 // The default -run all executes every experiment at full scale (a few
 // minutes); -quick shrinks the workloads for a fast smoke run. -strategy
@@ -38,6 +40,15 @@
 // baseline and exits non-zero unless killing any single station keeps
 // recall at the healthy value for every factor >= 2 — the CI gate for the
 // replica guarantee.
+//
+// -run stream exercises the streaming ingest pipeline over TCP loopback —
+// sustained block-mode ingest with concurrent searches, TTL churn, and a
+// saturated shed-mode pipeline — and, with -stream-out, records the result
+// as BENCH_stream.json. -stream-check validates a recorded baseline and
+// exits non-zero unless the pipeline sustained 10k+ patterns/sec with
+// concurrent-search recall 1 and bounded p99, evicted its whole TTL cohort
+// without touching the static population, and demonstrably shed (with exact
+// accounting) when saturated — the CI gate for the streaming claim.
 package main
 
 import (
@@ -47,6 +58,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dimatch"
 	"dimatch/internal/bench"
@@ -54,7 +66,7 @@ import (
 
 func main() {
 	var (
-		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, routing")
+		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, routing, stream")
 		quick            = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		strategy         = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
 		batchOut         = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
@@ -63,6 +75,8 @@ func main() {
 		replicationCheck = flag.String("replication-check", "", "validate a recorded BENCH_replication.json and exit (no experiments run)")
 		routingOut       = flag.String("routing-out", "", "with -run routing: also write the report as JSON to this file")
 		routingCheck     = flag.String("routing-check", "", "validate a recorded BENCH_routing.json and exit (no experiments run)")
+		streamOut        = flag.String("stream-out", "", "with -run stream: also write the report as JSON to this file")
+		streamCheck      = flag.String("stream-check", "", "validate a recorded BENCH_stream.json and exit (no experiments run)")
 	)
 	flag.Parse()
 	if *batchCheck != "" {
@@ -89,12 +103,20 @@ func main() {
 		fmt.Printf("%s: valid routing baseline\n", *routingCheck)
 		return
 	}
+	if *streamCheck != "" {
+		if err := checkStreamFile(*streamCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "di-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid stream baseline\n", *streamCheck)
+		return
+	}
 	strat, err := dimatch.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
-	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *routingOut); err != nil {
+	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *routingOut, *streamOut); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
@@ -134,6 +156,46 @@ func checkReplicationFile(path string) error {
 // checkRoutingFile validates a recorded routing baseline.
 func checkRoutingFile(path string) error {
 	return checkBaselineFile(path, bench.CheckRoutingJSON)
+}
+
+// checkStreamFile validates a recorded streaming baseline.
+func checkStreamFile(path string) error {
+	return checkBaselineFile(path, bench.CheckStreamJSON)
+}
+
+// runStreamBaseline runs the streaming phases, prints them, and optionally
+// records the JSON baseline.
+func runStreamBaseline(w *os.File, quick bool, out string) error {
+	cfg := bench.StreamBenchConfig{}
+	if quick {
+		cfg.Duration = 500 * time.Millisecond
+		cfg.TargetRate = 20000
+		cfg.ChurnPersons = 100
+		cfg.TTL = time.Second
+		cfg.ShedSubmissions = 2000
+	}
+	r, err := bench.RunStreamBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderStream(w, r)
+	fmt.Fprintln(w)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteStreamJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline recorded to %s\n", out)
+	return nil
 }
 
 // runRoutingBaseline runs the routed-vs-full sweep, prints it, and
@@ -233,7 +295,7 @@ func runBatchBaseline(w *os.File, quick bool, out string) error {
 	return nil
 }
 
-func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, routingOut string) error {
+func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, routingOut, streamOut string) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -385,8 +447,14 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			return err
 		}
 	}
+	if selected("stream") {
+		any = true
+		if err := runStreamBaseline(os.Stdout, quick, streamOut); err != nil {
+			return err
+		}
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication routing)", strings.TrimSpace(run))
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication routing stream)", strings.TrimSpace(run))
 	}
 	return nil
 }

@@ -31,6 +31,15 @@
 // recall never drops below the healthy cluster's value (the replica
 // guarantee) and exits non-zero if it does, which makes it CI's replication
 // chaos smoke test.
+//
+// With -stream the command runs the streaming-ingest demo instead: an empty
+// replicated cluster fed through Cluster.Stream pipelines. It streams a warm
+// cohort, sustains -rate patterns/sec for -window while background searches
+// run and a station is killed mid-ingest, expires a TTL cohort (-ttl) and
+// shows recall before/after the churn, and saturates a tiny shed-mode
+// pipeline to demonstrate accounted load-shedding. It exits non-zero unless
+// every acknowledged pattern survives the kill with recall 1.0 — CI's
+// streaming chaos smoke test.
 package main
 
 import (
@@ -62,6 +71,10 @@ func main() {
 		timeout  = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
 		churn    = flag.Bool("churn", false, "run the in-process live-mutation demo (ignores -role)")
 		replicas = flag.Int("replicas", 0, "with -churn: run the replicated-placement chaos demo at this replication factor (0 keeps the station-addressed demo)")
+		stream   = flag.Bool("stream", false, "run the in-process streaming-ingest demo and chaos smoke (ignores -role)")
+		rate     = flag.Int("rate", 20000, "with -stream: offered ingest rate in patterns/sec")
+		ttl      = flag.Duration("ttl", 1500*time.Millisecond, "with -stream: pattern time-to-live for the churn phase")
+		window   = flag.Duration("window", 2*time.Second, "with -stream: sustained-ingest window")
 	)
 	flag.Parse()
 
@@ -70,6 +83,13 @@ func main() {
 	cfg.Seed = *seed
 
 	var err error
+	if *stream {
+		if err := runStream(*stations, *rate, *ttl, *window, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "di-cluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *churn {
 		run := runChurn
 		if *replicas > 0 {

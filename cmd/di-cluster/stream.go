@@ -1,0 +1,320 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimatch"
+)
+
+// runStream is the streaming-ingest demo and CI's stream chaos smoke test:
+// an empty replicated cluster, a durable pipeline streaming a warm cohort,
+// then sustained rate-limited ingest with background searches during which
+// one station is killed, a TTL pipeline whose cohort visibly expires, and a
+// deliberately saturated shed-mode pipeline. The command exits non-zero if
+// streamed patterns stop matching after the kill, if TTL eviction leaks or
+// overreaches, or if the pipeline loses a copy it acknowledged.
+func runStream(stationCount int, rate int, ttl, duration time.Duration, seed uint64) error {
+	const (
+		length     = 12
+		warmCohort = 200
+		ttlCohort  = 150
+		shedLoad   = 2000
+	)
+	if stationCount < 2 {
+		return fmt.Errorf("-stream needs at least 2 stations to survive a kill (got %d)", stationCount)
+	}
+	stations := make([]uint32, stationCount)
+	for i := range stations {
+		stations[i] = uint32(i)
+	}
+	// Exact matching (Epsilon 0) over synthetic patterns: recall below 1.0
+	// can then only mean a lost copy, never Bloom noise.
+	c, err := dimatch.NewEmptyCluster(dimatch.Options{
+		Params:   dimatch.Params{Bits: 1 << 16, Hashes: 4, Samples: 4, Epsilon: 0, Seed: seed},
+		MinScore: 1.0,
+	}, stations, length)
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown() //nolint:errcheck // demo teardown
+	ctx := context.Background()
+
+	pat := func(p dimatch.PersonID) dimatch.Pattern {
+		rng := rand.New(rand.NewSource(int64(seed ^ uint64(p)*0x9e3779b97f4a7c15)))
+		out := make(dimatch.Pattern, length)
+		for i := range out {
+			out[i] = int64(rng.Intn(1000))
+		}
+		out[0]++ // never all-zero: all-zero submissions are dropped by design
+		return out
+	}
+	recallOf := func(ids []dimatch.PersonID) (float64, error) {
+		hit := 0
+		for start := 0; start < len(ids); start += 8 {
+			end := start + 8
+			if end > len(ids) {
+				end = len(ids)
+			}
+			queries := make([]dimatch.Query, 0, end-start)
+			for i, p := range ids[start:end] {
+				queries = append(queries, dimatch.Query{
+					ID:     dimatch.QueryID(i + 1),
+					Locals: []dimatch.Pattern{pat(p)},
+				})
+			}
+			out, err := c.Search(ctx, queries)
+			if err != nil {
+				return 0, err
+			}
+			for i, p := range ids[start:end] {
+				for _, got := range out.Persons(dimatch.QueryID(i + 1)) {
+					if got == p {
+						hit++
+						break
+					}
+				}
+			}
+		}
+		return float64(hit) / float64(len(ids)), nil
+	}
+
+	// Phase 1 — durable pipeline: stream the warm cohort, flush, and require
+	// full recall before any chaos. This is the healthy baseline the kill
+	// must not dent.
+	durable, err := c.Stream(dimatch.StreamOptions{Admission: dimatch.StreamBlock})
+	if err != nil {
+		return err
+	}
+	defer durable.Close() //nolint:errcheck // demo teardown
+	warm := make([]dimatch.PersonID, warmCohort)
+	for i := range warm {
+		warm[i] = dimatch.PersonID(i + 1)
+		if err := durable.Submit(ctx, warm[i], pat(warm[i])); err != nil {
+			return err
+		}
+	}
+	if err := durable.Flush(ctx); err != nil {
+		return err
+	}
+	recall, err := recallOf(warm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream demo: %d stations, R=%d, warm cohort %d streamed, recall %.3f\n",
+		stationCount, dimatch.DefaultReplication, warmCohort, recall)
+	if recall < 1 {
+		return fmt.Errorf("warm cohort recall %.3f before any failure — pipeline lost a copy", recall)
+	}
+
+	// Phase 2 — sustained ingest at the offered rate with background
+	// searches, killing one station mid-window. Acked patterns must remain
+	// retrievable afterwards: the retired shard re-keys its queue onto the
+	// survivors and the settler tops replication back up.
+	var (
+		nextID    atomic.Uint64
+		streamed  []dimatch.PersonID
+		searchMu  sync.Mutex
+		searches  int
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		bgErr     error
+		bandStart = uint64(1_000_000)
+	)
+	nextID.Store(bandStart)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(seed) + 17))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := recallOf([]dimatch.PersonID{warm[rng.Intn(len(warm))]}); err != nil {
+				bgErr = err
+				return
+			}
+			searchMu.Lock()
+			searches++
+			searchMu.Unlock()
+		}
+	}()
+
+	victim := stations[stationCount-1]
+	killAt := time.NewTimer(duration / 2)
+	defer killAt.Stop()
+	killed := false
+	start := time.Now()
+	deadline := start.Add(duration)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	burst := rate / 200 // submissions per 5ms tick
+	if burst < 1 {
+		burst = 1
+	}
+	for time.Now().Before(deadline) {
+		select {
+		case <-killAt.C:
+			if err := c.KillStation(victim); err != nil {
+				return err
+			}
+			killed = true
+			fmt.Printf("  killed station %d mid-ingest\n", victim)
+		case <-ticker.C:
+			for i := 0; i < burst; i++ {
+				p := dimatch.PersonID(nextID.Add(1))
+				if err := durable.Submit(ctx, p, pat(p)); err != nil {
+					return fmt.Errorf("sustained submit: %w", err)
+				}
+				streamed = append(streamed, p)
+			}
+		}
+	}
+	if !killed {
+		if err := c.KillStation(victim); err != nil {
+			return err
+		}
+		fmt.Printf("  killed station %d after the window\n", victim)
+	}
+	if err := durable.Flush(ctx); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if bgErr != nil {
+		return fmt.Errorf("background search: %w", bgErr)
+	}
+	rep := durable.Report()
+	fmt.Printf("sustained: %d accepted in %.2fs (%.0f patterns/sec offered %d/s), %d flushes, %d rerouted, %d lost, %d searches alongside\n",
+		rep.Accepted, elapsed.Seconds(), float64(len(streamed))/elapsed.Seconds(), rate,
+		rep.Flushes, rep.Rerouted, rep.FlushFailures, searches)
+	if rep.FlushFailures != 0 {
+		return fmt.Errorf("pipeline abandoned %d acked copies", rep.FlushFailures)
+	}
+	// Recall must hold across the kill for both cohorts. Sample the streamed
+	// band rather than searching all of it.
+	count := 100
+	if len(streamed) < count {
+		count = len(streamed)
+	}
+	sample := make([]dimatch.PersonID, 0, count)
+	for i := 0; i < count; i++ {
+		sample = append(sample, streamed[i*len(streamed)/count])
+	}
+	for phase, ids := range map[string][]dimatch.PersonID{"warm": warm, "streamed": sample} {
+		recall, err := recallOf(ids)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s cohort recall after kill: %.3f\n", phase, recall)
+		if recall < 1 {
+			return fmt.Errorf("%s cohort recall %.3f after KillStation — replicas did not cover the failure", phase, recall)
+		}
+	}
+
+	// Phase 3 — TTL churn: a second pipeline whose cohort expires. Recall
+	// over the cohort goes 1.0 -> 0.0 while the durable population is
+	// untouched.
+	churner, err := c.Stream(dimatch.StreamOptions{Admission: dimatch.StreamBlock, TTL: ttl})
+	if err != nil {
+		return err
+	}
+	cohort := make([]dimatch.PersonID, ttlCohort)
+	for i := range cohort {
+		cohort[i] = dimatch.PersonID(uint64(2_000_000) + uint64(i))
+		if err := churner.Submit(ctx, cohort[i], pat(cohort[i])); err != nil {
+			churner.Close() //nolint:errcheck // demo teardown
+			return err
+		}
+	}
+	if err := churner.Flush(ctx); err != nil {
+		churner.Close() //nolint:errcheck // demo teardown
+		return err
+	}
+	before, err := recallOf(cohort)
+	if err != nil {
+		churner.Close() //nolint:errcheck // demo teardown
+		return err
+	}
+	evictDeadline := time.Now().Add(10*ttl + 5*time.Second)
+	for churner.Report().TTLEvictions < uint64(ttlCohort) {
+		if time.Now().After(evictDeadline) {
+			churner.Close() //nolint:errcheck // demo teardown
+			return fmt.Errorf("TTL evicted only %d of %d within the deadline", churner.Report().TTLEvictions, ttlCohort)
+		}
+		time.Sleep(ttl / 10)
+	}
+	if err := churner.Close(); err != nil {
+		return err
+	}
+	after, err := recallOf(cohort)
+	if err != nil {
+		return err
+	}
+	staticRecall, err := recallOf(warm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ttl churn: %d patterns at ttl %v: recall before %.3f, after expiry %.3f (static cohort %.3f)\n",
+		ttlCohort, ttl, before, after, staticRecall)
+	if before < 1 || after != 0 || staticRecall < 1 {
+		return fmt.Errorf("ttl churn gate failed: before %.3f after %.3f static %.3f", before, after, staticRecall)
+	}
+
+	// Phase 4 — shed admission: a deliberately tiny pipeline under burst
+	// load must drop (and account for) work instead of blocking.
+	shedder, err := c.Stream(dimatch.StreamOptions{
+		Admission: dimatch.StreamShed, Encoders: 1, QueueCap: 4, FlushBatch: 1, Replication: 1,
+	})
+	if err != nil {
+		return err
+	}
+	var workers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < shedLoad/8; i++ {
+				p := dimatch.PersonID(uint64(3_000_000) + uint64(w*shedLoad+i))
+				if err := shedder.Submit(ctx, p, pat(p)); err != nil && !errors.Is(err, dimatch.ErrOverloaded) {
+					return
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	if err := shedder.Close(); err != nil {
+		return err
+	}
+	srep := shedder.Report()
+	exact := srep.Accepted+srep.Shed+srep.Rejected == srep.Submitted
+	fmt.Printf("shed admission: %d submitted, %d accepted, %d shed (%.1f%%), accounting exact: %v\n",
+		srep.Submitted, srep.Accepted, srep.Shed,
+		100*float64(srep.Shed)/float64(srep.Submitted), exact)
+	if srep.Shed == 0 || !exact {
+		return fmt.Errorf("shed gate failed: %+v", srep)
+	}
+
+	// The durable pipeline is still open: cluster stats carry its health.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if st.Stream != nil {
+		fmt.Printf("pipeline health: %d accepted, %d flushes across %d station shards (epoch %d)\n",
+			st.Stream.Accepted, st.Stream.Flushes, len(st.Stream.Stations), st.Epoch)
+	}
+	if err := durable.Close(); err != nil {
+		return err
+	}
+	fmt.Println("stream chaos smoke passed: acked patterns survived the kill, TTL evicted exactly its cohort, shed mode dropped instead of blocking")
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"dimatch/internal/core"
 	"dimatch/internal/metrics"
 	"dimatch/internal/pattern"
+	"dimatch/internal/stream"
 )
 
 // Core vocabulary, aliased from the implementation packages so the public
@@ -57,6 +58,20 @@ type (
 	// HealReport summarizes one re-replication/rebalancing pass over the
 	// placed patterns (see Rebalance).
 	HealReport = cluster.HealReport
+	// StreamOptions configures a streaming ingest pipeline (see Stream).
+	StreamOptions = stream.Options
+	// Ingestor is a running streaming ingest pipeline (see Stream).
+	Ingestor = stream.Ingestor
+	// StreamAdmission selects what a saturated pipeline does with new
+	// submissions: StreamBlock or StreamShed.
+	StreamAdmission = stream.Admission
+	// StreamStats is a streaming pipeline's health snapshot: admission,
+	// flush and eviction totals plus per-station queue depths. Returned by
+	// Ingestor.Report and surfaced (merged across pipelines) in
+	// ClusterStats.Stream.
+	StreamStats = metrics.StreamStats
+	// StreamStationStats is one station shard's entry in StreamStats.
+	StreamStationStats = metrics.StreamStationStats
 )
 
 // Strategies, re-exported.
@@ -146,6 +161,24 @@ var (
 	// ErrNoAliveStations reports a Place or Rebalance call on a cluster whose
 	// member stations are all dead.
 	ErrNoAliveStations = cluster.ErrNoAliveStations
+)
+
+// Streaming admission modes, re-exported. StreamBlock (the default) makes a
+// saturated pipeline's Submit wait for queue space — backpressure on the
+// producer; StreamShed makes it drop the submission with ErrOverloaded, the
+// drop accounted in StreamStats.Shed.
+const (
+	StreamBlock = stream.Block
+	StreamShed  = stream.Shed
+)
+
+// Streaming sentinel errors, re-exported for errors.Is checks.
+var (
+	// ErrOverloaded reports a shed-mode Submit that found the pipeline's
+	// intake queue full; the submission was dropped and accounted.
+	ErrOverloaded = stream.ErrOverloaded
+	// ErrStreamClosed reports a Submit or Flush on a closed Ingestor.
+	ErrStreamClosed = stream.ErrClosed
 )
 
 // Tolerance modes, re-exported. ToleranceScaled guarantees no false
@@ -310,6 +343,21 @@ func (c *Cluster) KillStation(id uint32) error { return c.inner.KillStation(id) 
 
 // Shutdown stops every station goroutine and waits for them.
 func (c *Cluster) Shutdown() error { return c.inner.Shutdown() }
+
+// Stream starts a streaming ingest pipeline over the cluster and returns
+// its Ingestor: a pool of encoder workers routing each submitted pattern to
+// per-station applier shards by rendezvous (HRW) placement, bounded queues
+// with explicit admission control (StreamBlock waits, StreamShed drops with
+// ErrOverloaded), and batched acknowledged flushes over the station links.
+// Flushed patterns are replica-managed exactly like Place'd ones — searches
+// dedupe their replica reports and membership changes re-replicate them —
+// and StreamOptions.TTL adds deadline-wheel eviction so stations self-trim
+// under sustained load. Any number of pipelines may run over one cluster;
+// each registers its health into ClusterStats.Stream until closed. The
+// caller owns Close, which drains accepted patterns before stopping.
+func (c *Cluster) Stream(opts StreamOptions) (*Ingestor, error) {
+	return stream.New(c.inner, opts)
+}
 
 // Oracle computes the exact IPM answer directly from raw station data — the
 // ground truth that StrategyNaive reproduces through the distributed

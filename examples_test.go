@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"dimatch"
 )
@@ -328,5 +329,50 @@ func TestReadmePlacementSnippet(t *testing.T) {
 			t.Fatalf("killing station %d lost recall: %d persons", victim, len(out.PerQuery[1]))
 		}
 		_ = c2.Shutdown()
+	}
+}
+
+// TestReadmeStreamingSnippet is the README "Streaming ingest" block,
+// statement for statement, plus the claims the section makes about it:
+// every accepted pattern is searchable after Flush, and the pipeline
+// accounts for every submission.
+func TestReadmeStreamingSnippet(t *testing.T) {
+	ctx := context.Background()
+
+	// ---- the snippet, statement for statement ----
+	c, _ := dimatch.NewEmptyCluster(dimatch.Options{}, []uint32{1, 2, 3, 4}, 3)
+	defer c.Shutdown()
+
+	// A pipeline: Submit never assembles maps or names stations — each
+	// pattern rides a bounded queue to its 2 rendezvous-placed replicas.
+	in, _ := c.Stream(dimatch.StreamOptions{
+		Admission: dimatch.StreamBlock, // StreamShed returns ErrOverloaded instead
+		TTL:       time.Minute,         // 0 means patterns never expire
+	})
+	for p := dimatch.PersonID(1); p <= 16; p++ {
+		_ = in.Submit(ctx, p, dimatch.Pattern{3, 4, 5})
+	}
+	_ = in.Flush(ctx) // barrier: every accepted pattern is now searchable
+
+	out, _ := c.Search(ctx, []dimatch.Query{
+		{ID: 1, Locals: []dimatch.Pattern{{3, 4, 5}}},
+	})
+	rep := in.Report() // accepted, shed, flushes, per-station queue depths
+	_ = in.Close()     // final drain: every acked pattern has landed
+	// ---- end of snippet ----
+
+	if len(out.PerQuery[1]) != 16 {
+		t.Fatalf("search found %d persons, README promises all 16 streamed", len(out.PerQuery[1]))
+	}
+	for _, r := range out.PerQuery[1] {
+		if r.Score() != 1.0 || r.Stations != 2 {
+			t.Fatalf("result %+v, README promises score 1.0 from 2 replicas", r)
+		}
+	}
+	if rep.Accepted != 16 || rep.Shed != 0 || rep.FlushFailures != 0 {
+		t.Fatalf("report %+v, README promises 16 accepted, nothing shed or lost", rep)
+	}
+	if rep.Accepted+rep.Shed+rep.Rejected != rep.Submitted {
+		t.Fatalf("accounting does not balance: %+v", rep)
 	}
 }

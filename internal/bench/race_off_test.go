@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Throughput-floor assertions are skipped under the detector: it costs an
+// order of magnitude of wall-clock, and the production floors are gated by
+// CI's non-instrumented bench-baseline job.
+const raceEnabled = false

@@ -1,0 +1,694 @@
+// Streaming-ingest benchmark: the recorded sustained-pipeline baseline.
+//
+// Three phases run over one loopback-TCP cluster and one report gates all
+// of them in CI against BENCH_stream.json:
+//
+//   - Sustained: producers offer a fixed pattern rate to a block-mode
+//     pipeline while searcher goroutines continuously query a static warm
+//     cohort. The recorded figures are the accepted patterns/sec (the
+//     acceptance floor is 10k/s), the searchers' p50/p99 latency (p99 must
+//     stay bounded under ingest load), warm-cohort recall during the storm
+//     and full-population recall after the final flush — the runner refuses
+//     to record anything if recall moved off 1.
+//   - Churn: a second, TTL-bearing pipeline streams a cohort, proves it
+//     live, then waits for the deadline wheel to evict it and proves the
+//     expired patterns stopped matching while the static population's
+//     recall held — TTL churn must not bleed into unexpired residents.
+//   - Shed: a deliberately tiny shed-mode pipeline is saturated to show
+//     admission control dropping instead of blocking, with the accounting
+//     invariant Accepted + Shed + Rejected == Submitted checked exactly.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimatch/internal/cluster"
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/stream"
+	"dimatch/internal/transport"
+)
+
+// StreamBenchConfig parameterizes the streaming baseline.
+type StreamBenchConfig struct {
+	// Seed fixes every generated pattern and the searchers' sampling.
+	Seed uint64
+	// Stations is the cluster size (default 4).
+	Stations int
+	// PatternLength is the streamed time series' length (default 12).
+	PatternLength int
+	// Replication is the pipeline's copy factor (default 2).
+	Replication int
+	// TargetRate is the offered sustained load in patterns/sec (default
+	// 50000). Block-mode admission means accepted == offered unless the
+	// pipeline genuinely cannot keep up.
+	TargetRate int
+	// Duration is the sustained-phase window (default 2s).
+	Duration time.Duration
+	// Producers is the number of submitting goroutines (default 2).
+	Producers int
+	// Searchers is the number of concurrent search goroutines (default 2);
+	// each runs SearchBatch-query searches back to back (default 4).
+	Searchers   int
+	SearchBatch int
+	// WarmPersons sizes the static cohort the concurrent searches target
+	// (default 48).
+	WarmPersons int
+	// ChurnPersons sizes the TTL cohort (default 300); TTL is its lifetime
+	// (default 1500ms — comfortably past the flush-and-verify preamble).
+	ChurnPersons int
+	TTL          time.Duration
+	// ShedSubmissions is the saturation volume for the shed phase (default
+	// 4000).
+	ShedSubmissions int
+}
+
+func (c StreamBenchConfig) withDefaults() StreamBenchConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Stations == 0 {
+		c.Stations = 4
+	}
+	if c.PatternLength == 0 {
+		c.PatternLength = 12
+	}
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.TargetRate == 0 {
+		c.TargetRate = 50000
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Producers == 0 {
+		c.Producers = 2
+	}
+	if c.Searchers == 0 {
+		c.Searchers = 2
+	}
+	if c.SearchBatch == 0 {
+		c.SearchBatch = 4
+	}
+	if c.WarmPersons == 0 {
+		c.WarmPersons = 48
+	}
+	if c.ChurnPersons == 0 {
+		c.ChurnPersons = 300
+	}
+	if c.TTL == 0 {
+		c.TTL = 1500 * time.Millisecond
+	}
+	if c.ShedSubmissions == 0 {
+		c.ShedSubmissions = 4000
+	}
+	return c
+}
+
+// StreamSustained is the sustained-ingest phase's record.
+type StreamSustained struct {
+	OfferedRate     int     `json:"offered_rate"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Submitted       uint64  `json:"submitted"`
+	Accepted        uint64  `json:"accepted"`
+	Blocked         uint64  `json:"blocked"`
+	FlushFailures   uint64  `json:"flush_failures"`
+	Flushes         uint64  `json:"flushes"`
+	FlushedCopies   uint64  `json:"flushed_copies"`
+	// PatternsPerSec is accepted patterns over the window including the
+	// final drain — the sustained figure the acceptance gates at 10k/s.
+	PatternsPerSec float64 `json:"patterns_per_sec"`
+	CopiesPerSec   float64 `json:"copies_per_sec"`
+	// Searches ran concurrently with the ingest storm; their recall over
+	// the warm cohort must be 1 and their p99 bounded.
+	Searches     int     `json:"searches"`
+	SearchRecall float64 `json:"search_recall"`
+	SearchP50Us  float64 `json:"search_p50_us"`
+	SearchP99Us  float64 `json:"search_p99_us"`
+	// FinalRecall samples the streamed population after the last flush —
+	// everything accepted must be retrievable (recall 1 vs. the oracle of
+	// submitted patterns).
+	FinalRecall     float64 `json:"final_recall"`
+	AccountingExact bool    `json:"accounting_exact"`
+}
+
+// StreamChurn is the TTL-eviction phase's record.
+type StreamChurn struct {
+	Cohort          int     `json:"cohort"`
+	TTLMillis       int64   `json:"ttl_ms"`
+	LiveRecall      float64 `json:"live_recall"`
+	Evicted         uint64  `json:"evicted"`
+	ExpiredMatches  int     `json:"expired_matches"`
+	StaticRecall    float64 `json:"static_recall_after"`
+	ResidentsBefore int     `json:"residents_before"`
+	ResidentsAfter  int     `json:"residents_after"`
+}
+
+// StreamShed is the admission-control phase's record.
+type StreamShed struct {
+	Submitted       uint64 `json:"submitted"`
+	Accepted        uint64 `json:"accepted"`
+	Shed            uint64 `json:"shed"`
+	Rejected        uint64 `json:"rejected"`
+	AccountingExact bool   `json:"accounting_exact"`
+}
+
+// StreamReport is the full run, serialized to BENCH_stream.json.
+type StreamReport struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Config     StreamBenchConfig `json:"config"`
+	Sustained  StreamSustained   `json:"sustained"`
+	Churn      StreamChurn       `json:"churn"`
+	Shed       StreamShed        `json:"shed"`
+}
+
+// streamSchema versions the JSON layout for the CI validator.
+const streamSchema = "dimatch-stream-bench/v1"
+
+// streamPattern derives person p's deterministic wide-valued pattern:
+// values up to 1000 keep single-target queries selective at ε=1, exactly as
+// the routing population does.
+func streamPattern(seed uint64, p core.PersonID, length int) pattern.Pattern {
+	rng := rand.New(rand.NewSource(int64(seed ^ uint64(p)*0x9e3779b97f4a7c15)))
+	pat := make(pattern.Pattern, length)
+	for i := range pat {
+		pat[i] = rng.Int63n(1000)
+	}
+	pat[0]++ // never all-zero
+	return pat
+}
+
+// Person-ID bands per phase, far apart so the phases never collide.
+const (
+	streamWarmBase      core.PersonID = 1
+	streamSustainedBase core.PersonID = 1_000_000
+	streamChurnBase     core.PersonID = 2_000_000
+	streamShedBase      core.PersonID = 3_000_000
+)
+
+// tcpStreamCluster stands up an empty loopback-TCP cluster for streaming.
+func tcpStreamCluster(cfg StreamBenchConfig) (*cluster.Cluster, func(), error) {
+	ln, err := transport.Listen("127.0.0.1:0", nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	links := make(map[uint32]transport.Link, cfg.Stations)
+	for id := uint32(0); id < uint32(cfg.Stations); id++ {
+		stationLink, err := transport.Dial(ln.Addr(), nil, nil)
+		if err != nil {
+			ln.Close()
+			return nil, nil, err
+		}
+		centerLink, err := ln.Accept()
+		if err != nil {
+			ln.Close()
+			return nil, nil, err
+		}
+		links[id] = centerLink
+		go func(id uint32, link transport.Link) {
+			_ = cluster.ServeStation(id, nil, link)
+		}(id, stationLink)
+	}
+	c, err := cluster.NewWithLinks(routingOptions(cfg.Seed), links, cfg.PatternLength, nil, nil)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	return c, func() { _ = c.Shutdown(); _ = ln.Close() }, nil
+}
+
+// streamRecall searches for the given persons' exact patterns in batches
+// and returns the fraction retrieved.
+func streamRecall(ctx context.Context, c *cluster.Cluster, cfg StreamBenchConfig, persons []core.PersonID) (float64, error) {
+	hit := 0
+	for at := 0; at < len(persons); at += 8 {
+		end := at + 8
+		if end > len(persons) {
+			end = len(persons)
+		}
+		batch := persons[at:end]
+		queries := make([]core.Query, len(batch))
+		for i, p := range batch {
+			queries[i] = core.Query{ID: core.QueryID(i + 1), Locals: []pattern.Pattern{streamPattern(cfg.Seed, p, cfg.PatternLength)}}
+		}
+		out, err := c.Search(ctx, queries)
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range batch {
+			for _, r := range out.PerQuery[core.QueryID(i+1)] {
+				if r.Person == p {
+					hit++
+					break
+				}
+			}
+		}
+	}
+	if len(persons) == 0 {
+		return 0, nil
+	}
+	return float64(hit) / float64(len(persons)), nil
+}
+
+// runStreamSustained executes the sustained phase on the shared cluster.
+func runStreamSustained(ctx context.Context, c *cluster.Cluster, cfg StreamBenchConfig) (StreamSustained, error) {
+	in, err := stream.New(c, stream.Options{Replication: cfg.Replication})
+	if err != nil {
+		return StreamSustained{}, err
+	}
+	defer in.Close()
+
+	// Warm cohort: the fixed targets the concurrent searches chase.
+	warm := make([]core.PersonID, cfg.WarmPersons)
+	for i := range warm {
+		warm[i] = streamWarmBase + core.PersonID(i)
+		if err := in.Submit(ctx, warm[i], streamPattern(cfg.Seed, warm[i], cfg.PatternLength)); err != nil {
+			return StreamSustained{}, err
+		}
+	}
+	if err := in.Flush(ctx); err != nil {
+		return StreamSustained{}, err
+	}
+	if r, err := streamRecall(ctx, c, cfg, warm); err != nil {
+		return StreamSustained{}, err
+	} else if r != 1 {
+		return StreamSustained{}, fmt.Errorf("bench: warm cohort recall %.3f before the storm, want 1", r)
+	}
+
+	// Concurrent searchers: recall over the warm cohort must hold while
+	// the pipeline storms; their latency distribution is the bounded-p99
+	// evidence.
+	stop := make(chan struct{})
+	var searchWg sync.WaitGroup
+	var searchMu sync.Mutex
+	var durations []time.Duration
+	misses := 0
+	var searchErr error
+	for w := 0; w < cfg.Searchers; w++ {
+		w := w
+		searchWg.Add(1)
+		go func() {
+			defer searchWg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(w) + 7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				queries := make([]core.Query, cfg.SearchBatch)
+				targets := make([]core.PersonID, cfg.SearchBatch)
+				for i := range queries {
+					p := warm[rng.Intn(len(warm))]
+					targets[i] = p
+					queries[i] = core.Query{ID: core.QueryID(i + 1), Locals: []pattern.Pattern{streamPattern(cfg.Seed, p, cfg.PatternLength)}}
+				}
+				out, err := c.Search(ctx, queries)
+				searchMu.Lock()
+				if err != nil {
+					if searchErr == nil {
+						searchErr = err
+					}
+					searchMu.Unlock()
+					return
+				}
+				durations = append(durations, out.Cost.Elapsed)
+				for i, p := range targets {
+					found := false
+					for _, r := range out.PerQuery[core.QueryID(i+1)] {
+						if r.Person == p {
+							found = true
+							break
+						}
+					}
+					if !found {
+						misses++
+					}
+				}
+				searchMu.Unlock()
+			}
+		}()
+	}
+
+	// Producers: offer TargetRate patterns/sec in 5ms bursts until the
+	// window closes. Block-mode admission makes every offered pattern land
+	// (or the throughput figure sag — which the gate would catch).
+	var next atomic.Uint64
+	next.Store(uint64(streamSustainedBase))
+	deadline := time.Now().Add(cfg.Duration)
+	burst := cfg.TargetRate / cfg.Producers / 200 // per 5ms tick
+	if burst < 1 {
+		burst = 1
+	}
+	var prodWg sync.WaitGroup
+	var prodMu sync.Mutex
+	var prodErr error
+	start := time.Now()
+	for g := 0; g < cfg.Producers; g++ {
+		prodWg.Add(1)
+		go func() {
+			defer prodWg.Done()
+			ticker := time.NewTicker(5 * time.Millisecond)
+			defer ticker.Stop()
+			for time.Now().Before(deadline) {
+				for i := 0; i < burst; i++ {
+					p := core.PersonID(next.Add(1))
+					if err := in.Submit(ctx, p, streamPattern(cfg.Seed, p, cfg.PatternLength)); err != nil {
+						prodMu.Lock()
+						if prodErr == nil {
+							prodErr = err
+						}
+						prodMu.Unlock()
+						return
+					}
+				}
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	prodWg.Wait()
+	if err := in.Flush(ctx); err != nil {
+		return StreamSustained{}, err
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	searchWg.Wait()
+	if prodErr != nil {
+		return StreamSustained{}, prodErr
+	}
+	if searchErr != nil {
+		return StreamSustained{}, searchErr
+	}
+
+	rep := in.Report()
+	s := StreamSustained{
+		OfferedRate:     cfg.TargetRate,
+		DurationSeconds: elapsed.Seconds(),
+		Submitted:       rep.Submitted,
+		Accepted:        rep.Accepted,
+		Blocked:         rep.Blocked,
+		FlushFailures:   rep.FlushFailures,
+		Flushes:         rep.Flushes,
+		FlushedCopies:   rep.FlushedPatterns,
+		PatternsPerSec:  float64(rep.Accepted) / elapsed.Seconds(),
+		CopiesPerSec:    float64(rep.FlushedPatterns) / elapsed.Seconds(),
+		Searches:        len(durations),
+		AccountingExact: rep.Accepted+rep.Shed+rep.Rejected == rep.Submitted,
+	}
+	if len(durations) > 0 {
+		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+		pct := func(p float64) float64 {
+			return float64(durations[int(p*float64(len(durations)-1))].Microseconds())
+		}
+		s.SearchP50Us = pct(0.50)
+		s.SearchP99Us = pct(0.99)
+	}
+	total := 0
+	searchMu.Lock()
+	total = misses
+	searchMu.Unlock()
+	if total == 0 {
+		s.SearchRecall = 1
+	} else {
+		s.SearchRecall = 1 - float64(total)/float64(len(durations)*cfg.SearchBatch)
+	}
+	if s.SearchRecall != 1 {
+		return StreamSustained{}, fmt.Errorf("bench: concurrent-search recall %.4f under ingest load, want 1", s.SearchRecall)
+	}
+
+	// Final recall: sample the streamed population evenly and verify every
+	// accepted pattern is retrievable.
+	last := core.PersonID(next.Load())
+	streamed := int(last - streamSustainedBase)
+	sampleN := 96
+	if streamed < sampleN {
+		sampleN = streamed
+	}
+	sample := make([]core.PersonID, 0, sampleN)
+	for i := 0; i < sampleN; i++ {
+		sample = append(sample, streamSustainedBase+1+core.PersonID(i*streamed/sampleN))
+	}
+	final, err := streamRecall(ctx, c, cfg, sample)
+	if err != nil {
+		return StreamSustained{}, err
+	}
+	s.FinalRecall = final
+	if final != 1 {
+		return StreamSustained{}, fmt.Errorf("bench: final streamed-population recall %.4f, want 1", final)
+	}
+	return s, nil
+}
+
+// runStreamChurn executes the TTL phase on the shared cluster.
+func runStreamChurn(ctx context.Context, c *cluster.Cluster, cfg StreamBenchConfig) (StreamChurn, error) {
+	in, err := stream.New(c, stream.Options{Replication: cfg.Replication, TTL: cfg.TTL})
+	if err != nil {
+		return StreamChurn{}, err
+	}
+	defer in.Close()
+
+	cohort := make([]core.PersonID, cfg.ChurnPersons)
+	for i := range cohort {
+		cohort[i] = streamChurnBase + core.PersonID(i)
+		if err := in.Submit(ctx, cohort[i], streamPattern(cfg.Seed, cohort[i], cfg.PatternLength)); err != nil {
+			return StreamChurn{}, err
+		}
+	}
+	if err := in.Flush(ctx); err != nil {
+		return StreamChurn{}, err
+	}
+	churn := StreamChurn{Cohort: cfg.ChurnPersons, TTLMillis: cfg.TTL.Milliseconds()}
+
+	live, err := streamRecall(ctx, c, cfg, cohort)
+	if err != nil {
+		return StreamChurn{}, err
+	}
+	churn.LiveRecall = live
+	if live != 1 {
+		return StreamChurn{}, fmt.Errorf("bench: churn cohort recall %.3f while live, want 1", live)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return StreamChurn{}, err
+	}
+	churn.ResidentsBefore = st.TotalResidents()
+
+	expiry := time.Now().Add(10*cfg.TTL + 5*time.Second)
+	for in.Report().TTLEvictions < uint64(cfg.ChurnPersons) {
+		if time.Now().After(expiry) {
+			return StreamChurn{}, fmt.Errorf("bench: only %d/%d TTL evictions before timeout", in.Report().TTLEvictions, cfg.ChurnPersons)
+		}
+		time.Sleep(cfg.TTL / 20)
+	}
+	churn.Evicted = in.Report().TTLEvictions
+
+	// Expired patterns must stop matching; the static warm cohort must not.
+	expired, err := streamRecall(ctx, c, cfg, cohort)
+	if err != nil {
+		return StreamChurn{}, err
+	}
+	churn.ExpiredMatches = int(expired * float64(len(cohort)))
+	if churn.ExpiredMatches != 0 {
+		return StreamChurn{}, fmt.Errorf("bench: %d expired patterns still match", churn.ExpiredMatches)
+	}
+	warm := make([]core.PersonID, cfg.WarmPersons)
+	for i := range warm {
+		warm[i] = streamWarmBase + core.PersonID(i)
+	}
+	static, err := streamRecall(ctx, c, cfg, warm)
+	if err != nil {
+		return StreamChurn{}, err
+	}
+	churn.StaticRecall = static
+	if static != 1 {
+		return StreamChurn{}, fmt.Errorf("bench: static population recall %.3f after TTL churn, want 1", static)
+	}
+	st, err = c.Stats(ctx)
+	if err != nil {
+		return StreamChurn{}, err
+	}
+	churn.ResidentsAfter = st.TotalResidents()
+	if churn.ResidentsAfter >= churn.ResidentsBefore {
+		return StreamChurn{}, fmt.Errorf("bench: residents %d -> %d; TTL eviction freed nothing", churn.ResidentsBefore, churn.ResidentsAfter)
+	}
+	return churn, nil
+}
+
+// runStreamShed executes the admission-control phase on the shared cluster.
+func runStreamShed(ctx context.Context, c *cluster.Cluster, cfg StreamBenchConfig) (StreamShed, error) {
+	in, err := stream.New(c, stream.Options{
+		QueueCap:    4,
+		FlushBatch:  1,
+		Encoders:    1,
+		Admission:   stream.Shed,
+		Replication: 1,
+	})
+	if err != nil {
+		return StreamShed{}, err
+	}
+	defer in.Close()
+
+	var wg sync.WaitGroup
+	workers := 8
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.ShedSubmissions/workers; i++ {
+				p := streamShedBase + core.PersonID(g*cfg.ShedSubmissions/workers+i)
+				_ = in.Submit(ctx, p, streamPattern(cfg.Seed, p, cfg.PatternLength))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := in.Flush(ctx); err != nil {
+		return StreamShed{}, err
+	}
+	rep := in.Report()
+	shed := StreamShed{
+		Submitted:       rep.Submitted,
+		Accepted:        rep.Accepted,
+		Shed:            rep.Shed,
+		Rejected:        rep.Rejected,
+		AccountingExact: rep.Accepted+rep.Shed+rep.Rejected == rep.Submitted,
+	}
+	if shed.Shed == 0 {
+		return StreamShed{}, fmt.Errorf("bench: %d submissions through a 4-deep shed-mode queue shed nothing", shed.Submitted)
+	}
+	if !shed.AccountingExact {
+		return StreamShed{}, fmt.Errorf("bench: shed accounting broken: %d+%d+%d != %d", shed.Accepted, shed.Shed, shed.Rejected, shed.Submitted)
+	}
+	return shed, nil
+}
+
+// RunStreamBench executes the three phases and assembles the report.
+func RunStreamBench(ctx context.Context, cfg StreamBenchConfig) (*StreamReport, error) {
+	cfg = cfg.withDefaults()
+	c, cleanup, err := tcpStreamCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	report := &StreamReport{
+		Schema:     streamSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+	}
+	if report.Sustained, err = runStreamSustained(ctx, c, cfg); err != nil {
+		return nil, err
+	}
+	if report.Churn, err = runStreamChurn(ctx, c, cfg); err != nil {
+		return nil, err
+	}
+	if report.Shed, err = runStreamShed(ctx, c, cfg); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// WriteStreamJSON serializes the report, indented for diff-friendly commits
+// of the recorded baseline.
+func WriteStreamJSON(w io.Writer, r *StreamReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CheckStreamJSON validates a serialized report against the acceptance
+// gates: sustained ingest at 10k+ patterns/sec with concurrent-search
+// recall 1 and p99 under 250ms, zero lost copies, exact admission
+// accounting, a TTL churn pass that evicted its whole cohort without
+// touching the static population, and a shed phase that demonstrably
+// dropped (and accounted) instead of blocking. CI runs this against both
+// the freshly generated artifact and the committed BENCH_stream.json.
+func CheckStreamJSON(r io.Reader) error {
+	var report StreamReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return fmt.Errorf("bench: malformed stream report: %w", err)
+	}
+	if report.Schema != streamSchema {
+		return fmt.Errorf("bench: schema %q, want %q", report.Schema, streamSchema)
+	}
+	s := report.Sustained
+	if s.Accepted == 0 || s.Searches == 0 {
+		return fmt.Errorf("bench: sustained phase is empty")
+	}
+	if s.PatternsPerSec < 10000 {
+		return fmt.Errorf("bench: sustained %.0f patterns/sec < the 10k floor", s.PatternsPerSec)
+	}
+	if s.SearchRecall != 1 {
+		return fmt.Errorf("bench: concurrent-search recall %.4f, want 1", s.SearchRecall)
+	}
+	if s.FinalRecall != 1 {
+		return fmt.Errorf("bench: final streamed-population recall %.4f, want 1", s.FinalRecall)
+	}
+	if s.FlushFailures != 0 {
+		return fmt.Errorf("bench: %d copies lost to flush failures", s.FlushFailures)
+	}
+	if s.SearchP99Us <= 0 || s.SearchP99Us > 250_000 {
+		return fmt.Errorf("bench: search p99 %.0fµs under ingest load — unbounded or unmeasured", s.SearchP99Us)
+	}
+	if !s.AccountingExact {
+		return fmt.Errorf("bench: sustained admission accounting is inexact")
+	}
+	ch := report.Churn
+	if ch.Cohort == 0 || ch.Evicted < uint64(ch.Cohort) {
+		return fmt.Errorf("bench: churn evicted %d of %d", ch.Evicted, ch.Cohort)
+	}
+	if ch.LiveRecall != 1 || ch.StaticRecall != 1 {
+		return fmt.Errorf("bench: churn recall live %.3f / static-after %.3f, want 1/1", ch.LiveRecall, ch.StaticRecall)
+	}
+	if ch.ExpiredMatches != 0 {
+		return fmt.Errorf("bench: %d expired patterns still matched", ch.ExpiredMatches)
+	}
+	if ch.ResidentsAfter >= ch.ResidentsBefore {
+		return fmt.Errorf("bench: TTL churn freed no residents (%d -> %d)", ch.ResidentsBefore, ch.ResidentsAfter)
+	}
+	sh := report.Shed
+	if sh.Shed == 0 {
+		return fmt.Errorf("bench: shed phase dropped nothing — backpressure never engaged")
+	}
+	if !sh.AccountingExact {
+		return fmt.Errorf("bench: shed accounting is inexact")
+	}
+	return nil
+}
+
+// RenderStream prints the report as aligned text.
+func RenderStream(w io.Writer, r *StreamReport) {
+	fmt.Fprintf(w, "Streaming ingest baseline (%s, %s/%s, GOMAXPROCS=%d, %d stations, R=%d)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS, r.Config.Stations, r.Config.Replication)
+	s := r.Sustained
+	fmt.Fprintf(w, "sustained: %.0f patterns/sec accepted (offered %d/s for %.2fs), %d flushes, %.0f copies/sec, %d lost\n",
+		s.PatternsPerSec, s.OfferedRate, s.DurationSeconds, s.Flushes, s.CopiesPerSec, s.FlushFailures)
+	fmt.Fprintf(w, "  concurrent searches: %d runs, recall %.3f, p50 %.0fµs, p99 %.0fµs; final recall %.3f\n",
+		s.Searches, s.SearchRecall, s.SearchP50Us, s.SearchP99Us, s.FinalRecall)
+	ch := r.Churn
+	fmt.Fprintf(w, "ttl churn: %d patterns, ttl %dms: live recall %.3f, evicted %d, expired matches %d, static recall %.3f, residents %d -> %d\n",
+		ch.Cohort, ch.TTLMillis, ch.LiveRecall, ch.Evicted, ch.ExpiredMatches, ch.StaticRecall, ch.ResidentsBefore, ch.ResidentsAfter)
+	sh := r.Shed
+	fmt.Fprintf(w, "shed admission: %d submitted, %d accepted, %d shed, %d rejected (accounting exact: %v)\n",
+		sh.Submitted, sh.Accepted, sh.Shed, sh.Rejected, sh.AccountingExact)
+}

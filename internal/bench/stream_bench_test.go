@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickStreamConfig shrinks the phases for the unit-test tier while keeping
+// every gate crossable: the offered rate stays above the 10k/s floor, only
+// the window shrinks.
+func quickStreamConfig() StreamBenchConfig {
+	return StreamBenchConfig{
+		Duration:        300 * time.Millisecond,
+		TargetRate:      20000,
+		ChurnPersons:    60,
+		TTL:             900 * time.Millisecond,
+		ShedSubmissions: 1600,
+		WarmPersons:     16,
+	}
+}
+
+func TestStreamBenchReportShape(t *testing.T) {
+	r, err := RunStreamBench(context.Background(), quickStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sustained.Accepted == 0 || r.Sustained.Searches == 0 {
+		t.Fatalf("sustained phase empty: %+v", r.Sustained)
+	}
+	if r.Sustained.SearchRecall != 1 || r.Sustained.FinalRecall != 1 {
+		t.Fatalf("the runner must refuse to record recall drift: %+v", r.Sustained)
+	}
+	if r.Churn.Evicted < uint64(r.Churn.Cohort) {
+		t.Fatalf("churn evicted %d of %d", r.Churn.Evicted, r.Churn.Cohort)
+	}
+	if r.Shed.Shed == 0 || !r.Shed.AccountingExact {
+		t.Fatalf("shed phase did not engage: %+v", r.Shed)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteStreamJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		t.Log("race detector on: skipping the CheckStreamJSON round-trip (its patterns/sec floor is a non-instrumented gate)")
+	} else if err := CheckStreamJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-tripped report rejected: %v", err)
+	}
+	var render bytes.Buffer
+	RenderStream(&render, r)
+	if !strings.Contains(render.String(), "patterns/sec") {
+		t.Fatal("render missing sustained line")
+	}
+}
+
+func TestCheckStreamJSONRejectsBadInput(t *testing.T) {
+	good := func(mutate func(m map[string]any)) string {
+		m := map[string]any{
+			"schema": "dimatch-stream-bench/v1",
+			"sustained": map[string]any{
+				"accepted": 1000, "searches": 10, "patterns_per_sec": 20000.0,
+				"search_recall": 1.0, "final_recall": 1.0, "flush_failures": 0,
+				"search_p99_us": 500.0, "accounting_exact": true,
+			},
+			"churn": map[string]any{
+				"cohort": 60, "evicted": 60, "live_recall": 1.0,
+				"static_recall_after": 1.0, "expired_matches": 0,
+				"residents_before": 200, "residents_after": 80,
+			},
+			"shed": map[string]any{
+				"submitted": 1600, "accepted": 700, "shed": 900, "rejected": 0,
+				"accounting_exact": true,
+			},
+		}
+		if mutate != nil {
+			mutate(m)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	cases := map[string]string{
+		"empty":    "",
+		"not json": "not json at all",
+		"wrong schema": good(func(m map[string]any) {
+			m["schema"] = "other/v9"
+		}),
+		"below rate floor": good(func(m map[string]any) {
+			m["sustained"].(map[string]any)["patterns_per_sec"] = 5000.0
+		}),
+		"recall drift": good(func(m map[string]any) {
+			m["sustained"].(map[string]any)["search_recall"] = 0.98
+		}),
+		"lost copies": good(func(m map[string]any) {
+			m["sustained"].(map[string]any)["flush_failures"] = 3
+		}),
+		"unbounded p99": good(func(m map[string]any) {
+			m["sustained"].(map[string]any)["search_p99_us"] = 900000.0
+		}),
+		"partial eviction": good(func(m map[string]any) {
+			m["churn"].(map[string]any)["evicted"] = 10
+		}),
+		"expired still match": good(func(m map[string]any) {
+			m["churn"].(map[string]any)["expired_matches"] = 2
+		}),
+		"nothing shed": good(func(m map[string]any) {
+			m["shed"].(map[string]any)["shed"] = 0
+		}),
+		"inexact accounting": good(func(m map[string]any) {
+			m["shed"].(map[string]any)["accounting_exact"] = false
+		}),
+	}
+	if err := CheckStreamJSON(strings.NewReader(good(nil))); err != nil {
+		t.Fatalf("baseline fixture rejected: %v", err)
+	}
+	for name, in := range cases {
+		if err := CheckStreamJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// BenchmarkStreamPipeline is the CI bench-smoke entry point: one shrunken
+// end-to-end run per iteration.
+func BenchmarkStreamPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunStreamBench(context.Background(), quickStreamConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dimatch/internal/core"
+	"dimatch/internal/metrics"
 	"dimatch/internal/pattern"
 	"dimatch/internal/placement"
 	"dimatch/internal/transport"
@@ -191,6 +192,13 @@ type Stats struct {
 	Stations []StationStats
 	// StationsFailed counts stations that did not answer the exchange.
 	StationsFailed int
+	// Stream is the merged health snapshot of every streaming ingest
+	// pipeline currently registered on the cluster (see
+	// RegisterStreamStats): admission/flush/eviction totals plus
+	// per-station queue depths. Unlike the storage figures above it is not
+	// epoch-cached — every Stats call reads the pipelines live — and it is
+	// nil when no pipeline is attached.
+	Stream *metrics.StreamStats
 }
 
 // TotalResidents sums the resident counts across reporting stations.
@@ -318,6 +326,14 @@ type Cluster struct {
 	// mutation hooks (ingest delta-updates, evict and membership changes
 	// invalidate). See route.go.
 	summaries summaryCache
+
+	// Streaming-pipeline hooks (see stream_hooks.go): membership-change
+	// subscribers and registered health-snapshot providers. hookMu is
+	// leaf-level — never held while c.mu is taken or a callback runs.
+	hookMu      sync.Mutex
+	memberSubs  map[uint64]func()                      // dimatch:guardedby hookMu
+	streamStats map[uint64]func() *metrics.StreamStats // dimatch:guardedby hookMu
+	hookSeq     uint64                                 // dimatch:guardedby hookMu
 
 	wg       sync.WaitGroup
 	serveMu  sync.Mutex
@@ -503,6 +519,9 @@ func (c *Cluster) KillStation(id uint32) error {
 	c.installEpochLocked(c.ep.ids, c.ep.muxes)
 	c.mu.Unlock()
 	c.summaries.invalidate(id)
+	// Streaming pipelines re-key the dead station's shard before the heal:
+	// queued copies must stop targeting a link that can no longer ack them.
+	c.notifyMembership()
 	c.heal(context.Background()) //dimatch:allow ctxflow — KillStation is a ctx-less fault-injection API; healing must outlive the injected fault
 	return err
 }
@@ -734,6 +753,7 @@ func (c *Cluster) AddStation(ctx context.Context, id uint32, locals map[core.Per
 	// A departed member may have left a digest under the same id; the new
 	// station starts with a cold summary slot.
 	c.summaries.invalidate(id)
+	c.notifyMembership()
 	c.heal(ctx)
 	return nil
 }
@@ -792,6 +812,7 @@ func (c *Cluster) AddStationLink(ctx context.Context, id uint32, link transport.
 	c.addMemberLocked(id, mux)
 	c.mu.Unlock()
 	c.summaries.invalidate(id)
+	c.notifyMembership()
 	c.heal(ctx)
 	return nil
 }
@@ -847,6 +868,10 @@ func (c *Cluster) RemoveStation(ctx context.Context, id uint32) error {
 	}
 	c.mu.Unlock()
 	c.summaries.invalidate(id)
+	// Re-key before the link goes down: a streaming applier still targeting
+	// the departed station drains its queue onto the survivors, and only
+	// then does the station receive its shutdown frame.
+	c.notifyMembership()
 
 	if !wasDead {
 		stopMux(ctx, mux)
@@ -878,11 +903,14 @@ func (c *Cluster) Stats(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	// Hand out a copy: the cached snapshot is shared with concurrent
-	// callers and with the per-search StationRawBytes tally.
+	// callers and with the per-search StationRawBytes tally. Stream health
+	// is attached per call — pipelines mutate continuously, so caching it
+	// on the epoch would freeze the queue gauges between mutations.
 	return &Stats{
 		Epoch:          st.Epoch,
 		Stations:       append([]StationStats(nil), st.Stations...),
 		StationsFailed: st.StationsFailed,
+		Stream:         c.streamHealth(),
 	}, nil
 }
 

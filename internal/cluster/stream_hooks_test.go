@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/metrics"
+	"dimatch/internal/pattern"
+)
+
+func newHooksCluster(t *testing.T, stations []uint32) *Cluster {
+	t.Helper()
+	c, err := NewEmpty(Options{}, stations, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() { _ = c.Shutdown() })
+	return c
+}
+
+func TestAliveStationIDs(t *testing.T) {
+	c := newHooksCluster(t, []uint32{5, 1, 3})
+	got := c.AliveStationIDs()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("AliveStationIDs() = %v, want ascending {1,3,5}", got)
+	}
+	// The slice must be a copy: mutating it cannot corrupt the epoch.
+	got[0] = 99
+	if again := c.AliveStationIDs(); again[0] != 1 {
+		t.Fatal("AliveStationIDs aliased the epoch's member slice")
+	}
+	if err := c.KillStation(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.AliveStationIDs(); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("after kill, AliveStationIDs() = %v, want {1,5}", got)
+	}
+}
+
+func TestNotePlacedRecordsIntents(t *testing.T) {
+	c := newHooksCluster(t, []uint32{1, 2, 3})
+	c.NotePlaced(nil, 2) // no-op, must not create entries
+	if c.Placed() != 0 {
+		t.Fatalf("Placed() = %d after empty NotePlaced", c.Placed())
+	}
+	c.NotePlaced([]core.PersonID{10, 11}, 2)
+	c.NotePlaced([]core.PersonID{12}, 0) // r<=0 falls back to the default
+	if c.Placed() != 3 {
+		t.Fatalf("Placed() = %d, want 3", c.Placed())
+	}
+	// The intents are real placement intents: reconciliation must be able
+	// to act on them (nothing to copy here — no pattern data was flushed —
+	// so the persons count as lost-but-retained, not as errors).
+	rep, err := c.Rebalance(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Placed != 3 {
+		t.Fatalf("HealReport.Placed = %d, want the 3 noted persons", rep.Placed)
+	}
+}
+
+func TestOnMembershipChangeFires(t *testing.T) {
+	c := newHooksCluster(t, []uint32{1, 2, 3})
+	fired := 0
+	cancel := c.OnMembershipChange(func() { fired++ })
+
+	ctx := context.Background()
+	if err := c.Ingest(ctx, 1, map[core.PersonID]pattern.Pattern{7: {1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("ingest must not fire the membership hook")
+	}
+	if err := c.KillStation(3); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after KillStation, want 1", fired)
+	}
+	if err := c.RemoveStation(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d after RemoveStation, want 2", fired)
+	}
+	cancel()
+	cancel() // idempotent
+	if err := c.AddStation(ctx, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d after cancel, want no further callbacks", fired)
+	}
+}
+
+func TestRegisterStreamStatsMergesIntoStats(t *testing.T) {
+	c := newHooksCluster(t, []uint32{1, 2})
+	ctx := context.Background()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stream != nil {
+		t.Fatal("Stats.Stream must be nil with no pipeline registered")
+	}
+
+	cancelA := c.RegisterStreamStats(func() *metrics.StreamStats {
+		return &metrics.StreamStats{
+			Accepted: 5,
+			Stations: []metrics.StreamStationStats{{Station: 1, QueueDepth: 2, QueueCap: 8}},
+		}
+	})
+	cancelB := c.RegisterStreamStats(func() *metrics.StreamStats {
+		return &metrics.StreamStats{
+			Accepted: 3,
+			Stations: []metrics.StreamStationStats{
+				{Station: 1, QueueDepth: 1, QueueCap: 8},
+				{Station: 99, QueueCap: 8}, // not a member: no link gauge, still reported
+			},
+		}
+	})
+	st, err = c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stream == nil || st.Stream.Accepted != 8 {
+		t.Fatalf("Stats.Stream = %+v, want merged Accepted 8", st.Stream)
+	}
+	if len(st.Stream.Stations) != 2 || st.Stream.Stations[0].QueueDepth != 3 {
+		t.Fatalf("per-station merge wrong: %+v", st.Stream.Stations)
+	}
+
+	// A provider returning nil contributes nothing but must not wipe the
+	// others.
+	cancelNil := c.RegisterStreamStats(func() *metrics.StreamStats { return nil })
+	st, err = c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stream == nil || st.Stream.Accepted != 8 {
+		t.Fatalf("nil provider corrupted the merge: %+v", st.Stream)
+	}
+
+	cancelA()
+	cancelB()
+	cancelB() // idempotent
+	cancelNil()
+	st, err = c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stream != nil {
+		t.Fatal("Stats.Stream must return to nil after every pipeline unregisters")
+	}
+}

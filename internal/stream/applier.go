@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/placement"
+)
+
+// applier is one station's shard of the pipeline: a single goroutine owning
+// a bounded queue of pattern copies routed to its station. Because every
+// copy for a station funnels through exactly one applier, flushes to
+// different stations proceed with no cross-worker locking, and copies for
+// one station never race each other.
+//
+// A shard whose station leaves the membership is retired, never deleted:
+// its goroutine keeps consuming, re-routing every copy it holds (or that a
+// racing encoder still enqueues) to the survivors. That is what guarantees
+// RemoveStation mid-stream re-keys the shard without losing acked patterns.
+type applier struct {
+	in *Ingestor
+	id uint32
+
+	q    chan item
+	kick chan struct{} // capacity 1: "flush your batch now"
+
+	retired atomic.Bool
+	// assembling is the size of the batch currently being built — queue
+	// depth the bounded channel no longer shows.
+	assembling atomic.Int64
+
+	flushes   atomic.Uint64
+	flushed   atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// newApplierLocked creates and starts a station shard. Callers hold in.mu.
+func (in *Ingestor) newApplierLocked(sid uint32) *applier {
+	a := &applier{
+		in:   in,
+		id:   sid,
+		q:    make(chan item, in.opts.QueueCap),
+		kick: make(chan struct{}, 1),
+	}
+	in.appWg.Add(1)
+	go a.run()
+	return a
+}
+
+// run is the shard loop: assemble copies into a batch, flush when the batch
+// fills, the flush interval elapses, or a kick arrives. On retirement the
+// assembled batch and everything still queued re-route to the survivors.
+func (a *applier) run() {
+	defer a.in.appWg.Done()
+	var batch []item
+	timer := time.NewTimer(a.in.opts.FlushInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	dispatch := func() {
+		if armed {
+			if !timer.Stop() {
+				<-timer.C
+			}
+			armed = false
+		}
+		if len(batch) == 0 {
+			return
+		}
+		if a.retired.Load() {
+			a.in.rerouteAll(batch, a.id)
+		} else {
+			a.flush(batch)
+		}
+		a.assembling.Store(0)
+		batch = nil
+	}
+	for {
+		select {
+		case it := <-a.q:
+			if a.retired.Load() {
+				// Re-route the straggler immediately; the assembled batch
+				// (if any) goes with it.
+				batch = append(batch, it)
+				a.assembling.Add(1)
+				dispatch()
+				continue
+			}
+			batch = append(batch, it)
+			a.assembling.Add(1)
+			if len(batch) >= a.in.opts.FlushBatch {
+				dispatch()
+			} else if !armed {
+				timer.Reset(a.in.opts.FlushInterval)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			dispatch()
+		case <-a.kick:
+			dispatch()
+		case <-a.in.ctx.Done():
+			// Shutdown. Close drains via Flush first, so batch and queue
+			// are normally empty; account anything left as abandoned.
+			for range batch {
+				a.in.counters.FlushFailures.Add(1)
+				a.in.pendAdd(-1)
+			}
+			for {
+				select {
+				case <-a.q:
+					a.in.counters.FlushFailures.Add(1)
+					a.in.pendAdd(-1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// flush sends one batched, acknowledged ingest exchange to the shard's
+// station. Success registers TTL deadlines and settles every copy; failure
+// re-routes the whole batch (each copy spends one attempt), which covers
+// both a dead link and a station already removed from the membership.
+func (a *applier) flush(batch []item) {
+	m := make(map[core.PersonID]pattern.Pattern, len(batch))
+	for _, it := range batch {
+		m[it.person] = it.pat // duplicate persons dedup latest-wins
+	}
+	ctx, cancel := context.WithTimeout(a.in.ctx, a.in.opts.FlushTimeout)
+	err := a.in.c.Ingest(ctx, a.id, m)
+	cancel()
+	if err != nil {
+		a.in.rerouteAll(batch, a.id)
+		return
+	}
+	a.flushes.Add(1)
+	a.flushed.Add(uint64(len(batch)))
+	a.in.counters.Flushes.Add(1)
+	a.in.counters.FlushedPatterns.Add(uint64(len(batch)))
+	if ev := a.in.evictor; ev != nil {
+		for _, it := range batch {
+			ev.note(it.person, a.id, it.deadline)
+		}
+	}
+	for range batch {
+		a.in.pendAdd(-1)
+	}
+}
+
+// rerouteAll re-keys a failed or retired shard's copies onto the current
+// membership, avoiding the station that just failed them.
+func (in *Ingestor) rerouteAll(batch []item, avoid uint32) {
+	for _, it := range batch {
+		in.reroute(it, avoid)
+	}
+}
+
+// reroute re-keys one copy after a flush failure or shard retirement: spend
+// one attempt, recompute the person's HRW targets over the current
+// membership, and fan the copy to every active target that is not the
+// failed station. Fanning to the full target set — not just one survivor —
+// matters: the sibling copy may itself have ranked onto the failed station,
+// and re-keying both onto a single survivor would silently collapse the
+// replication factor (duplicate flushes to a station already holding the
+// person are idempotent replaces). Enqueues are bounded (FlushTimeout)
+// rather than indefinite so two mutually failing shards cannot deadlock
+// re-routing into each other's full queues; a copy that cannot land within
+// its budget is abandoned and counted.
+func (in *Ingestor) reroute(it item, avoid uint32) {
+	in.counters.Rerouted.Add(1)
+	it.attempts++
+	if it.attempts >= maxFlushAttempts {
+		in.counters.FlushFailures.Add(1)
+		in.pendAdd(-1)
+		return
+	}
+	in.mu.Lock()
+	alive := in.alive
+	in.mu.Unlock()
+	targets := placement.Pick(it.person, alive, in.opts.Replication)
+	dsts := make([]*applier, 0, len(targets))
+	for _, sid := range targets {
+		if sid == avoid {
+			continue
+		}
+		if a := in.applierFor(sid); a != nil && !a.retired.Load() {
+			dsts = append(dsts, a)
+		}
+	}
+	if len(dsts) == 0 {
+		// Nowhere else to go (single station, or membership collapsed to
+		// the failed one): retry the same shard until the budget runs out.
+		if len(targets) > 0 {
+			if a := in.applierFor(targets[0]); a != nil {
+				dsts = append(dsts, a)
+			}
+		}
+	}
+	if len(dsts) == 0 {
+		in.counters.FlushFailures.Add(1)
+		in.pendAdd(-1)
+		return
+	}
+	in.pendAdd(int64(len(dsts) - 1))
+	timer := time.NewTimer(in.opts.FlushTimeout)
+	defer timer.Stop()
+	for _, dst := range dsts {
+		select {
+		case dst.q <- it:
+		case <-in.ctx.Done():
+			in.counters.FlushFailures.Add(1)
+			in.pendAdd(-1)
+		case <-timer.C:
+			in.counters.FlushFailures.Add(1)
+			in.pendAdd(-1)
+		}
+	}
+}

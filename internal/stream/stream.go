@@ -1,0 +1,542 @@
+// Package stream turns mutation into a first-class sustained workload: a
+// streaming ingest pipeline in front of the cluster's call-per-batch
+// Ingest/Place path.
+//
+// The shape follows the staged observer-pipeline idiom: Submit admits a
+// pattern into one bounded intake queue; a pool of encoder workers pulls
+// from it, validates, computes the pattern's HRW placement targets over the
+// alive membership and fans one copy per target into that station's
+// applier; each applier is a single goroutine owning a bounded queue, so a
+// station's flushes never contend with another's and no worker shares
+// mutable state with its peers (replica copies of one pattern simply ride
+// their own target's shard). Appliers batch copies and flush them over the
+// existing acknowledged KindIngest wire path, which keeps the coordinator's
+// routing summaries delta-updated and records placement intents so the
+// replica-aware search aggregation and the self-healing reconciliation
+// cover streamed patterns exactly like Place'd ones.
+//
+// Backpressure propagates backward through the bounded queues: a slow
+// station fills its applier queue, which stalls the encoders, which fills
+// the intake queue, at which point admission control engages — Block makes
+// Submit wait, Shed makes it return ErrOverloaded with the drop accounted.
+// TTL-based eviction (Options.TTL) registers every flushed pattern on a
+// deadline wheel whose sweeps drive grouped Evict batches, so stations
+// self-trim under sustained load.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimatch/internal/cluster"
+	"dimatch/internal/core"
+	"dimatch/internal/metrics"
+	"dimatch/internal/pattern"
+	"dimatch/internal/placement"
+)
+
+// Admission selects what Submit does when the pipeline's queues are full.
+type Admission int
+
+const (
+	// Block makes Submit wait for queue space (or the caller's ctx). The
+	// pipeline applies backpressure to the producer; nothing is dropped.
+	Block Admission = iota
+	// Shed makes Submit return ErrOverloaded immediately when the intake
+	// queue is full. The drop is counted in the Shed counter — the caller
+	// chose latency over completeness and the accounting shows exactly how
+	// much completeness was paid.
+	Shed
+)
+
+func (a Admission) String() string {
+	switch a {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	default:
+		return fmt.Sprintf("Admission(%d)", int(a))
+	}
+}
+
+var (
+	// ErrOverloaded reports a shed-mode Submit that found the intake queue
+	// full. The submission was not admitted; it is counted in Shed.
+	ErrOverloaded = errors.New("stream: pipeline overloaded")
+	// ErrClosed reports a Submit or Flush after Close.
+	ErrClosed = errors.New("stream: ingestor closed")
+)
+
+// maxFlushAttempts bounds how many stations a single pattern copy may be
+// re-routed across after flush failures before it is abandoned (counted in
+// FlushFailures). Each attempt recomputes targets over the then-current
+// membership, so the budget is only exhausted under sustained total
+// failure.
+const maxFlushAttempts = 5
+
+// Options configures one streaming pipeline.
+type Options struct {
+	// Encoders is the worker-pool size pulling from the intake queue
+	// (default 4). Encoders only hash and route; they are rarely the
+	// bottleneck.
+	Encoders int
+	// QueueCap bounds the intake queue and each per-station applier queue,
+	// in pattern copies (default 1024). Smaller queues bound memory and
+	// admission latency; larger ones absorb burstier producers. See
+	// docs/OPERATIONS.md for sizing guidance.
+	QueueCap int
+	// FlushBatch is the most pattern copies one flush exchange carries
+	// (default 256). An applier flushes when its batch fills or its
+	// FlushInterval elapses, whichever is first.
+	FlushBatch int
+	// FlushInterval bounds how long an applier holds a non-empty batch
+	// before flushing it (default 25ms) — the freshness bound for a
+	// trickle workload.
+	FlushInterval time.Duration
+	// FlushTimeout bounds each flush exchange (default 10s); a flush that
+	// exceeds it fails and its copies re-route.
+	FlushTimeout time.Duration
+	// Admission selects Block (default) or Shed when queues saturate.
+	Admission Admission
+	// TTL, when positive, expires every streamed pattern TTL after its
+	// submission: a deadline wheel sweeps expired persons and drives
+	// grouped Evict batches. Resubmitting a person extends their deadline.
+	// Zero disables eviction.
+	TTL time.Duration
+	// Replication is the number of stations each pattern is copied to
+	// (HRW placement targets, default cluster.DefaultReplication). Clamped
+	// to the alive membership.
+	Replication int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Encoders <= 0 {
+		o.Encoders = 4
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+	if o.FlushBatch <= 0 {
+		o.FlushBatch = 256
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 25 * time.Millisecond
+	}
+	if o.FlushTimeout <= 0 {
+		o.FlushTimeout = 10 * time.Second
+	}
+	if o.Replication <= 0 {
+		o.Replication = cluster.DefaultReplication
+	}
+	return o
+}
+
+// item is one pattern copy moving through the pipeline. The pattern slice
+// is cloned once at Submit and shared read-only by every replica copy.
+type item struct {
+	person   core.PersonID
+	pat      pattern.Pattern
+	deadline time.Time // zero when TTL is off
+	attempts int       // flush attempts consumed so far
+}
+
+// Ingestor is a running streaming pipeline over one cluster. All methods
+// are safe for concurrent use; any number of goroutines may Submit.
+type Ingestor struct {
+	c    *cluster.Cluster
+	opts Options
+
+	// ctx is the pipeline's lifetime: encoders, appliers and the evictor
+	// run until Close cancels it (after the final drain).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	intake chan item
+	closed atomic.Bool
+
+	counters metrics.StreamCounters
+
+	mu       sync.Mutex
+	alive    []uint32            // dimatch:guardedby mu — HRW routing membership snapshot
+	appliers map[uint32]*applier // dimatch:guardedby mu — one shard per station ever alive
+
+	// pending counts accepted copies not yet in a terminal state (flushed,
+	// abandoned); Flush waits for it to reach zero.
+	pendMu   sync.Mutex
+	pending  int64 // dimatch:guardedby pendMu
+	pendCond *sync.Cond
+
+	evictor     *evictor // nil when TTL is off
+	settleReq   chan struct{}
+	unsubscribe func()
+	unregister  func()
+	encWg       sync.WaitGroup
+	appWg       sync.WaitGroup
+}
+
+// New starts a streaming pipeline over the cluster. The pipeline registers
+// itself for membership-change notification (shards re-key when stations
+// come and go) and as a Stats stream-health provider; Close releases both.
+func New(c *cluster.Cluster, opts Options) (*Ingestor, error) {
+	opts = opts.withDefaults()
+	alive := c.AliveStationIDs()
+	if len(alive) == 0 {
+		return nil, cluster.ErrNoAliveStations
+	}
+	//dimatch:allow ctxflow — the pipeline outlives any one caller's context; Close cancels it after the final drain
+	ctx, cancel := context.WithCancel(context.Background())
+	in := &Ingestor{
+		c:         c,
+		opts:      opts,
+		ctx:       ctx,
+		cancel:    cancel,
+		intake:    make(chan item, opts.QueueCap),
+		appliers:  make(map[uint32]*applier, len(alive)),
+		settleReq: make(chan struct{}, 1),
+	}
+	in.pendCond = sync.NewCond(&in.pendMu)
+	in.mu.Lock()
+	in.alive = alive
+	for _, sid := range alive {
+		in.appliers[sid] = in.newApplierLocked(sid)
+	}
+	in.mu.Unlock()
+	if opts.TTL > 0 {
+		in.evictor = newEvictor(in, opts.TTL)
+	}
+	for i := 0; i < opts.Encoders; i++ {
+		in.encWg.Add(1)
+		go in.encode()
+	}
+	in.encWg.Add(1)
+	go in.settler()
+	in.unsubscribe = c.OnMembershipChange(in.rekey)
+	in.unregister = c.RegisterStreamStats(in.Report)
+	return in, nil
+}
+
+// Submit admits one (person, pattern) into the pipeline. The pattern is
+// cloned, so the caller may reuse its slice. Length mismatches return an
+// error wrapping cluster.ErrLengthMismatch; all-zero patterns are skipped
+// silently (no measurable activity means no pattern — the stations' own
+// ingest rule). When the intake queue is full, Block admission waits for
+// space (bounded by ctx) and Shed admission returns ErrOverloaded with the
+// drop accounted. Admission is not application: an accepted pattern reaches
+// its stations on the next batch flush; call Flush for a barrier.
+func (in *Ingestor) Submit(ctx context.Context, person core.PersonID, pat pattern.Pattern) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	in.counters.Submitted.Add(1)
+	if in.closed.Load() {
+		in.counters.Rejected.Add(1)
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		in.counters.Rejected.Add(1)
+		return fmt.Errorf("%w: %w", cluster.ErrCancelled, err)
+	}
+	if len(pat) != in.c.PatternLength() {
+		in.counters.Rejected.Add(1)
+		return fmt.Errorf("%w: stream person %d pattern length %d, cluster is %d",
+			cluster.ErrLengthMismatch, person, len(pat), in.c.PatternLength())
+	}
+	if pat.Sum() == 0 {
+		in.counters.Rejected.Add(1)
+		return nil
+	}
+	it := item{person: person, pat: pat.Clone()}
+	if in.opts.TTL > 0 {
+		it.deadline = time.Now().Add(in.opts.TTL)
+	}
+
+	// The pending count rises before the copy can possibly reach a
+	// terminal state, so Flush never observes a spurious zero.
+	in.pendAdd(1)
+	if in.opts.Admission == Shed {
+		select {
+		case in.intake <- it:
+		default:
+			in.pendAdd(-1)
+			in.counters.Shed.Add(1)
+			return ErrOverloaded
+		}
+	} else {
+		select {
+		case in.intake <- it:
+		default:
+			// Slow path: the queue is full, the producer waits — that is
+			// the backpressure engaging, and Blocked records it.
+			in.counters.Blocked.Add(1)
+			select {
+			case in.intake <- it:
+			case <-ctx.Done():
+				in.pendAdd(-1)
+				in.counters.Rejected.Add(1)
+				return fmt.Errorf("%w: %w", cluster.ErrCancelled, ctx.Err())
+			case <-in.ctx.Done():
+				in.pendAdd(-1)
+				in.counters.Rejected.Add(1)
+				return ErrClosed
+			}
+		}
+	}
+	in.counters.Accepted.Add(1)
+	return nil
+}
+
+// Flush is the barrier: it returns once every copy accepted before the call
+// is in a terminal state — flushed to its station or abandoned after its
+// retry budget. Appliers are kicked so partial batches go out immediately
+// rather than waiting for their interval. Submissions racing the call
+// extend the wait; quiesce producers first for a strict barrier.
+func (in *Ingestor) Flush(ctx context.Context) error {
+	if in.closed.Load() {
+		return ErrClosed
+	}
+	return in.drain(ctx)
+}
+
+// drain is Flush without the closed check — Close's own final barrier.
+func (in *Ingestor) drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for in.pendingCount() > 0 {
+		in.kickAll()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %w", cluster.ErrCancelled, ctx.Err())
+		case <-in.ctx.Done():
+			return ErrClosed
+		case <-ticker.C:
+		}
+	}
+	return nil
+}
+
+// closeDrainTimeout bounds Close's final drain: a cluster that stopped
+// acking flushes must not wedge Close forever.
+const closeDrainTimeout = 30 * time.Second
+
+// Close drains the pipeline and stops it: new Submits fail with ErrClosed,
+// everything already accepted is flushed (bounded by closeDrainTimeout),
+// the TTL evictor and worker goroutines exit, and the membership and
+// stats-provider registrations are released. Close is idempotent; the first
+// call's drain error (if any) is returned.
+func (in *Ingestor) Close() error {
+	if in.closed.Swap(true) {
+		return nil
+	}
+	in.unsubscribe()
+	//dimatch:allow ctxflow — Close is the pipeline's ctx-less teardown API; closeDrainTimeout bounds the final drain instead of a caller ctx
+	ctx, cancel := context.WithTimeout(context.Background(), closeDrainTimeout)
+	err := in.drain(ctx)
+	cancel()
+	in.cancel()
+	in.encWg.Wait()
+	in.appWg.Wait()
+	if in.evictor != nil {
+		in.evictor.wait()
+	}
+	in.unregister()
+	return err
+}
+
+// Report snapshots the pipeline's health: admission and flush totals plus
+// per-station queue depth and flush/eviction counts (ascending station
+// order; retired shards appear only while they still hold queued copies).
+func (in *Ingestor) Report() *metrics.StreamStats {
+	s := in.counters.Snapshot()
+	in.mu.Lock()
+	apps := make([]*applier, 0, len(in.appliers))
+	for _, a := range in.appliers {
+		apps = append(apps, a)
+	}
+	in.mu.Unlock()
+	for _, a := range apps {
+		depth := len(a.q) + int(a.assembling.Load())
+		if a.retired.Load() && depth == 0 {
+			continue
+		}
+		s.Stations = append(s.Stations, metrics.StreamStationStats{
+			Station:         a.id,
+			QueueDepth:      depth,
+			QueueCap:        cap(a.q),
+			Flushes:         a.flushes.Load(),
+			FlushedPatterns: a.flushed.Load(),
+			Evictions:       a.evictions.Load(),
+		})
+	}
+	sortStationStats(s.Stations)
+	return &s
+}
+
+// sortStationStats orders per-station entries ascending by station ID.
+func sortStationStats(s []metrics.StreamStationStats) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].Station > s[j].Station; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// pendAdd moves the pending-copy count and wakes Flush waiters at zero.
+func (in *Ingestor) pendAdd(d int64) {
+	in.pendMu.Lock()
+	in.pending += d
+	if in.pending == 0 {
+		in.pendCond.Broadcast()
+	}
+	in.pendMu.Unlock()
+}
+
+// pendingCount returns the number of accepted copies not yet terminal.
+func (in *Ingestor) pendingCount() int64 {
+	in.pendMu.Lock()
+	defer in.pendMu.Unlock()
+	return in.pending
+}
+
+// encode is one encoder worker: pull from intake, route to shards.
+func (in *Ingestor) encode() {
+	defer in.encWg.Done()
+	for {
+		select {
+		case it := <-in.intake:
+			in.route(it)
+		case <-in.ctx.Done():
+			// Shutdown: Close drains via Flush before cancelling, so the
+			// intake is normally empty here. Anything remaining (a drain
+			// that timed out) is accounted as abandoned, keeping the
+			// pending count truthful.
+			for {
+				select {
+				case <-in.intake:
+					in.counters.FlushFailures.Add(1)
+					in.pendAdd(-1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// route fans one admitted pattern into its HRW target shards: placement
+// intents are recorded BEFORE any copy is enqueued (the same
+// intent-before-copies ordering Place uses, so a search racing the first
+// flush dedupes replica reports instead of summing them), then one copy
+// per target goes into that station's applier queue. A full applier queue
+// blocks the encoder — backpressure propagating backward by design.
+func (in *Ingestor) route(it item) {
+	in.mu.Lock()
+	alive := in.alive
+	in.mu.Unlock()
+	targets := placement.Pick(it.person, alive, in.opts.Replication)
+	if len(targets) == 0 {
+		in.counters.FlushFailures.Add(1)
+		in.pendAdd(-1)
+		return
+	}
+	in.c.NotePlaced([]core.PersonID{it.person}, in.opts.Replication)
+	in.pendAdd(int64(len(targets) - 1))
+	for _, sid := range targets {
+		a := in.applierFor(sid)
+		select {
+		case a.q <- it:
+		case <-in.ctx.Done():
+			in.counters.FlushFailures.Add(1)
+			in.pendAdd(-1)
+		}
+	}
+}
+
+// rekey is the membership-change hook: refresh the HRW routing snapshot,
+// open shards for new stations and retire shards whose station left. A
+// retired shard's applier keeps running — it re-routes everything still in
+// (or arriving on) its queue to the survivors — so no acked producer ever
+// loses a copy to a straggling enqueue.
+func (in *Ingestor) rekey() {
+	alive := in.c.AliveStationIDs()
+	aliveSet := make(map[uint32]bool, len(alive))
+	for _, sid := range alive {
+		aliveSet[sid] = true
+	}
+	in.mu.Lock()
+	in.alive = alive
+	for sid, a := range in.appliers {
+		a.retired.Store(!aliveSet[sid])
+	}
+	for _, sid := range alive {
+		if in.appliers[sid] == nil {
+			in.appliers[sid] = in.newApplierLocked(sid)
+		}
+	}
+	in.mu.Unlock()
+	// Kick every shard: retired ones must re-route their assembled batch
+	// now, not when their flush interval happens to elapse.
+	in.kickAll()
+	// The membership mutation's own synchronous heal ran against whatever
+	// copies had landed by then; flushes in flight during it look "lost"
+	// to that pass and nothing else retries them. Ask the settler for a
+	// follow-up reconciliation once the re-keyed shards drain.
+	select {
+	case in.settleReq <- struct{}{}:
+	default: // a settle is already queued
+	}
+}
+
+// settler is the pipeline's re-replication hook: after each membership
+// change it waits for the re-keyed shards to drain, then runs one
+// reconciliation pass so every streamed pattern is back at its full
+// replication factor on the new membership — including patterns whose
+// flushes were in flight during the mutation's own synchronous heal (that
+// pass sees them as having no copy and leaves them for retry; this is the
+// retry). Requests coalesce: changes arriving mid-settle fold into one
+// follow-up pass.
+func (in *Ingestor) settler() {
+	defer in.encWg.Done()
+	for {
+		select {
+		case <-in.settleReq:
+			ctx, cancel := context.WithTimeout(in.ctx, in.opts.FlushTimeout)
+			_ = in.drain(ctx)
+			_, _ = in.c.Rebalance(ctx)
+			cancel()
+		case <-in.ctx.Done():
+			return
+		}
+	}
+}
+
+// applierFor returns the shard for a station. Shards are never removed
+// (only retired), so any station an encoder ever routed to resolves.
+func (in *Ingestor) applierFor(sid uint32) *applier {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.appliers[sid]
+}
+
+// kickAll nudges every applier to flush its assembled batch immediately.
+func (in *Ingestor) kickAll() {
+	in.mu.Lock()
+	apps := make([]*applier, 0, len(in.appliers))
+	for _, a := range in.appliers {
+		apps = append(apps, a)
+	}
+	in.mu.Unlock()
+	for _, a := range apps {
+		select {
+		case a.kick <- struct{}{}:
+		default: // a kick is already pending
+		}
+	}
+}

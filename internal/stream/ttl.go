@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dimatch/internal/core"
+)
+
+// evictor is the pipeline's TTL deadline wheel. Every successfully flushed
+// pattern copy registers (person, station, deadline); a sweeper goroutine
+// ticks at a fraction of the TTL, collects persons whose deadline passed,
+// and drives one grouped Unplace per sweep — which evicts the person from
+// every alive station (robust to copies having moved in a heal since they
+// were flushed), forgets the placement intent, and invalidates the
+// summary-cache digests for the touched stations, so an expired person
+// stops matching and stops routing in the same step.
+//
+// Resubmitting a person before expiry extends their deadline (note keeps
+// the max). A person resubmitted in the tick-wide window while their
+// previous incarnation's eviction is in flight may be evicted with it; the
+// next resubmission restores them.
+type evictor struct {
+	in   *Ingestor
+	ttl  time.Duration
+	tick time.Duration
+	done chan struct{} // closed when the sweeper exits
+
+	mu sync.Mutex
+	// deadlines is the authoritative expiry per live person (max over
+	// their flushed copies).
+	deadlines map[core.PersonID]time.Time // dimatch:guardedby mu
+	// holders records which stations received a copy, for per-station
+	// eviction accounting.
+	holders map[core.PersonID]map[uint32]bool // dimatch:guardedby mu
+	// buckets indexes persons by deadline-tick for cheap sweeps; a person
+	// whose deadline moved is lazily re-bucketed when their stale bucket
+	// comes due.
+	buckets map[int64][]core.PersonID // dimatch:guardedby mu
+}
+
+func newEvictor(in *Ingestor, ttl time.Duration) *evictor {
+	tick := ttl / 20
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	e := &evictor{
+		in:        in,
+		ttl:       ttl,
+		tick:      tick,
+		done:      make(chan struct{}),
+		deadlines: make(map[core.PersonID]time.Time),
+		holders:   make(map[core.PersonID]map[uint32]bool),
+		buckets:   make(map[int64][]core.PersonID),
+	}
+	go e.run()
+	return e
+}
+
+// note registers a flushed copy. Deadlines only ever extend: a refresh from
+// a resubmission wins over the original expiry.
+func (e *evictor) note(p core.PersonID, station uint32, deadline time.Time) {
+	if deadline.IsZero() {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.deadlines[p]; !ok || deadline.After(cur) {
+		e.deadlines[p] = deadline
+		b := deadline.UnixNano() / int64(e.tick)
+		e.buckets[b] = append(e.buckets[b], p)
+	}
+	h := e.holders[p]
+	if h == nil {
+		h = make(map[uint32]bool, 2)
+		e.holders[p] = h
+	}
+	h[station] = true
+}
+
+// wait blocks until the sweeper goroutine has exited (the pipeline context
+// is cancelled first by Close).
+func (e *evictor) wait() {
+	<-e.done
+}
+
+func (e *evictor) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case now := <-ticker.C:
+			e.sweep(now)
+		case <-e.in.ctx.Done():
+			return
+		}
+	}
+}
+
+// sweep collects every person whose deadline passed and evicts them in one
+// grouped Unplace. Unplace serializes with Place/Rebalance/heal under the
+// cluster's heal lock, so eviction never interleaves with a reconciliation
+// moving the same person's copies.
+func (e *evictor) sweep(now time.Time) {
+	nowBucket := now.UnixNano() / int64(e.tick)
+	var expired []core.PersonID
+	holders := make(map[core.PersonID][]uint32)
+	e.mu.Lock()
+	for b, persons := range e.buckets {
+		if b > nowBucket {
+			continue
+		}
+		delete(e.buckets, b)
+		for _, p := range persons {
+			dl, ok := e.deadlines[p]
+			if !ok {
+				continue // already evicted via an older bucket entry
+			}
+			if dl.After(now) {
+				// Deadline was extended after this bucket entry was made:
+				// re-bucket at the real expiry.
+				nb := dl.UnixNano() / int64(e.tick)
+				e.buckets[nb] = append(e.buckets[nb], p)
+				continue
+			}
+			expired = append(expired, p)
+			delete(e.deadlines, p)
+			for sid := range e.holders[p] {
+				holders[p] = append(holders[p], sid)
+			}
+			delete(e.holders, p)
+		}
+	}
+	e.mu.Unlock()
+	if len(expired) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(e.in.ctx, e.in.opts.FlushTimeout)
+	err := e.in.c.Unplace(ctx, expired)
+	cancel()
+	if err != nil {
+		// Re-arm everyone for the next sweep rather than leaking them.
+		e.mu.Lock()
+		retry := now.Add(e.tick)
+		b := retry.UnixNano() / int64(e.tick)
+		for _, p := range expired {
+			if _, ok := e.deadlines[p]; ok {
+				continue // resubmitted meanwhile; their new deadline rules
+			}
+			e.deadlines[p] = retry
+			e.buckets[b] = append(e.buckets[b], p)
+			for _, sid := range holders[p] {
+				h := e.holders[p]
+				if h == nil {
+					h = make(map[uint32]bool, 2)
+					e.holders[p] = h
+				}
+				h[sid] = true
+			}
+		}
+		e.mu.Unlock()
+		return
+	}
+	e.in.counters.TTLEvictions.Add(uint64(len(expired)))
+	for _, p := range expired {
+		for _, sid := range holders[p] {
+			if a := e.in.applierFor(sid); a != nil {
+				a.evictions.Add(1)
+			}
+		}
+	}
+}
