@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|routing|stream] [-quick] [-strategy wbf]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|recovery|routing|stream] [-quick] [-strategy wbf]
 //	di-bench -run batch -batch-out BENCH_batch.json
 //	di-bench -batch-check BENCH_batch.json
 //	di-bench -run replication -replication-out BENCH_replication.json
 //	di-bench -replication-check BENCH_replication.json
+//	di-bench -run recovery -recovery-out BENCH_recovery.json
+//	di-bench -recovery-check BENCH_recovery.json
 //	di-bench -run routing -routing-out BENCH_routing.json
 //	di-bench -routing-check BENCH_routing.json
 //	di-bench -run stream -stream-out BENCH_stream.json
@@ -41,6 +43,15 @@
 // recall at the healthy value for every factor >= 2 — the CI gate for the
 // replica guarantee.
 //
+// -run recovery compares a station restart's two restore paths at 100k
+// residents — recovering from the station's own snapshot + WAL
+// (internal/store/wal) versus re-replicating the same residents over TCP
+// loopback onto an empty station — and, with -recovery-out, records the
+// result as BENCH_recovery.json. -recovery-check validates a recorded
+// baseline and exits non-zero unless WAL recovery is at least 5x faster
+// than re-replication with recall 1.0 and the routing digest byte-identical
+// across the restart — the CI gate for the persistence claim.
+//
 // -run stream exercises the streaming ingest pipeline over TCP loopback —
 // sustained block-mode ingest with concurrent searches, TTL churn, and a
 // saturated shed-mode pipeline — and, with -stream-out, records the result
@@ -66,13 +77,15 @@ import (
 
 func main() {
 	var (
-		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, routing, stream")
+		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, recovery, routing, stream")
 		quick            = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		strategy         = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
 		batchOut         = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
 		batchCheck       = flag.String("batch-check", "", "validate a recorded BENCH_batch.json and exit (no experiments run)")
 		replicationOut   = flag.String("replication-out", "", "with -run replication: also write the report as JSON to this file")
 		replicationCheck = flag.String("replication-check", "", "validate a recorded BENCH_replication.json and exit (no experiments run)")
+		recoveryOut      = flag.String("recovery-out", "", "with -run recovery: also write the report as JSON to this file")
+		recoveryCheck    = flag.String("recovery-check", "", "validate a recorded BENCH_recovery.json and exit (no experiments run)")
 		routingOut       = flag.String("routing-out", "", "with -run routing: also write the report as JSON to this file")
 		routingCheck     = flag.String("routing-check", "", "validate a recorded BENCH_routing.json and exit (no experiments run)")
 		streamOut        = flag.String("stream-out", "", "with -run stream: also write the report as JSON to this file")
@@ -93,6 +106,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: valid replication baseline\n", *replicationCheck)
+		return
+	}
+	if *recoveryCheck != "" {
+		if err := checkRecoveryFile(*recoveryCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "di-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid recovery baseline\n", *recoveryCheck)
 		return
 	}
 	if *routingCheck != "" {
@@ -116,7 +137,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
-	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *routingOut, *streamOut); err != nil {
+	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *recoveryOut, *routingOut, *streamOut); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
@@ -151,6 +172,11 @@ func checkBatchFile(path string) error {
 // checkReplicationFile validates a recorded replication baseline.
 func checkReplicationFile(path string) error {
 	return checkBaselineFile(path, bench.CheckReplicationJSON)
+}
+
+// checkRecoveryFile validates a recorded recovery baseline.
+func checkRecoveryFile(path string) error {
+	return checkBaselineFile(path, bench.CheckRecoveryJSON)
 }
 
 // checkRoutingFile validates a recorded routing baseline.
@@ -263,6 +289,44 @@ func runReplicationBaseline(w *os.File, quick bool, out string) error {
 	return nil
 }
 
+// runRecoveryBaseline runs the restart-cost comparison, prints it, and
+// optionally records the JSON baseline.
+func runRecoveryBaseline(w *os.File, quick bool, out string) error {
+	cfg := bench.RecoveryConfig{}
+	if quick {
+		cfg.Residents = 20000
+		cfg.Repetitions = 1
+	}
+	dir, err := os.MkdirTemp("", "di-bench-recovery-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Dir = dir
+	r, err := bench.RunRecoveryBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderRecovery(w, r)
+	fmt.Fprintln(w)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteRecoveryJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline recorded to %s\n", out)
+	return nil
+}
+
 // runBatchBaseline runs the batch sweep, prints it, and optionally records
 // the JSON baseline.
 func runBatchBaseline(w *os.File, quick bool, out string) error {
@@ -295,7 +359,7 @@ func runBatchBaseline(w *os.File, quick bool, out string) error {
 	return nil
 }
 
-func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, routingOut, streamOut string) error {
+func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, recoveryOut, routingOut, streamOut string) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -441,6 +505,12 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			return err
 		}
 	}
+	if selected("recovery") {
+		any = true
+		if err := runRecoveryBaseline(os.Stdout, quick, recoveryOut); err != nil {
+			return err
+		}
+	}
 	if selected("routing") {
 		any = true
 		if err := runRoutingBaseline(os.Stdout, quick, routingOut); err != nil {
@@ -454,7 +524,7 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 		}
 	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication routing stream)", strings.TrimSpace(run))
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication recovery routing stream)", strings.TrimSpace(run))
 	}
 	return nil
 }

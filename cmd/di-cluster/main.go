@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sync"
 	"time"
 
@@ -55,26 +56,30 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "center", "node role: center or station")
-		listen   = flag.String("listen", "127.0.0.1:4620", "center: address to listen on")
-		connect  = flag.String("connect", "127.0.0.1:4620", "station: center address to dial")
-		stations = flag.Int("stations", 4, "center: number of stations to wait for")
-		station  = flag.Uint("station", 0, "station: this node's station index (0-based)")
-		persons  = flag.Int("persons", 310, "synthetic city population")
-		seed     = flag.Uint64("seed", 1, "synthetic city seed (must match across nodes)")
-		ref      = flag.Uint64("ref", 0, "center: reference person to search for")
-		topK     = flag.Int("topk", 10, "center: result size")
-		strategy = flag.String("strategy", "wbf", "center: search strategy (naive, bf, wbf)")
-		queries  = flag.Int("queries", 1, "center: total queries in the search batch (the reference person, padded with further references)")
-		batch    = flag.Int("batch", 0, "center: WithBatching bound: 0 packs all queries into one wire exchange per station, 1 sends legacy per-query frames, n>1 splits into rounds of n")
-		routing  = flag.String("routing", "summary", "center: fan-out routing mode: summary (prune stations via cached summaries) or full (classic every-station fan-out)")
-		timeout  = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
-		churn    = flag.Bool("churn", false, "run the in-process live-mutation demo (ignores -role)")
-		replicas = flag.Int("replicas", 0, "with -churn: run the replicated-placement chaos demo at this replication factor (0 keeps the station-addressed demo)")
-		stream   = flag.Bool("stream", false, "run the in-process streaming-ingest demo and chaos smoke (ignores -role)")
-		rate     = flag.Int("rate", 20000, "with -stream: offered ingest rate in patterns/sec")
-		ttl      = flag.Duration("ttl", 1500*time.Millisecond, "with -stream: pattern time-to-live for the churn phase")
-		window   = flag.Duration("window", 2*time.Second, "with -stream: sustained-ingest window")
+		role      = flag.String("role", "center", "node role: center or station")
+		listen    = flag.String("listen", "127.0.0.1:4620", "center: address to listen on")
+		connect   = flag.String("connect", "127.0.0.1:4620", "station: center address to dial")
+		stations  = flag.Int("stations", 4, "center: number of stations to wait for")
+		station   = flag.Uint("station", 0, "station: this node's station index (0-based)")
+		persons   = flag.Int("persons", 310, "synthetic city population")
+		seed      = flag.Uint64("seed", 1, "synthetic city seed (must match across nodes)")
+		ref       = flag.Uint64("ref", 0, "center: reference person to search for")
+		topK      = flag.Int("topk", 10, "center: result size")
+		strategy  = flag.String("strategy", "wbf", "center: search strategy (naive, bf, wbf)")
+		queries   = flag.Int("queries", 1, "center: total queries in the search batch (the reference person, padded with further references)")
+		batch     = flag.Int("batch", 0, "center: WithBatching bound: 0 packs all queries into one wire exchange per station, 1 sends legacy per-query frames, n>1 splits into rounds of n")
+		routing   = flag.String("routing", "summary", "center: fan-out routing mode: summary (prune stations via cached summaries) or full (classic every-station fan-out)")
+		timeout   = flag.Duration("timeout", time.Minute, "center: per-search deadline (0 for none)")
+		churn     = flag.Bool("churn", false, "run the in-process live-mutation demo (ignores -role)")
+		replicas  = flag.Int("replicas", 0, "with -churn: run the replicated-placement chaos demo at this replication factor (0 keeps the station-addressed demo)")
+		stream    = flag.Bool("stream", false, "run the in-process streaming-ingest demo and chaos smoke (ignores -role)")
+		rate      = flag.Int("rate", 20000, "with -stream: offered ingest rate in patterns/sec")
+		ttl       = flag.Duration("ttl", 1500*time.Millisecond, "with -stream: pattern time-to-live for the churn phase")
+		window    = flag.Duration("window", 2*time.Second, "with -stream: sustained-ingest window")
+		storeKind = flag.String("store", "memory", "station: resident store backend: memory or wal")
+		dir       = flag.String("dir", "", "station: WAL store directory (required with -store wal)")
+		empty     = flag.Bool("empty", false, "station: start with no local data (residents arrive via recovery and placement)")
+		recovery  = flag.Bool("recover", false, "run the kill-9 station-recovery chaos smoke (ignores -role)")
 	)
 	flag.Parse()
 
@@ -83,6 +88,13 @@ func main() {
 	cfg.Seed = *seed
 
 	var err error
+	if *recovery {
+		if err := runRecoveryChurn(cfg, *dir); err != nil {
+			fmt.Fprintln(os.Stderr, "di-cluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *stream {
 		if err := runStream(*stations, *rate, *ttl, *window, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "di-cluster:", err)
@@ -113,7 +125,7 @@ func main() {
 			err = runCenter(cfg, *listen, *stations, dimatch.PersonID(*ref), *topK, strat, *timeout, *queries, *batch, route)
 		}
 	case "station":
-		err = runStation(cfg, *connect, uint32(*station), *stations)
+		err = runStation(cfg, *connect, uint32(*station), *stations, *storeKind, *dir, *empty)
 	default:
 		err = fmt.Errorf("unknown role %q", *role)
 	}
@@ -211,16 +223,39 @@ func centerQueries(city *dimatch.City, ref dimatch.PersonID, n int) []dimatch.Qu
 	return queries
 }
 
-// runStation regenerates the city, takes its shard and serves it.
-func runStation(cfg dimatch.CityConfig, connectAddr string, index uint32, stationCount int) error {
-	city, err := dimatch.GenerateCity(cfg)
-	if err != nil {
-		return err
+// runStation serves one station node. With -empty it starts with no local
+// data (residents arrive via store recovery and center placement); otherwise
+// it regenerates the city and takes its shard. With -store wal the resident
+// store is durable: every acked mutation lands in the WAL directory before
+// the ack, and a restart from the same directory recovers it.
+func runStation(cfg dimatch.CityConfig, connectAddr string, index uint32, stationCount int, storeKind, dir string, empty bool) error {
+	var locals map[dimatch.PersonID]dimatch.Pattern
+	if !empty {
+		city, err := dimatch.GenerateCity(cfg)
+		if err != nil {
+			return err
+		}
+		groups := stationGroups(city, stationCount)
+		locals = groups[index]
+		if len(locals) == 0 {
+			return fmt.Errorf("station %d has no local data (only %d shards)", index, stationCount)
+		}
 	}
-	groups := stationGroups(city, stationCount)
-	locals := groups[index]
-	if len(locals) == 0 {
-		return fmt.Errorf("station %d has no local data (only %d shards)", index, stationCount)
+
+	var st dimatch.Store
+	switch storeKind {
+	case "memory":
+	case "wal":
+		if dir == "" {
+			return fmt.Errorf("station %d: -store wal needs -dir", index)
+		}
+		var err error
+		st, err = dimatch.OpenWALStore(dir, dimatch.WALOptions{})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown store backend %q (memory or wal)", storeKind)
 	}
 
 	var up dimatch.Meter
@@ -228,8 +263,13 @@ func runStation(cfg dimatch.CityConfig, connectAddr string, index uint32, statio
 	if err != nil {
 		return err
 	}
-	fmt.Printf("station %d: connected, serving %d local patterns\n", index, len(locals))
-	if err := dimatch.ServeStation(index, locals, link); err != nil {
+	fmt.Printf("station %d: connected, serving %d local patterns (store %s)\n", index, len(locals), storeKind)
+	if st != nil {
+		err = dimatch.ServeStoredStation(index, locals, link, st)
+	} else {
+		err = dimatch.ServeStation(index, locals, link)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("station %d: shut down (sent %d B of reports)\n", index, up.Bytes())
@@ -526,6 +566,214 @@ func runReplicatedChurn(cfg dimatch.CityConfig, replicas int) error {
 		return fmt.Errorf("reconcile check found residual work (%d to copy, %d lost) — self-healing incomplete", rep.Copied, rep.Lost)
 	}
 	fmt.Printf("replica guarantee held: recall never dropped below the healthy value %.3f\n", healthy)
+	return nil
+}
+
+// runRecoveryChurn is the kill-9 station-recovery chaos smoke: a two-station
+// TCP cluster where station 1 runs a WAL-backed resident store in a real
+// subprocess. Every person is placed at R=2, the durable station is killed
+// with SIGKILL (no shutdown handshake, no store flush), removed, and then
+// relaunched from the same WAL directory. The relaunch must recover its
+// residents locally — the rejoin may only ship the delta placed while it was
+// down, never a full re-replication — and recall must match the healthy
+// cluster throughout. Any violation exits non-zero, which makes this CI's
+// durability chaos smoke test.
+func runRecoveryChurn(cfg dimatch.CityConfig, dir string) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "di-cluster-recover-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	city, err := dimatch.GenerateCity(cfg)
+	if err != nil {
+		return err
+	}
+
+	var down, up dimatch.Meter
+	ln, err := dimatch.Listen("127.0.0.1:0", &down, &up)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	const walStation = 1
+	spawn := func(id uint32, walDir string) (*exec.Cmd, dimatch.Link, error) {
+		args := []string{"-role", "station", "-connect", ln.Addr(), "-station", fmt.Sprint(id), "-empty"}
+		if walDir != "" {
+			args = append(args, "-store", "wal", "-dir", walDir)
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, nil, err
+		}
+		link, err := ln.Accept()
+		if err != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return nil, nil, err
+		}
+		return cmd, link, nil
+	}
+	cmds := make(map[uint32]*exec.Cmd, 2)
+	defer func() {
+		for _, cmd := range cmds {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	links := make(map[uint32]dimatch.Link, 2)
+	for id := uint32(0); id < 2; id++ {
+		walDir := ""
+		if id == walStation {
+			walDir = dir
+		}
+		cmd, link, err := spawn(id, walDir)
+		if err != nil {
+			return err
+		}
+		cmds[id], links[id] = cmd, link
+	}
+
+	c, err := dimatch.NewClusterWithLinks(dimatch.Options{
+		Params:   dimatch.Params{Samples: 8, Epsilon: 1, Seed: cfg.Seed, PositionSalted: true},
+		MinScore: 0.9,
+	}, links, city.Length(), &down, &up)
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown() //nolint:errcheck // demo teardown
+	ctx := context.Background()
+
+	globals := dimatch.PersonGlobals(city)
+	if err := c.Place(ctx, globals, dimatch.WithReplication(2)); err != nil {
+		return err
+	}
+	placeBytes := down.Bytes()
+
+	residentsAt := func(id uint32) (int, error) {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return 0, err
+		}
+		for _, s := range st.Stations {
+			if s.Station == id {
+				return s.Residents, nil
+			}
+		}
+		return 0, fmt.Errorf("station %d missing from stats", id)
+	}
+	ref, ok := dimatch.CleanReference(city, dimatch.OfficeWorker)
+	if !ok {
+		return fmt.Errorf("no clean reference in category %v", dimatch.OfficeWorker)
+	}
+	relevant := dimatch.RelevantSet(city, ref)
+	query := dimatch.QueryFromPerson(city, 1, ref)
+	recallAt := func(phase string) (float64, error) {
+		out, err := c.Search(ctx, []dimatch.Query{query})
+		if err != nil {
+			return 0, err
+		}
+		conf := dimatch.Evaluate(out.Persons(1), relevant)
+		fmt.Printf("%-24s stations=%-3d precision=%.3f recall=%.3f (failed=%d)\n",
+			phase, c.Stations(), conf.Precision(), conf.Recall(), out.Cost.StationsFailed)
+		return conf.Recall(), nil
+	}
+
+	preKill, err := residentsAt(walStation)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovery demo: %d persons placed at R=2, station %d holds %d residents in WAL dir %s (%d B disseminated)\n",
+		c.Placed(), walStation, preKill, dir, placeBytes)
+	healthy, err := recallAt("healthy:")
+	if err != nil {
+		return err
+	}
+
+	// SIGKILL: the station process dies mid-flight with no chance to flush.
+	// Every acked batch must already be on disk (the WAL fsyncs per batch
+	// before the ack), so this is the crash the store exists to survive.
+	if err := cmds[walStation].Process.Kill(); err != nil {
+		return err
+	}
+	_ = cmds[walStation].Wait()
+	delete(cmds, walStation)
+	if err := c.KillStation(walStation); err != nil {
+		return err
+	}
+	recall, err := recallAt("after kill -9:")
+	if err != nil {
+		return err
+	}
+	if recall < healthy {
+		return fmt.Errorf("recall %.3f dropped below healthy %.3f after kill — replicas did not cover the crash", recall, healthy)
+	}
+	if err := c.RemoveStation(ctx, walStation); err != nil {
+		return err
+	}
+
+	// Late arrivals while the station is down: the only data a rejoin is
+	// allowed to fetch over the wire.
+	late := make(map[dimatch.PersonID]dimatch.Pattern, 16)
+	for i := 0; i < 16; i++ {
+		p := make(dimatch.Pattern, city.Length())
+		p[0] = int64(i + 1)
+		late[dimatch.PersonID(uint64(cfg.Persons)+2_000_000+uint64(i))] = p
+	}
+	if err := c.Place(ctx, late, dimatch.WithReplication(2)); err != nil {
+		return err
+	}
+
+	// Relaunch from the same directory: recovery, not re-replication.
+	rejoinStart := down.Bytes()
+	cmd, link, err := spawn(walStation, dir)
+	if err != nil {
+		return err
+	}
+	cmds[walStation] = cmd
+	if err := c.AddStationLink(ctx, walStation, link); err != nil {
+		return err
+	}
+	rejoinBytes := down.Bytes() - rejoinStart
+
+	post, err := residentsAt(walStation)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after restart from WAL: station %d holds %d residents (was %d before the kill), rejoin disseminated %d B vs %d B initial placement\n",
+		walStation, post, preKill, rejoinBytes, placeBytes)
+	if post < preKill {
+		return fmt.Errorf("restarted station recovered %d residents, had %d before the kill — WAL recovery lost data", post, preKill)
+	}
+	if rejoinBytes*4 >= placeBytes {
+		return fmt.Errorf("rejoin disseminated %d B against %d B initial placement — that is re-replication, not delta top-up", rejoinBytes, placeBytes)
+	}
+	recall, err = recallAt("after restart:")
+	if err != nil {
+		return err
+	}
+	if recall < healthy {
+		return fmt.Errorf("recall %.3f dropped below healthy %.3f after restart — recovery incomplete", recall, healthy)
+	}
+
+	rep, err := c.Rebalance(ctx)
+	if err != nil {
+		return err
+	}
+	if rep.Copied != 0 || rep.Lost != 0 {
+		return fmt.Errorf("reconcile check found residual work (%d to copy, %d lost) — rejoin heal incomplete", rep.Copied, rep.Lost)
+	}
+	fmt.Printf("recovery guarantee held: kill -9 lost nothing, rejoin shipped the delta only (reconcile: %d placed, 0 to copy, 0 lost)\n", rep.Placed)
 	return nil
 }
 

@@ -1,0 +1,535 @@
+// Recovery benchmark: the recorded restart-cost baseline.
+//
+// The scenarios compare the two ways a station's resident set can come back
+// after a hard stop. WAL recovery reads the station's own snapshot + log
+// (internal/store/wal) — one sequential file scan and a fold. Re-replication
+// ships the same residents over TCP loopback as ingest batches, which is
+// what a replacement station with no local state costs (the Rebalance path,
+// minus real network latency, so the comparison is conservative). The
+// headline claim, validated in CI against BENCH_recovery.json: at 100k
+// residents per station, WAL recovery is at least 5x faster than
+// re-replication, restores every resident (recall 1.0 on sampled queries),
+// and reproduces the routing digest byte-for-byte.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"dimatch/internal/cluster"
+	"dimatch/internal/core"
+	"dimatch/internal/index"
+	"dimatch/internal/pattern"
+	"dimatch/internal/store"
+	"dimatch/internal/store/wal"
+	"dimatch/internal/transport"
+	"dimatch/internal/wire"
+)
+
+// RecoveryConfig parameterizes the restart-cost comparison.
+type RecoveryConfig struct {
+	// Seed fixes the resident population and the sampled queries.
+	Seed uint64
+	// Residents is the station's resident count (default 100000 — the scale
+	// the acceptance gate is stated at).
+	Residents int
+	// PatternLength is the per-resident time-series length (default 8).
+	PatternLength int
+	// ChunkSize is the batch size for both WAL population and
+	// re-replication ingest (default 2048, the Rebalance copy granularity
+	// class).
+	ChunkSize int
+	// Queries is how many residents are sampled for the recall probe
+	// (default 64).
+	Queries int
+	// Repetitions is how many times the recovery path is re-measured (the
+	// minimum is reported; default 3). Re-replication runs once — it is the
+	// slow side, so noise only helps it.
+	Repetitions int
+
+	// Dir is the scratch directory for WAL stores. Empty means the caller
+	// must set it (di-bench uses a temp dir).
+	Dir string `json:"-"`
+}
+
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Residents == 0 {
+		c.Residents = 100_000
+	}
+	if c.PatternLength == 0 {
+		c.PatternLength = 8
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 2048
+	}
+	if c.Queries == 0 {
+		c.Queries = 64
+	}
+	if c.Repetitions == 0 {
+		c.Repetitions = 3
+	}
+	return c
+}
+
+// RecoveryScenario is one timed cell.
+type RecoveryScenario struct {
+	// Phase is "recover-snapshot-log" (WAL restart folding a snapshot plus
+	// a log tail), "recover-snapshot" (WAL restart from a sealed snapshot,
+	// digest included) or "re-replicate" (ingest of the full resident set
+	// over TCP loopback onto an empty station).
+	Phase string `json:"phase"`
+	// Residents is the resident count restored.
+	Residents int `json:"residents"`
+	// Millis is the wall time of the restore (minimum over repetitions).
+	Millis float64 `json:"millis"`
+	// PersonsPerSec is Residents / seconds.
+	PersonsPerSec float64 `json:"persons_per_sec"`
+}
+
+// RecoverySummary is the headline comparison.
+type RecoverySummary struct {
+	Residents int `json:"residents"`
+	// RecoverMillis is the slower WAL path (snapshot + log tail) — the
+	// conservative side of the speedup claim.
+	RecoverMillis     float64 `json:"recover_millis"`
+	RereplicateMillis float64 `json:"rereplicate_millis"`
+	// Speedup is RereplicateMillis / RecoverMillis; CI gates >= 5.
+	Speedup float64 `json:"speedup"`
+	// Recall is the fraction of sampled resident queries answered by the
+	// recovered station; CI gates == 1.
+	Recall float64 `json:"recall"`
+	// DigestMatch records that the routing digest served after recovery is
+	// byte-identical to a never-restarted station's; CI gates true. The
+	// sealed-snapshot path recovers it verbatim, the snapshot+log path
+	// rebuilds it from the recovered residents — both must land on the
+	// reference bytes.
+	DigestMatch bool `json:"digest_match"`
+	// SnapshotBytes and LogRecords size the recovered state, for reading
+	// the millis figures in context.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	LogRecords    int   `json:"log_records"`
+}
+
+// RecoveryReport is the full run, serialized to BENCH_recovery.json.
+type RecoveryReport struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Config     RecoveryConfig     `json:"config"`
+	Scenarios  []RecoveryScenario `json:"scenarios"`
+	Summary    RecoverySummary    `json:"summary"`
+}
+
+// recoverySchema versions the JSON layout for the CI validator.
+const recoverySchema = "dimatch-recovery-bench/v1"
+
+// recoveryStation is the station ID every phase restores.
+const recoveryStation = 1
+
+// recoveryOptions sizes the cluster for the recall probe.
+func recoveryOptions(seed uint64) cluster.Options {
+	return cluster.Options{
+		Params: core.Params{
+			Bits:    1 << 22,
+			Hashes:  5,
+			Samples: core.DefaultSamples,
+			Epsilon: 0,
+			Seed:    seed,
+		},
+		MinScore: 0.9,
+	}
+}
+
+// recoveryResidents generates the deterministic resident set, persons
+// ascending so both population and re-replication insert at the tail.
+func recoveryResidents(cfg RecoveryConfig) ([]core.PersonID, []pattern.Pattern) {
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	persons := make([]core.PersonID, cfg.Residents)
+	locals := make([]pattern.Pattern, cfg.Residents)
+	for i := range persons {
+		persons[i] = core.PersonID(i + 1)
+		p := make(pattern.Pattern, cfg.PatternLength)
+		p[0] = rng.Int63n(999) + 1 // nonzero sum, always admissible
+		for j := 1; j < cfg.PatternLength; j++ {
+			p[j] = rng.Int63n(1000)
+		}
+		locals[i] = p
+	}
+	return persons, locals
+}
+
+// populateWAL writes the resident set into a fresh store under dir: the
+// first half folded into a snapshot (carrying the digest of that half), the
+// second half left as log records — the shape a snapshotting station dies
+// in. Returns the snapshot size and log record count for the report.
+func populateWAL(dir string, persons []core.PersonID, locals []pattern.Pattern, cfg RecoveryConfig, sealAll bool) (int64, int, error) {
+	st, err := wal.Open(dir, wal.Options{SnapshotEvery: -1, SnapshotBytes: -1})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer st.Close()
+	half := len(persons) / 2
+	if sealAll {
+		half = len(persons)
+	}
+	appendChunks := func(p []core.PersonID, l []pattern.Pattern) error {
+		for i := 0; i < len(p); i += cfg.ChunkSize {
+			end := i + cfg.ChunkSize
+			if end > len(p) {
+				end = len(p)
+			}
+			if err := st.Append(store.Batch{Op: store.OpIngest, Persons: p[i:end], Locals: l[i:end]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := appendChunks(persons[:half], locals[:half]); err != nil {
+		return 0, 0, err
+	}
+	digest, err := index.Build(cfg.PatternLength, locals[:half])
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := st.Snapshot(store.Image{Persons: persons[:half], Locals: locals[:half], Digest: digest}); err != nil {
+		return 0, 0, err
+	}
+	if err := appendChunks(persons[half:], locals[half:]); err != nil {
+		return 0, 0, err
+	}
+	return st.SnapshotBytes(), st.LogRecords(), st.Close()
+}
+
+// timeRecovery opens the store and recovers the image, repeated, returning
+// the minimum wall time and the last recovered image.
+func timeRecovery(dir string, reps int) (time.Duration, store.Image, error) {
+	var best time.Duration
+	var img store.Image
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		st, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			return 0, store.Image{}, err
+		}
+		img, err = st.Recover()
+		if err != nil {
+			_ = st.Close()
+			return 0, store.Image{}, err
+		}
+		elapsed := time.Since(start)
+		if err := st.Close(); err != nil {
+			return 0, store.Image{}, err
+		}
+		if r == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, img, nil
+}
+
+// loopbackStation dials one TCP loopback link and serves a fresh empty
+// station over it, returning the center's end.
+func loopbackStation(ln *transport.Listener, id uint32) (transport.Link, error) {
+	stationLink, err := transport.Dial(ln.Addr(), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	centerLink, err := ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		_ = cluster.ServeStation(id, nil, stationLink)
+	}()
+	return centerLink, nil
+}
+
+// timeRereplicate measures the restore path a station with no local state
+// pays: the real Rebalance. A two-station loopback cluster holds every
+// resident at R=2; the station under test is hard-stopped and removed, a
+// fresh empty one joins in its place, and the join's heal pass dumps the
+// copies from the surviving peer and re-ingests all of them into the
+// replacement — the timed window is exactly that join.
+func timeRereplicate(ctx context.Context, cfg RecoveryConfig, persons []core.PersonID, locals []pattern.Pattern) (time.Duration, error) {
+	const peer = recoveryStation + 1
+	ln, err := transport.Listen("127.0.0.1:0", nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	links := make(map[uint32]transport.Link, 2)
+	for _, id := range []uint32{recoveryStation, peer} {
+		link, err := loopbackStation(ln, id)
+		if err != nil {
+			return 0, err
+		}
+		links[id] = link
+	}
+	c, err := cluster.NewWithLinks(recoveryOptions(cfg.Seed), links, cfg.PatternLength, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Shutdown()
+
+	globals := make(map[core.PersonID]pattern.Pattern, len(persons))
+	for i, p := range persons {
+		globals[p] = locals[i]
+	}
+	if err := c.Place(ctx, globals, cluster.WithReplication(2)); err != nil {
+		return 0, err
+	}
+	if err := c.KillStation(recoveryStation); err != nil {
+		return 0, err
+	}
+	if err := c.RemoveStation(ctx, recoveryStation); err != nil {
+		return 0, err
+	}
+	replacement, err := loopbackStation(ln, recoveryStation)
+	if err != nil {
+		return 0, err
+	}
+
+	start := time.Now()
+	if err := c.AddStationLink(ctx, recoveryStation, replacement); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+
+	// The join's heal must actually have restored the copies, or the timed
+	// window measured nothing.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range st.Stations {
+		if s.Station == recoveryStation && s.Residents != len(persons) {
+			return 0, fmt.Errorf("bench: replacement station holds %d residents after rejoin, want %d", s.Residents, len(persons))
+		}
+	}
+	return elapsed, nil
+}
+
+// recoveryRecall boots a cluster over the recovered store and probes it
+// with sampled residents' exact patterns.
+func recoveryRecall(ctx context.Context, cfg RecoveryConfig, dir string, persons []core.PersonID, locals []pattern.Pattern) (float64, error) {
+	st, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return 0, err
+	}
+	c, err := cluster.NewStored(recoveryOptions(cfg.Seed), map[uint32]store.Store{recoveryStation: st}, cfg.PatternLength)
+	if err != nil {
+		_ = st.Close()
+		return 0, err
+	}
+	c.Start()
+	defer c.Shutdown()
+
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 7))
+	picks := rng.Perm(len(persons))[:cfg.Queries]
+	sort.Ints(picks)
+	queries := make([]core.Query, len(picks))
+	for i, p := range picks {
+		queries[i] = core.Query{ID: core.QueryID(i + 1), Locals: []pattern.Pattern{locals[p]}}
+	}
+	out, err := c.Search(ctx, queries)
+	if err != nil {
+		return 0, err
+	}
+	found := 0
+	for i, p := range picks {
+		for _, r := range out.PerQuery[core.QueryID(i+1)] {
+			if r.Person == persons[p] {
+				found++
+				break
+			}
+		}
+	}
+	return float64(found) / float64(len(queries)), nil
+}
+
+// digestBytes is the comparable wire form of a routing digest.
+func digestBytes(d *index.Summary) []byte {
+	return wire.EncodeSummaryPayload(d, recoveryStation)
+}
+
+// RunRecoveryBench executes the comparison and assembles the report. cfg.Dir
+// must point at an empty scratch directory.
+func RunRecoveryBench(ctx context.Context, cfg RecoveryConfig) (*RecoveryReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("bench: recovery needs a scratch dir")
+	}
+	persons, locals := recoveryResidents(cfg)
+	reference, err := index.Build(cfg.PatternLength, locals)
+	if err != nil {
+		return nil, err
+	}
+	wantDigest := digestBytes(reference)
+
+	report := &RecoveryReport{
+		Schema:     recoverySchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+	}
+	scenario := func(phase string, d time.Duration) {
+		report.Scenarios = append(report.Scenarios, RecoveryScenario{
+			Phase:         phase,
+			Residents:     cfg.Residents,
+			Millis:        float64(d.Microseconds()) / 1000,
+			PersonsPerSec: float64(cfg.Residents) / d.Seconds(),
+		})
+	}
+	sameResidents := func(img store.Image) error {
+		if len(img.Persons) != cfg.Residents {
+			return fmt.Errorf("bench: recovered %d residents, want %d", len(img.Persons), cfg.Residents)
+		}
+		return nil
+	}
+
+	// Phase 1: snapshot + log tail, the shape a snapshotting station dies
+	// in. The digest is not recoverable verbatim (records follow the
+	// snapshot), so it is rebuilt from the recovered residents — and must
+	// land on the reference bytes.
+	tailDir := cfg.Dir + "/tail"
+	snapBytes, logRecords, err := populateWAL(tailDir, persons, locals, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	recoverD, img, err := timeRecovery(tailDir, cfg.Repetitions)
+	if err != nil {
+		return nil, err
+	}
+	if err := sameResidents(img); err != nil {
+		return nil, err
+	}
+	if img.Digest != nil {
+		return nil, fmt.Errorf("bench: digest survived a log tail — it cannot cover those records")
+	}
+	rebuilt, err := index.Build(cfg.PatternLength, img.Locals)
+	if err != nil {
+		return nil, err
+	}
+	digestMatch := string(digestBytes(rebuilt)) == string(wantDigest)
+	scenario("recover-snapshot-log", recoverD)
+
+	// Phase 2: a sealed snapshot (clean fold, then crash) recovers the
+	// digest verbatim.
+	sealedDir := cfg.Dir + "/sealed"
+	if _, _, err := populateWAL(sealedDir, persons, locals, cfg, true); err != nil {
+		return nil, err
+	}
+	sealedD, sealedImg, err := timeRecovery(sealedDir, cfg.Repetitions)
+	if err != nil {
+		return nil, err
+	}
+	if err := sameResidents(sealedImg); err != nil {
+		return nil, err
+	}
+	if sealedImg.Digest == nil {
+		return nil, fmt.Errorf("bench: sealed snapshot lost its digest")
+	}
+	digestMatch = digestMatch && string(digestBytes(sealedImg.Digest)) == string(wantDigest)
+	scenario("recover-snapshot", sealedD)
+
+	// Phase 3: re-replication of the same residents onto an empty station
+	// over TCP loopback.
+	rereplD, err := timeRereplicate(ctx, cfg, persons, locals)
+	if err != nil {
+		return nil, err
+	}
+	scenario("re-replicate", rereplD)
+
+	recall, err := recoveryRecall(ctx, cfg, tailDir, persons, locals)
+	if err != nil {
+		return nil, err
+	}
+
+	report.Summary = RecoverySummary{
+		Residents:         cfg.Residents,
+		RecoverMillis:     float64(recoverD.Microseconds()) / 1000,
+		RereplicateMillis: float64(rereplD.Microseconds()) / 1000,
+		Speedup:           rereplD.Seconds() / recoverD.Seconds(),
+		Recall:            recall,
+		DigestMatch:       digestMatch,
+		SnapshotBytes:     snapBytes,
+		LogRecords:        logRecords,
+	}
+	return report, nil
+}
+
+// WriteRecoveryJSON serializes the report, indented for diff-friendly
+// commits of the recorded baseline.
+func WriteRecoveryJSON(w io.Writer, r *RecoveryReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CheckRecoveryJSON validates a serialized report: parseable, the right
+// schema, stated at the gate's scale, and — the acceptance gates — WAL
+// recovery at least 5x faster than re-replication, recall 1.0 on the
+// sampled queries, and the routing digest byte-identical across the
+// restart. The timing ratio is machine-local but wide: one sequential file
+// scan versus tens of wire round-trips does not come down to 5x on any
+// hardware in the same class.
+func CheckRecoveryJSON(r io.Reader) error {
+	var report RecoveryReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return fmt.Errorf("bench: malformed recovery report: %w", err)
+	}
+	if report.Schema != recoverySchema {
+		return fmt.Errorf("bench: schema %q, want %q", report.Schema, recoverySchema)
+	}
+	if len(report.Scenarios) == 0 {
+		return fmt.Errorf("bench: recovery report is empty")
+	}
+	for _, s := range report.Scenarios {
+		switch s.Phase {
+		case "recover-snapshot-log", "recover-snapshot", "re-replicate":
+		default:
+			return fmt.Errorf("bench: unknown phase %q", s.Phase)
+		}
+	}
+	sm := report.Summary
+	if sm.Residents < 100_000 {
+		return fmt.Errorf("bench: recovery gate stated at >= 100000 residents, report has %d", sm.Residents)
+	}
+	if sm.Speedup < 5 {
+		return fmt.Errorf("bench: WAL recovery only %.1fx faster than re-replication, gate is 5x", sm.Speedup)
+	}
+	if sm.Recall != 1 {
+		return fmt.Errorf("bench: recovered station recall %.3f, gate is 1.0", sm.Recall)
+	}
+	if !sm.DigestMatch {
+		return fmt.Errorf("bench: routing digest not byte-identical across the restart")
+	}
+	return nil
+}
+
+// RenderRecovery prints the report as an aligned text table plus the
+// headline comparison.
+func RenderRecovery(w io.Writer, r *RecoveryReport) {
+	fmt.Fprintf(w, "Station recovery (%s, %s/%s, %d residents, pattern length %d)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.Config.Residents, r.Config.PatternLength)
+	fmt.Fprintf(w, "%22s %10s %12s %16s\n", "phase", "residents", "millis", "persons/sec")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, "%22s %10d %12.1f %16.0f\n", s.Phase, s.Residents, s.Millis, s.PersonsPerSec)
+	}
+	sm := r.Summary
+	fmt.Fprintf(w, "recover %.1fms vs re-replicate %.1fms: %.1fx faster, recall %.3f, digest match %v (snapshot %d bytes + %d log records)\n",
+		sm.RecoverMillis, sm.RereplicateMillis, sm.Speedup, sm.Recall, sm.DigestMatch, sm.SnapshotBytes, sm.LogRecords)
+}

@@ -17,6 +17,7 @@ import (
 	"dimatch/internal/core"
 	"dimatch/internal/index"
 	"dimatch/internal/pattern"
+	"dimatch/internal/store"
 	"dimatch/internal/transport"
 	"dimatch/internal/wire"
 )
@@ -41,6 +42,11 @@ type Station struct {
 	// digest per request. Only the Serve loop touches it (mutations arrive
 	// on the same loop), so no locking is needed.
 	summary *index.Summary
+
+	// durable, when non-nil, persists every applied batch before its ack is
+	// sent (see NewStoredStation). Nil keeps the pre-persistence behavior:
+	// the resident store lives in this process's memory only.
+	durable store.Store
 }
 
 // NewStation builds a station from its local pattern store. All-zero
@@ -64,8 +70,57 @@ func NewStation(id uint32, locals map[core.PersonID]pattern.Pattern, link transp
 	return s
 }
 
+// NewStoredStation builds a station whose resident store is backed by st:
+// the durable state is recovered first (residents plus, when the backend has
+// one that still covers them, the memoized routing digest), then any seed
+// locals are applied and persisted on top. Restarting a crashed station is
+// NewStoredStation with nil locals over the same backend. The station owns
+// the store from here on — Serve closes it on exit.
+func NewStoredStation(id uint32, locals map[core.PersonID]pattern.Pattern, link transport.Link, st store.Store) (*Station, error) {
+	img, err := st.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("station %d: recover: %w", id, err)
+	}
+	s := &Station{
+		id:      id,
+		link:    link,
+		persons: img.Persons,
+		locals:  img.Locals,
+		summary: img.Digest,
+		durable: st,
+	}
+	if length := s.patternLength(); length > 0 {
+		for _, l := range img.Locals {
+			if len(l) != length {
+				return nil, fmt.Errorf("station %d: recovered pattern length %d alongside %d", id, len(l), length)
+			}
+		}
+	}
+	if len(locals) > 0 {
+		seed := NewStation(id, locals, nil) // reuse its sort/filter rules
+		if len(seed.persons) > 0 {
+			if err := st.Append(store.Batch{Op: store.OpIngest, Persons: seed.persons, Locals: seed.locals}); err != nil {
+				return nil, fmt.Errorf("station %d: persist seed: %w", id, err)
+			}
+			for i, p := range seed.persons {
+				s.upsert(p, seed.locals[i])
+			}
+			s.summary = nil
+		}
+	}
+	return s, nil
+}
+
 // ID returns the station identifier.
 func (s *Station) ID() uint32 { return s.id }
+
+// patternLength returns the resident patterns' shared length, 0 when empty.
+func (s *Station) patternLength() int {
+	if len(s.locals) > 0 {
+		return len(s.locals[0])
+	}
+	return 0
+}
 
 // Residents returns the number of stored local patterns.
 func (s *Station) Residents() int { return len(s.persons) }
@@ -85,7 +140,21 @@ func (s *Station) StorageBytes() uint64 {
 // echoes its request's wire ID, which is what lets the center run many
 // searches over this link concurrently: its dispatcher routes each reply to
 // the search that asked.
+//
+// A durable station closes its store on the way out, flushing anything the
+// sync policy still buffered — a graceful exit is a clean shutdown; only a
+// kill -9 exercises recovery.
 func (s *Station) Serve() error {
+	err := s.serveLoop()
+	if s.durable != nil {
+		if cerr := s.durable.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("station %d: %w", s.id, cerr)
+		}
+	}
+	return err
+}
+
+func (s *Station) serveLoop() error {
 	for {
 		msg, err := s.link.Recv()
 		if err != nil {
@@ -267,12 +336,16 @@ func (s *Station) handleDump(msg wire.Message) (*wire.Message, error) {
 // handleIngest inserts or replaces resident patterns — the station absorbing
 // freshly observed call data. All-zero patterns are skipped, matching the
 // NewStation rule (no measurable activity means no local pattern); removal is
-// the evict message's job.
+// the evict message's job. On a durable station the applied batch is appended
+// to the store before the ack is encoded: a batch the center saw acknowledged
+// is never lost to a crash the store's sync policy covers.
 func (s *Station) handleIngest(msg wire.Message) (*wire.Message, error) {
 	in, err := wire.DecodeIngest(msg)
 	if err != nil {
 		return nil, fmt.Errorf("station %d: %w", s.id, err)
 	}
+	var persons []core.PersonID
+	var locals []pattern.Pattern
 	applied := 0
 	for i, p := range in.Persons {
 		if in.Locals[i].Sum() == 0 {
@@ -280,12 +353,43 @@ func (s *Station) handleIngest(msg wire.Message) (*wire.Message, error) {
 		}
 		s.upsert(p, in.Locals[i])
 		applied++
+		if s.durable != nil {
+			persons = append(persons, p)
+			locals = append(locals, in.Locals[i])
+		}
 	}
 	if applied > 0 {
 		s.summary = nil // the memoized routing summary no longer covers the store
+		if s.durable != nil {
+			if err := s.persist(store.Batch{Op: store.OpIngest, Persons: persons, Locals: locals}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	reply := wire.EncodeAck(wire.Ack{Station: s.id, Applied: uint64(applied)})
 	return &reply, nil
+}
+
+// persist appends one applied batch to the durable store and lets it fold
+// the log when its thresholds say so. The digest is built (if not already
+// memoized) only when a fold actually happens, which is what writes the
+// memoized summary into the snapshot for recovery. Errors are fatal to the
+// serve loop: the ack for this batch must never be sent if durability was
+// promised and not delivered.
+func (s *Station) persist(b store.Batch) error {
+	if err := s.durable.Append(b); err != nil {
+		return fmt.Errorf("station %d: %w", s.id, err)
+	}
+	_, err := s.durable.Compact(func() (store.Image, error) {
+		if err := s.ensureSummary(); err != nil {
+			return store.Image{}, err
+		}
+		return store.Image{Persons: s.persons, Locals: s.locals, Digest: s.summary}, nil
+	})
+	if err != nil {
+		return fmt.Errorf("station %d: %w", s.id, err)
+	}
+	return nil
 }
 
 // upsert inserts local at person p's slot in the sorted store, replacing the
@@ -311,6 +415,7 @@ func (s *Station) handleEvict(msg wire.Message) (*wire.Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("station %d: %w", s.id, err)
 	}
+	var removed []core.PersonID
 	applied := 0
 	for _, p := range ev.Persons {
 		i := sort.Search(len(s.persons), func(i int) bool { return s.persons[i] >= p })
@@ -320,9 +425,17 @@ func (s *Station) handleEvict(msg wire.Message) (*wire.Message, error) {
 		s.persons = append(s.persons[:i], s.persons[i+1:]...)
 		s.locals = append(s.locals[:i], s.locals[i+1:]...)
 		applied++
+		if s.durable != nil {
+			removed = append(removed, p)
+		}
 	}
 	if applied > 0 {
 		s.summary = nil // rebuild on next pull: Bloom filters cannot delete
+		if s.durable != nil {
+			if err := s.persist(store.Batch{Op: store.OpEvict, Persons: removed}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	reply := wire.EncodeAck(wire.Ack{Station: s.id, Applied: uint64(applied)})
 	return &reply, nil
@@ -332,10 +445,7 @@ func (s *Station) handleEvict(msg wire.Message) (*wire.Message, error) {
 // The pattern length (0 when empty) lets the center sanity-check a joining
 // link against the cluster's time-series length.
 func (s *Station) handleStats() *wire.Message {
-	length := 0
-	if len(s.locals) > 0 {
-		length = len(s.locals[0])
-	}
+	length := s.patternLength()
 	reply := wire.EncodeStatsReply(wire.StatsReply{
 		Station:      s.id,
 		Residents:    uint64(len(s.persons)),
@@ -350,24 +460,32 @@ func (s *Station) handleStats() *wire.Message {
 // digest is memoized until the next ingest or evict, so steady-state
 // refreshes cost one encode, not one store walk.
 func (s *Station) handleSummary() (*wire.Message, error) {
-	if s.summary == nil {
-		length := 0
-		if len(s.locals) > 0 {
-			length = len(s.locals[0])
-		}
-		if length == 0 {
-			// An empty store has no length of its own; a 1-cell summary with
-			// nothing inserted admits no query, which is exactly right.
-			length = 1
-		}
-		sum, err := index.Build(length, s.locals)
-		if err != nil {
-			return nil, fmt.Errorf("station %d: %w", s.id, err)
-		}
-		s.summary = sum
+	if err := s.ensureSummary(); err != nil {
+		return nil, err
 	}
 	reply := wire.EncodeSummaryReply(s.summary, s.id)
 	return &reply, nil
+}
+
+// ensureSummary (re)builds the memoized routing digest when a mutation
+// dropped it. Build is deterministic in the resident set, which is what
+// makes a digest rebuilt after recovery byte-identical to the pre-crash one.
+func (s *Station) ensureSummary() error {
+	if s.summary != nil {
+		return nil
+	}
+	length := s.patternLength()
+	if length == 0 {
+		// An empty store has no length of its own; a 1-cell summary with
+		// nothing inserted admits no query, which is exactly right.
+		length = 1
+	}
+	sum, err := index.Build(length, s.locals)
+	if err != nil {
+		return fmt.Errorf("station %d: %w", s.id, err)
+	}
+	s.summary = sum
+	return nil
 }
 
 // handleShipAll ships the whole local store (the naive strategy).

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/store"
+	"dimatch/internal/transport"
+)
+
+// This file is the cluster side of station persistence (internal/store): the
+// constructors that boot durable in-process stations and the rejoin path a
+// restarted station takes. The division of labor: the station appends every
+// applied batch to its store before acking (station.go), so the cluster only
+// has to put a recovered station back into membership — the existing heal
+// pass then tops up precisely the delta the station missed while down,
+// because Rebalance diffs the recovered residents against the placement
+// targets and ships only the copies that are actually absent.
+
+// NewStored builds a cluster of in-process durable stations, one per store.
+// Each station recovers its residents (and memoized routing digest) from its
+// backend before joining, so booting over non-empty stores is a restart, not
+// a cold start. The caller supplies the pattern length, as with NewEmpty;
+// recovered residents must match it. The cluster is inert until Start.
+func NewStored(opts Options, stations map[uint32]store.Store, patternLength int) (*Cluster, error) {
+	if len(stations) == 0 {
+		return nil, errors.New("cluster: no stations")
+	}
+	if patternLength <= 0 {
+		return nil, fmt.Errorf("cluster: pattern length %d, want > 0", patternLength)
+	}
+	if opts.TargetFP == 0 {
+		opts.TargetFP = 0.01
+	}
+	ids := make([]uint32, 0, len(stations))
+	for id := range stations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c := &Cluster{
+		opts:      opts,
+		length:    patternLength,
+		dead:      make(map[uint32]bool),
+		downMeter: &transport.Meter{},
+		upMeter:   &transport.Meter{},
+	}
+	muxes := make([]*transport.Mux, 0, len(ids))
+	for _, id := range ids {
+		center, stationEnd := transport.Pipe(c.downMeter, c.upMeter)
+		st, err := NewStoredStation(id, nil, stationEnd, stations[id])
+		if err != nil {
+			return nil, err
+		}
+		if l := st.patternLength(); l != 0 && l != patternLength {
+			return nil, fmt.Errorf("%w: station %d recovered pattern length %d, cluster is %d", ErrLengthMismatch, id, l, patternLength)
+		}
+		muxes = append(muxes, transport.NewMux(center))
+		c.pending = append(c.pending, st)
+	}
+	c.installEpochLocked(ids, muxes)
+	return c, nil
+}
+
+// AddStoredStation grows the membership with an in-process durable station —
+// the rejoin path of a restarted station: recover from the store, join, and
+// let the heal pass re-replicate only what the recovered residents are
+// missing. Recovery runs before the cluster lock is taken, so replaying a
+// large WAL never stalls concurrent searches. Seed locals (optional, usually
+// nil on a rejoin) are persisted through the store like any ingest.
+func (c *Cluster) AddStoredStation(ctx context.Context, id uint32, locals map[core.PersonID]pattern.Pattern, st store.Store) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	for p, l := range locals {
+		if len(l) != c.length {
+			return fmt.Errorf("%w: station %d person %d pattern length %d, cluster is %d", ErrLengthMismatch, id, p, len(l), c.length)
+		}
+	}
+	center, stationEnd := transport.Pipe(c.downMeter, c.upMeter)
+	station, err := NewStoredStation(id, locals, stationEnd, st)
+	if err != nil {
+		return err
+	}
+	if l := station.patternLength(); l != 0 && l != c.length {
+		return fmt.Errorf("%w: station %d recovered pattern length %d, cluster is %d", ErrLengthMismatch, id, l, c.length)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClusterClosed
+	}
+	if c.ep.find(id) >= 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: station %d", ErrStationExists, id)
+	}
+	if c.started {
+		c.serveLocked(station)
+	} else {
+		c.pending = append(c.pending, station)
+	}
+	c.addMemberLocked(id, transport.NewMux(center))
+	c.mu.Unlock()
+	// A departed member may have left a digest under the same id; the
+	// rejoined station's recovered digest is refetched cold.
+	c.summaries.invalidate(id)
+	c.notifyMembership()
+	c.heal(ctx)
+	return nil
+}
+
+// ServeStoredStation runs a durable base station over an established link
+// until the center sends a shutdown or the link closes — the body of a
+// remote station process started with di-cluster -role station -store wal.
+// The station owns the store; it is closed (flushing the sync buffer) when
+// the loop exits.
+func ServeStoredStation(id uint32, locals map[core.PersonID]pattern.Pattern, link transport.Link, st store.Store) error {
+	s, err := NewStoredStation(id, locals, link, st)
+	if err != nil {
+		return err
+	}
+	return s.Serve()
+}

@@ -1,0 +1,210 @@
+package store_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/index"
+	"dimatch/internal/pattern"
+	"dimatch/internal/store"
+	"dimatch/internal/store/wal"
+	"dimatch/internal/wire"
+)
+
+// backends enumerates every store implementation under one contract: the
+// in-memory default is the trivially correct reference, and the WAL backend
+// must recover exactly what it would.
+func backends(t *testing.T) map[string]func(t *testing.T) store.Store {
+	return map[string]func(t *testing.T) store.Store{
+		"memory": func(t *testing.T) store.Store { return store.NewMemory() },
+		"wal": func(t *testing.T) store.Store {
+			s, err := wal.Open(t.TempDir(), wal.Options{})
+			if err != nil {
+				t.Fatalf("wal.Open: %v", err)
+			}
+			return s
+		},
+	}
+}
+
+func pat(vs ...int64) pattern.Pattern { return pattern.Pattern(vs) }
+
+func ingest(persons []core.PersonID, locals []pattern.Pattern) store.Batch {
+	return store.Batch{Op: store.OpIngest, Persons: persons, Locals: locals}
+}
+
+func evict(persons ...core.PersonID) store.Batch {
+	return store.Batch{Op: store.OpEvict, Persons: persons}
+}
+
+// wantImage asserts the recovered residents match.
+func wantImage(t *testing.T, s store.Store, persons []core.PersonID, locals []pattern.Pattern) {
+	t.Helper()
+	img, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(img.Persons) == 0 {
+		img.Persons = nil
+	}
+	if len(img.Locals) == 0 {
+		img.Locals = nil
+	}
+	if !reflect.DeepEqual(img.Persons, persons) {
+		t.Fatalf("recovered persons %v, want %v", img.Persons, persons)
+	}
+	if !reflect.DeepEqual(img.Locals, locals) {
+		t.Fatalf("recovered locals %v, want %v", img.Locals, locals)
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			defer s.Close()
+
+			wantImage(t, s, nil, nil)
+
+			// Appends fold with station semantics: sorted, zero-sum skipped,
+			// upsert replaces.
+			if err := s.Append(ingest(
+				[]core.PersonID{7, 3, 5},
+				[]pattern.Pattern{pat(1, 2), pat(3, 4), pat(0, 0)},
+			)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			wantImage(t, s,
+				[]core.PersonID{3, 7},
+				[]pattern.Pattern{pat(3, 4), pat(1, 2)})
+
+			if err := s.Append(ingest(
+				[]core.PersonID{3, 9},
+				[]pattern.Pattern{pat(8, 8), pat(5, 5)},
+			)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			// Evicts of absent persons are ignored.
+			if err := s.Append(evict(7, 100)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			wantImage(t, s,
+				[]core.PersonID{3, 9},
+				[]pattern.Pattern{pat(8, 8), pat(5, 5)})
+
+			// Snapshot replaces the durable state and preserves the digest.
+			digest, err := index.Build(2, []pattern.Pattern{pat(4, 2)})
+			if err != nil {
+				t.Fatalf("index.Build: %v", err)
+			}
+			if err := s.Snapshot(store.Image{
+				Persons: []core.PersonID{42},
+				Locals:  []pattern.Pattern{pat(4, 2)},
+				Digest:  digest,
+			}); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			img, err := s.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if img.Digest == nil {
+				t.Fatal("snapshot digest not recovered")
+			}
+			if got, want := wire.EncodeSummaryPayload(img.Digest, 0), wire.EncodeSummaryPayload(digest, 0); !reflect.DeepEqual(got, want) {
+				t.Fatal("recovered digest differs from the snapshot's")
+			}
+			wantImage(t, s, []core.PersonID{42}, []pattern.Pattern{pat(4, 2)})
+
+			// A post-snapshot append invalidates the digest: it no longer
+			// covers the store, and the station rebuilds deterministically.
+			if err := s.Append(evict(42)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			img, err = s.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if img.Digest != nil {
+				t.Fatal("stale digest survived a post-snapshot append")
+			}
+			wantImage(t, s, nil, nil)
+
+			// Unknown ops are typed errors.
+			if err := s.Append(store.Batch{Op: 99}); err == nil {
+				t.Fatal("Append of unknown op succeeded")
+			}
+		})
+	}
+}
+
+// TestWALSurvivesReopen is the durability half the memory backend cannot
+// share: state must come back through a fresh Open of the same directory.
+func TestWALSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	if err := s.Append(ingest(
+		[]core.PersonID{1, 2},
+		[]pattern.Pattern{pat(1, 1), pat(2, 2)},
+	)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Append(evict(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// No Close: simulate the process dying without a clean shutdown. With
+	// SyncEvery=1 every acked batch is already on disk.
+	s2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	wantImage(t, s2, []core.PersonID{2}, []pattern.Pattern{pat(2, 2)})
+}
+
+// TestWALCompactFolds exercises the record-count trigger: the log folds into
+// a snapshot generation and recovery still sees every batch.
+func TestWALCompactFolds(t *testing.T) {
+	dir := t.TempDir()
+	s, err := wal.Open(dir, wal.Options{SnapshotEvery: 3, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	var wantPersons []core.PersonID
+	var wantLocals []pattern.Pattern
+	imageCalls := 0
+	for i := 1; i <= 10; i++ {
+		p := core.PersonID(i)
+		l := pat(int64(i), int64(i))
+		if err := s.Append(ingest([]core.PersonID{p}, []pattern.Pattern{l})); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		wantPersons = append(wantPersons, p)
+		wantLocals = append(wantLocals, l)
+		if _, err := s.Compact(func() (store.Image, error) {
+			imageCalls++
+			return store.Image{Persons: wantPersons, Locals: wantLocals}, nil
+		}); err != nil {
+			t.Fatalf("Compact: %v", err)
+		}
+	}
+	if imageCalls == 0 {
+		t.Fatal("Compact never folded despite SnapshotEvery=3")
+	}
+	if s.Generation() == 0 {
+		t.Fatal("Compact folded but the generation never advanced")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	wantImage(t, s2, wantPersons, wantLocals)
+}

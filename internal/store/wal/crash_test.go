@@ -1,0 +1,269 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/store"
+)
+
+// matrixBatches builds a small, varied batch history: inserts, replacements,
+// evicts, a batch that is entirely skipped (all-zero), interleaved so every
+// prefix is a distinct store state.
+func matrixBatches() []store.Batch {
+	return []store.Batch{
+		{Op: store.OpIngest, Persons: []core.PersonID{5, 2}, Locals: []pattern.Pattern{{1, 1}, {2, 2}}},
+		{Op: store.OpIngest, Persons: []core.PersonID{8}, Locals: []pattern.Pattern{{3, 3}}},
+		{Op: store.OpEvict, Persons: []core.PersonID{2}},
+		{Op: store.OpIngest, Persons: []core.PersonID{5, 11}, Locals: []pattern.Pattern{{9, 9}, {4, 4}}},
+		{Op: store.OpIngest, Persons: []core.PersonID{13}, Locals: []pattern.Pattern{{0, 0}}}, // skipped entirely
+		{Op: store.OpEvict, Persons: []core.PersonID{8, 99}},
+		{Op: store.OpIngest, Persons: []core.PersonID{1, 3}, Locals: []pattern.Pattern{{7, 0}, {0, 7}}},
+		{Op: store.OpEvict, Persons: []core.PersonID{5}},
+		{Op: store.OpIngest, Persons: []core.PersonID{21, 22, 23}, Locals: []pattern.Pattern{{1, 2}, {3, 4}, {5, 6}}},
+		{Op: store.OpEvict, Persons: []core.PersonID{22, 1}},
+	}
+}
+
+// prefixImages folds every batch prefix: prefixImages(batches)[m] is the
+// exact store state after the first m batches applied.
+func prefixImages(t *testing.T, batches []store.Batch) []store.Image {
+	t.Helper()
+	var fold store.Fold
+	images := []store.Image{fold.Image()}
+	for _, b := range batches {
+		if err := fold.Apply(b); err != nil {
+			t.Fatalf("fold: %v", err)
+		}
+		images = append(images, fold.Image())
+	}
+	return images
+}
+
+// recordWAL appends the batches through a real store (no folding, sync every
+// record) and returns the raw log bytes plus each record's end offset —
+// boundaries[m] is the byte length of a log holding exactly m records.
+func recordWAL(t *testing.T, batches []store.Batch) (raw []byte, boundaries []int) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SnapshotEvery: -1, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	logPath := s.logPath(0)
+	boundaries = []int{0}
+	for _, b := range batches {
+		if err := s.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		boundaries = append(boundaries, len(data))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	raw, err = os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return raw, boundaries
+}
+
+// completeRecords returns how many whole records fit in the first n bytes.
+func completeRecords(boundaries []int, n int) int {
+	m := 0
+	for m+1 < len(boundaries) && boundaries[m+1] <= n {
+		m++
+	}
+	return m
+}
+
+// checkRecovered opens a directory holding the given log bytes, recovers,
+// and asserts the result is exactly the m-batch prefix state — then appends
+// one more batch and recovers again, proving the truncated store is live.
+func checkRecovered(t *testing.T, label string, logBytes []byte, want store.Image) {
+	t.Helper()
+	dir := t.TempDir()
+	logName := fmt.Sprintf("wal-%016x.log", 0)
+	if err := os.WriteFile(filepath.Join(dir, logName), logBytes, 0o644); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("%s: Open: %v", label, err)
+	}
+	defer s.Close()
+	img, err := s.Recover()
+	if err != nil {
+		t.Fatalf("%s: Recover: %v", label, err)
+	}
+	if !sameResidents(img, want) {
+		t.Fatalf("%s: recovered %d residents %v, want %d %v",
+			label, len(img.Persons), img.Persons, len(want.Persons), want.Persons)
+	}
+	// The tail must be gone from disk, not just skipped: the file ends at a
+	// record boundary and re-opening finds nothing torn.
+	fi, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if good, _ := scanLog(logBytes); fi.Size() != good {
+		t.Fatalf("%s: file is %d bytes after recovery, want clean truncation at %d", label, fi.Size(), good)
+	}
+	// Liveness: the recovered store accepts appends and folds them in.
+	extra := store.Batch{Op: store.OpIngest, Persons: []core.PersonID{777}, Locals: []pattern.Pattern{{6, 6}}}
+	if err := s.Append(extra); err != nil {
+		t.Fatalf("%s: post-recovery Append: %v", label, err)
+	}
+	img2, err := s.Recover()
+	if err != nil {
+		t.Fatalf("%s: post-append Recover: %v", label, err)
+	}
+	var fold store.Fold
+	if err := fold.Load(want); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if err := fold.Apply(extra); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !sameResidents(img2, fold.Image()) {
+		t.Fatalf("%s: post-append recovery diverged", label)
+	}
+}
+
+func sameResidents(a, b store.Image) bool {
+	if len(a.Persons) != len(b.Persons) {
+		return false
+	}
+	if len(a.Persons) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a.Persons, b.Persons) && reflect.DeepEqual(a.Locals, b.Locals)
+}
+
+// TestCrashPointMatrix replays every byte-prefix truncation of a recorded
+// WAL — every possible torn write the OS could leave — and asserts recovery
+// always yields the exact state of a whole-batch prefix: no partial batch is
+// ever visible, and the torn tail is truncated from disk.
+func TestCrashPointMatrix(t *testing.T) {
+	batches := matrixBatches()
+	images := prefixImages(t, batches)
+	raw, boundaries := recordWAL(t, batches)
+	if len(raw) == 0 || boundaries[len(boundaries)-1] != len(raw) {
+		t.Fatalf("recorded WAL is %d bytes, boundaries %v", len(raw), boundaries)
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		m := completeRecords(boundaries, cut)
+		checkRecovered(t, fmt.Sprintf("cut=%d", cut), raw[:cut], images[m])
+	}
+}
+
+// TestCrashPointCorruptTail flips every single byte of the recorded WAL in
+// turn and asserts recovery still yields a consistent whole-batch prefix:
+// the CRC catches the corruption and everything from the flipped record on
+// is truncated.
+func TestCrashPointCorruptTail(t *testing.T) {
+	batches := matrixBatches()
+	images := prefixImages(t, batches)
+	raw, boundaries := recordWAL(t, batches)
+	for flip := 0; flip < len(raw); flip++ {
+		corrupted := append([]byte(nil), raw...)
+		corrupted[flip] ^= 0xff
+		// The flipped byte lives in record j: recovery must surface exactly
+		// the first j batches. (A flip in record j's length prefix makes the
+		// CRC check read the wrong span; IEEE CRC32 catches it.)
+		j := completeRecords(boundaries, flip)
+		checkRecovered(t, fmt.Sprintf("flip=%d", flip), corrupted, images[j])
+	}
+}
+
+// TestCrashPointWithSnapshot runs the truncation matrix on a generation that
+// starts from a snapshot: recovery must fold snapshot + log-prefix, and a
+// torn tail must never disturb the snapshot floor.
+func TestCrashPointWithSnapshot(t *testing.T) {
+	base := store.Image{
+		Persons: []core.PersonID{2, 5, 8},
+		Locals:  []pattern.Pattern{{2, 2}, {1, 1}, {3, 3}},
+	}
+	batches := matrixBatches()
+
+	// Record a generation-1 store: snapshot the base, then append.
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SnapshotEvery: -1, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Snapshot(base); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	logPath := s.logPath(s.Generation())
+	snapPath := s.snapPath(s.Generation())
+	boundaries := []int{0}
+	for _, b := range batches {
+		if err := s.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		boundaries = append(boundaries, len(data))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	snapRaw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+
+	// Fold the expected prefixes on top of the snapshot base.
+	var fold store.Fold
+	if err := fold.Load(base); err != nil {
+		t.Fatalf("fold: %v", err)
+	}
+	images := []store.Image{fold.Image()}
+	for _, b := range batches {
+		if err := fold.Apply(b); err != nil {
+			t.Fatalf("fold: %v", err)
+		}
+		images = append(images, fold.Image())
+	}
+
+	for cut := 0; cut <= len(raw); cut += 3 { // stride 3: same coverage class, faster
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, filepath.Base(snapPath)), snapRaw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, filepath.Base(logPath)), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir2, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		img, err := s2.Recover()
+		if err != nil {
+			t.Fatalf("cut=%d: Recover: %v", cut, err)
+		}
+		m := completeRecords(boundaries, cut)
+		if !sameResidents(img, images[m]) {
+			t.Fatalf("cut=%d: recovered %v, want prefix %d = %v", cut, img.Persons, m, images[m].Persons)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatalf("cut=%d: Close: %v", cut, err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/store"
+	"dimatch/internal/wire"
+)
+
+// Worked records, the persistence counterparts of docs/WIRE.md's worked
+// frames (see ARCHITECTURE.md "Station persistence"). Each is a framed
+// record: length u32 LE | crc32(IEEE over kind+body) LE | kind u8 | body.
+const (
+	// An ingest record: persons 7 and 9 with patterns [3,-1,4] and [2,2,2]
+	// (the body is exactly wire.EncodeIngestPayload's output).
+	workedIngestRecordHex = "0c0000007df0ab94010207030601080903040404"
+	// An evict record: persons {7, 9}, sorted and delta-encoded.
+	workedEvictRecordHex = "040000001234862902020702"
+	// A complete snapshot: header "D1SN" v1, one resident chunk (person 7,
+	// pattern [3,-1,4]), the memoized digest, and the seal (1 resident).
+	workedSnapshotHex = "4431534e01070000009e2d4124110107030601081f000000bc69702e12000301719a3d0cbfe5a7511d00000000000000070301ffb98b0400000000090000009099da591f0100000000000000"
+	// The same snapshot without a digest record.
+	workedSnapshotNoDigestHex = "4431534e01070000009e2d412411010703060108090000009099da591f0100000000000000"
+)
+
+func mustHex(t interface{ Fatalf(string, ...any) }, s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex constant: %v", err)
+	}
+	return b
+}
+
+// TestWorkedRecordHex pins the worked constants to the live encoders, so the
+// documented hex cannot drift from what the store actually writes.
+func TestWorkedRecordHex(t *testing.T) {
+	inBody, err := wire.EncodeIngestPayload(wire.Ingest{
+		Persons: []core.PersonID{7, 9},
+		Locals:  []pattern.Pattern{{3, -1, 4}, {2, 2, 2}},
+	})
+	if err != nil {
+		t.Fatalf("EncodeIngestPayload: %v", err)
+	}
+	if got := appendRecord(nil, recIngest, inBody); !bytes.Equal(got, mustHex(t, workedIngestRecordHex)) {
+		t.Errorf("worked ingest record drifted:\n got %x\nwant %s", got, workedIngestRecordHex)
+	}
+	evBody := wire.EncodeEvictPayload(wire.Evict{Persons: []core.PersonID{9, 7}})
+	if got := appendRecord(nil, recEvict, evBody); !bytes.Equal(got, mustHex(t, workedEvictRecordHex)) {
+		t.Errorf("worked evict record drifted:\n got %x\nwant %s", got, workedEvictRecordHex)
+	}
+}
+
+// typedRecordErr reports whether err is one of the package's typed decode
+// errors — the only failures a corrupt record may produce.
+func typedRecordErr(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrBadLength) ||
+		errors.Is(err, ErrTooLarge) || errors.Is(err, ErrChecksum) ||
+		errors.Is(err, ErrBadKind) || errors.Is(err, ErrBadSnapshot)
+}
+
+// FuzzWALRecord hammers the record frame decoder: arbitrary bytes must
+// either fail with a typed error or decode into a batch that re-encodes and
+// re-decodes to the same value — and must never panic or allocate off a
+// corrupt length field (readRecord only ever aliases its input).
+func FuzzWALRecord(f *testing.F) {
+	f.Add(mustHex(f, workedIngestRecordHex))
+	f.Add(mustHex(f, workedEvictRecordHex))
+	// A torn tail and a flipped CRC byte, straight from the matrix the crash
+	// tests replay.
+	f.Add(mustHex(f, workedIngestRecordHex)[:7])
+	corrupt := mustHex(f, workedEvictRecordHex)
+	corrupt[5] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, body, n, err := readRecord(data)
+		if err != nil {
+			if !typedRecordErr(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// The frame is intact; the body must decode cleanly or fail typed
+		// (wire decode errors are wrapped but never panic), and a decodable
+		// batch must survive an encode/decode roundtrip.
+		batch, err := decodeBatch(kind, body)
+		if err != nil {
+			return
+		}
+		k2, body2, err := encodeBatch(batch)
+		if err != nil {
+			t.Fatalf("re-encoding decoded batch: %v", err)
+		}
+		batch2, err := decodeBatch(k2, body2)
+		if err != nil {
+			t.Fatalf("re-decoding encoded batch: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeBatch(batch), normalizeBatch(batch2)) {
+			t.Fatalf("batch roundtrip drifted:\n in  %+v\n out %+v", batch, batch2)
+		}
+	})
+}
+
+// normalizeBatch maps empty slices to nil so DeepEqual compares values, not
+// allocation accidents.
+func normalizeBatch(b store.Batch) store.Batch {
+	if len(b.Persons) == 0 {
+		b.Persons = nil
+	}
+	if len(b.Locals) == 0 {
+		b.Locals = nil
+	}
+	return b
+}
+
+// FuzzSnapshot hammers the snapshot loader: arbitrary bytes must either fail
+// with a typed error or yield a well-formed image (persons strictly
+// ascending, locals parallel, no all-zero patterns) — never panic, never
+// trust a corrupt length or seal.
+func FuzzSnapshot(f *testing.F) {
+	f.Add(mustHex(f, workedSnapshotHex))
+	f.Add(mustHex(f, workedSnapshotNoDigestHex))
+	// Header-only, truncated mid-record, and a flipped seal count.
+	f.Add(mustHex(f, workedSnapshotHex)[:5])
+	f.Add(mustHex(f, workedSnapshotHex)[:20])
+	sealFlip := mustHex(f, workedSnapshotNoDigestHex)
+	sealFlip[len(sealFlip)-8] ^= 0x01
+	f.Add(sealFlip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := decodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("snapshot decode error not typed ErrBadSnapshot: %v", err)
+			}
+			return
+		}
+		if len(img.Persons) != len(img.Locals) {
+			t.Fatalf("decoded %d persons but %d locals", len(img.Persons), len(img.Locals))
+		}
+		for i := range img.Persons {
+			if i > 0 && img.Persons[i] <= img.Persons[i-1] {
+				t.Fatalf("persons not strictly ascending at %d: %v", i, img.Persons[i])
+			}
+			if img.Locals[i].Sum() == 0 {
+				t.Fatalf("all-zero pattern for person %d survived the fold", img.Persons[i])
+			}
+		}
+		// A decodable snapshot must roundtrip through the encoder.
+		re, err := encodeSnapshot(img)
+		if err != nil {
+			t.Fatalf("re-encoding decoded snapshot: %v", err)
+		}
+		img2, err := decodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-decoding encoded snapshot: %v", err)
+		}
+		if !reflect.DeepEqual(imgResidents(img), imgResidents(img2)) {
+			t.Fatal("snapshot residents drifted through a roundtrip")
+		}
+	})
+}
+
+func imgResidents(img store.Image) store.Image {
+	return store.Image{Persons: img.Persons, Locals: img.Locals}
+}

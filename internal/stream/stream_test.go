@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +12,8 @@ import (
 	"dimatch/internal/cluster"
 	"dimatch/internal/core"
 	"dimatch/internal/pattern"
+	"dimatch/internal/store"
+	"dimatch/internal/store/wal"
 )
 
 // streamOptions sizes the filter explicitly so the small populations of
@@ -638,4 +641,73 @@ func TestAdmissionString(t *testing.T) {
 	if got := Admission(42).String(); got != "Admission(42)" {
 		t.Fatalf("unknown admission String() = %q", got)
 	}
+}
+
+// TestStreamFlushDurable pins the pipeline half of station persistence: a
+// flushed (acked) streaming batch is on the station's WAL before the ack, so
+// a station hard-stopped after Flush recovers every streamed copy it held —
+// without the pipeline resubmitting anything.
+func TestStreamFlushDurable(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ids := []uint32{1, 2, 3}
+	stores := make(map[uint32]store.Store, len(ids))
+	for _, id := range ids {
+		stores[id] = openWAL(t, dir, id)
+	}
+	c, err := cluster.NewStored(streamOptions(), stores, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() { _ = c.Shutdown() })
+
+	in, err := New(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	const n = 60
+	for p := core.PersonID(1); p <= n; p++ {
+		if err := in.Submit(ctx, p, pattern.Pattern{9, 9, 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hard-stop and recover every station in turn, so every streamed copy
+	// crosses a restart exactly once.
+	for _, id := range ids {
+		if err := c.KillStation(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RemoveStation(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddStoredStation(ctx, id, nil, openWAL(t, dir, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := searchPersons(t, c, pattern.Pattern{9, 9, 9})
+	if len(got) != n {
+		t.Fatalf("retrieved %d persons after restarts, want %d", len(got), n)
+	}
+	rep := in.Report()
+	if rep.FlushFailures != 0 {
+		t.Fatalf("FlushFailures = %d, want 0 — recovery must not need a resubmit", rep.FlushFailures)
+	}
+}
+
+// openWAL opens one station's WAL store under dir.
+func openWAL(t *testing.T, dir string, id uint32) *wal.Store {
+	t.Helper()
+	s, err := wal.Open(filepath.Join(dir, fmt.Sprintf("station-%d", id)), wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	return s
 }

@@ -661,8 +661,11 @@ type SummaryReply struct {
 	Words     []uint64
 }
 
-// EncodeSummaryReply renders a station's routing summary from its parts.
-func EncodeSummaryReply(s *index.Summary, station uint32) Message {
+// EncodeSummaryPayload renders a routing summary's payload bytes without the
+// message envelope. The station WAL (internal/store/wal) persists the
+// memoized digest in exactly this form, so a recovered digest is
+// byte-comparable with what the station last served.
+func EncodeSummaryPayload(s *index.Summary, station uint32) []byte {
 	var w writer
 	w.uvarint(uint64(station))
 	w.uvarint(uint64(s.Length()))
@@ -676,17 +679,19 @@ func EncodeSummaryReply(s *index.Summary, station uint32) Message {
 	for _, word := range words {
 		w.u64(word)
 	}
-	return Message{Kind: KindSummaryReply, Payload: w.buf}
+	return w.buf
 }
 
-// DecodeSummaryReply parses a routing summary, reconstructing the probeable
-// filter through index.FromParts (which validates the word count against
-// the declared bit length).
-func DecodeSummaryReply(m Message) (SummaryReply, *index.Summary, error) {
-	if m.Kind != KindSummaryReply {
-		return SummaryReply{}, nil, fmt.Errorf("wire: decoding %v as summary-reply", m.Kind)
-	}
-	r := &reader{buf: m.Payload}
+// EncodeSummaryReply renders a station's routing summary from its parts.
+func EncodeSummaryReply(s *index.Summary, station uint32) Message {
+	return Message{Kind: KindSummaryReply, Payload: EncodeSummaryPayload(s, station)}
+}
+
+// DecodeSummaryPayload parses a routing summary's payload bytes,
+// reconstructing the probeable filter through index.FromParts (which
+// validates the word count against the declared bit length).
+func DecodeSummaryPayload(payload []byte) (SummaryReply, *index.Summary, error) {
+	r := &reader{buf: payload}
 	out := SummaryReply{
 		Station:   uint32(r.uvarint()),
 		Length:    uint32(r.uvarint()),
@@ -711,6 +716,14 @@ func DecodeSummaryReply(m Message) (SummaryReply, *index.Summary, error) {
 	return out, s, nil
 }
 
+// DecodeSummaryReply parses a routing summary message.
+func DecodeSummaryReply(m Message) (SummaryReply, *index.Summary, error) {
+	if m.Kind != KindSummaryReply {
+		return SummaryReply{}, nil, fmt.Errorf("wire: decoding %v as summary-reply", m.Kind)
+	}
+	return DecodeSummaryPayload(m.Payload)
+}
+
 // ---- lifecycle: ingest / evict / stats / ack ----
 
 // Ingest adds (or replaces) resident patterns at one station — the center
@@ -721,10 +734,12 @@ type Ingest struct {
 	Locals  []pattern.Pattern
 }
 
-// EncodeIngest renders the ingest request.
-func EncodeIngest(in Ingest) (Message, error) {
+// EncodeIngestPayload renders an ingest batch's payload bytes without the
+// message envelope. The station WAL (internal/store/wal) persists applied
+// batches in exactly this form, so persistence and the wire share one codec.
+func EncodeIngestPayload(in Ingest) ([]byte, error) {
 	if len(in.Persons) != len(in.Locals) {
-		return Message{}, fmt.Errorf("wire: %d persons but %d locals", len(in.Persons), len(in.Locals))
+		return nil, fmt.Errorf("wire: %d persons but %d locals", len(in.Persons), len(in.Locals))
 	}
 	var w writer
 	w.uvarint(uint64(len(in.Persons)))
@@ -735,7 +750,50 @@ func EncodeIngest(in Ingest) (Message, error) {
 			w.uvarint(zigzag(v))
 		}
 	}
-	return Message{Kind: KindIngest, Payload: w.buf}, nil
+	return w.buf, nil
+}
+
+// EncodeIngest renders the ingest request.
+func EncodeIngest(in Ingest) (Message, error) {
+	payload, err := EncodeIngestPayload(in)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{Kind: KindIngest, Payload: payload}, nil
+}
+
+// DecodeIngestPayload parses an ingest batch's payload bytes.
+func DecodeIngestPayload(payload []byte) (Ingest, error) {
+	r := &reader{buf: payload}
+	n := r.count(2)
+	out := Ingest{
+		Persons: make([]core.PersonID, 0, n),
+		Locals:  make([]pattern.Pattern, 0, n),
+	}
+	// All pattern values land in one arena, sliced up only once it stops
+	// growing: a per-person allocation here dominates bulk replays (snapshot
+	// chunks, WAL recovery, grouped Rebalance copies). The capped re-slices
+	// keep an append on one pattern from bleeding into its neighbor; resident
+	// patterns are replaced wholesale, never grown, so sharing a backing
+	// array is safe.
+	arena := make([]int64, 0, len(payload))
+	offs := make([]int, 0, n+1)
+	for i := 0; i < n; i++ {
+		out.Persons = append(out.Persons, core.PersonID(r.uvarint()))
+		l := r.count(1)
+		offs = append(offs, len(arena))
+		for j := 0; j < l; j++ {
+			arena = append(arena, unzigzag(r.uvarint()))
+		}
+	}
+	offs = append(offs, len(arena))
+	if err := r.done(); err != nil {
+		return Ingest{}, err
+	}
+	for i := 0; i < n; i++ {
+		out.Locals = append(out.Locals, pattern.Pattern(arena[offs[i]:offs[i+1]:offs[i+1]]))
+	}
+	return out, nil
 }
 
 // DecodeIngest parses the ingest request.
@@ -743,25 +801,7 @@ func DecodeIngest(m Message) (Ingest, error) {
 	if m.Kind != KindIngest {
 		return Ingest{}, fmt.Errorf("wire: decoding %v as ingest", m.Kind)
 	}
-	r := &reader{buf: m.Payload}
-	n := r.count(2)
-	out := Ingest{
-		Persons: make([]core.PersonID, 0, n),
-		Locals:  make([]pattern.Pattern, 0, n),
-	}
-	for i := 0; i < n; i++ {
-		out.Persons = append(out.Persons, core.PersonID(r.uvarint()))
-		l := r.count(1)
-		pat := make(pattern.Pattern, l)
-		for j := range pat {
-			pat[j] = unzigzag(r.uvarint())
-		}
-		out.Locals = append(out.Locals, pat)
-	}
-	if err := r.done(); err != nil {
-		return Ingest{}, err
-	}
-	return out, nil
+	return DecodeIngestPayload(m.Payload)
 }
 
 // Evict removes residents from one station. Person IDs are sent sorted and
@@ -770,8 +810,9 @@ type Evict struct {
 	Persons []core.PersonID
 }
 
-// EncodeEvict renders the evict request.
-func EncodeEvict(e Evict) Message {
+// EncodeEvictPayload renders an evict batch's payload bytes without the
+// message envelope (sorted, delta-encoded) — shared with the station WAL.
+func EncodeEvictPayload(e Evict) []byte {
 	sorted := append([]core.PersonID(nil), e.Persons...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	var w writer
@@ -781,15 +822,17 @@ func EncodeEvict(e Evict) Message {
 		w.uvarint(uint64(p) - prev)
 		prev = uint64(p)
 	}
-	return Message{Kind: KindEvict, Payload: w.buf}
+	return w.buf
 }
 
-// DecodeEvict parses the evict request.
-func DecodeEvict(m Message) (Evict, error) {
-	if m.Kind != KindEvict {
-		return Evict{}, fmt.Errorf("wire: decoding %v as evict", m.Kind)
-	}
-	r := &reader{buf: m.Payload}
+// EncodeEvict renders the evict request.
+func EncodeEvict(e Evict) Message {
+	return Message{Kind: KindEvict, Payload: EncodeEvictPayload(e)}
+}
+
+// DecodeEvictPayload parses an evict batch's payload bytes.
+func DecodeEvictPayload(payload []byte) (Evict, error) {
+	r := &reader{buf: payload}
 	n := r.count(1)
 	out := Evict{Persons: make([]core.PersonID, n)}
 	prev := uint64(0)
@@ -801,6 +844,14 @@ func DecodeEvict(m Message) (Evict, error) {
 		return Evict{}, err
 	}
 	return out, nil
+}
+
+// DecodeEvict parses the evict request.
+func DecodeEvict(m Message) (Evict, error) {
+	if m.Kind != KindEvict {
+		return Evict{}, fmt.Errorf("wire: decoding %v as evict", m.Kind)
+	}
+	return DecodeEvictPayload(m.Payload)
 }
 
 // StatsReply is one station's answer to KindStats: how many residents it

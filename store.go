@@ -1,0 +1,66 @@
+package dimatch
+
+import (
+	"context"
+
+	"dimatch/internal/cluster"
+	"dimatch/internal/store"
+	"dimatch/internal/store/wal"
+)
+
+// Station-persistence vocabulary: the pluggable store a base station makes
+// its resident set durable through. A station appends every applied
+// ingest/evict batch to its Store before acknowledging it, so an acked
+// mutation is exactly as durable as the backend promises — not at all for
+// the in-memory default, fsync-bounded for the snapshot+WAL backend.
+type (
+	// Store is the station persistence contract (append / snapshot /
+	// recover / compact / close). Implementations are single-owner: the
+	// station serve loop is the only caller after construction.
+	Store = store.Store
+	// WALOptions tunes the snapshot+WAL backend: fsync cadence (SyncEvery
+	// batches or SyncInterval time) and compaction thresholds
+	// (SnapshotEvery records or SnapshotBytes log bytes). The zero value
+	// means fsync-per-batch with default compaction thresholds.
+	WALOptions = wal.Options
+)
+
+// NewMemoryStore returns the in-memory store backend: zero durability, zero
+// cost. A station over it behaves exactly like a pre-persistence station.
+func NewMemoryStore() Store { return store.NewMemory() }
+
+// OpenWALStore opens (or creates) a snapshot+WAL station store rooted at
+// dir. Reopening a directory a previous station wrote — even one whose
+// process was killed mid-append — recovers every acknowledged batch; a torn
+// tail from the crash is truncated away.
+func OpenWALStore(dir string, opts WALOptions) (Store, error) { return wal.Open(dir, opts) }
+
+// NewStoredCluster builds an in-process cluster of durable stations, one per
+// store. Each station recovers its residents (and memoized routing digest)
+// from its backend before joining, so booting over non-empty stores is a
+// restart, not a cold start.
+func NewStoredCluster(opts Options, stations map[uint32]Store, patternLength int) (*Cluster, error) {
+	inner, err := cluster.NewStored(opts, stations, patternLength)
+	if err != nil {
+		return nil, err
+	}
+	inner.Start()
+	return &Cluster{inner: inner}, nil
+}
+
+// AddStoredStation grows a running cluster with an in-process durable
+// station — the rejoin path of a restarted station: recover from the store,
+// join, and let the heal pass re-replicate only the delta the station missed
+// while down. Seed locals (optional, usually nil on a rejoin) are persisted
+// through the store like any ingest.
+func (c *Cluster) AddStoredStation(ctx context.Context, id uint32, locals map[PersonID]Pattern, st Store) error {
+	return c.inner.AddStoredStation(ctx, id, locals, st)
+}
+
+// ServeStoredStation runs a durable base station over an established link
+// until the center sends a shutdown or the link closes — the body of a
+// remote station process started with di-cluster -role station -store wal.
+// The station owns the store and closes it when the loop exits.
+func ServeStoredStation(id uint32, locals map[PersonID]Pattern, link Link, st Store) error {
+	return cluster.ServeStoredStation(id, locals, link, st)
+}
