@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|recovery|routing|stream] [-quick] [-strategy wbf]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|recovery|routing|stream|hierarchy] [-quick] [-strategy wbf]
 //	di-bench -run batch -batch-out BENCH_batch.json
 //	di-bench -batch-check BENCH_batch.json
 //	di-bench -run replication -replication-out BENCH_replication.json
@@ -14,6 +14,8 @@
 //	di-bench -routing-check BENCH_routing.json
 //	di-bench -run stream -stream-out BENCH_stream.json
 //	di-bench -stream-check BENCH_stream.json
+//	di-bench -run hierarchy -hierarchy-out BENCH_hierarchy.json
+//	di-bench -hierarchy-check BENCH_hierarchy.json
 //
 // The default -run all executes every experiment at full scale (a few
 // minutes); -quick shrinks the workloads for a fast smoke run. -strategy
@@ -60,6 +62,19 @@
 // concurrent-search recall 1 and bounded p99, evicted its whole TTL cohort
 // without touching the static population, and demonstrably shed (with exact
 // accounting) when saturated — the CI gate for the streaming claim.
+//
+// -run hierarchy compares flat and two-tier deployments at 256/512/1024
+// in-process stations — a root over ~sqrt(N) region coordinators versus one
+// flat coordinator over the same stations, searched under every routing mode
+// with results asserted identical to flat full fan-out and recall 1 before
+// anything is recorded — and, with -hierarchy-out, records the result as
+// BENCH_hierarchy.json. -hierarchy-check validates a recorded baseline and
+// exits non-zero unless at 1024 stations the hierarchical search evaluates
+// at most 0.25·N digest probes per query, no hierarchical coordinator holds
+// as much routing state as the flat coordinator, and searches crossed two
+// tiers — the CI gate for the hierarchical-routing claim. Note the quick
+// run shrinks the sweep below 1024 stations, so its output does not pass
+// -hierarchy-check; record the baseline at full scale.
 package main
 
 import (
@@ -77,7 +92,7 @@ import (
 
 func main() {
 	var (
-		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, recovery, routing, stream")
+		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, recovery, routing, stream, hierarchy")
 		quick            = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		strategy         = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
 		batchOut         = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
@@ -90,6 +105,8 @@ func main() {
 		routingCheck     = flag.String("routing-check", "", "validate a recorded BENCH_routing.json and exit (no experiments run)")
 		streamOut        = flag.String("stream-out", "", "with -run stream: also write the report as JSON to this file")
 		streamCheck      = flag.String("stream-check", "", "validate a recorded BENCH_stream.json and exit (no experiments run)")
+		hierarchyOut     = flag.String("hierarchy-out", "", "with -run hierarchy: also write the report as JSON to this file")
+		hierarchyCheck   = flag.String("hierarchy-check", "", "validate a recorded BENCH_hierarchy.json and exit (no experiments run)")
 	)
 	flag.Parse()
 	if *batchCheck != "" {
@@ -132,12 +149,20 @@ func main() {
 		fmt.Printf("%s: valid stream baseline\n", *streamCheck)
 		return
 	}
+	if *hierarchyCheck != "" {
+		if err := checkHierarchyFile(*hierarchyCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "di-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid hierarchy baseline\n", *hierarchyCheck)
+		return
+	}
 	strat, err := dimatch.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
-	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *recoveryOut, *routingOut, *streamOut); err != nil {
+	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *recoveryOut, *routingOut, *streamOut, *hierarchyOut); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
@@ -187,6 +212,46 @@ func checkRoutingFile(path string) error {
 // checkStreamFile validates a recorded streaming baseline.
 func checkStreamFile(path string) error {
 	return checkBaselineFile(path, bench.CheckStreamJSON)
+}
+
+// checkHierarchyFile validates a recorded hierarchy baseline.
+func checkHierarchyFile(path string) error {
+	return checkBaselineFile(path, bench.CheckHierarchyJSON)
+}
+
+// runHierarchyBaseline runs the flat-vs-hierarchy sweep, prints it, and
+// optionally records the JSON baseline. The quick sweep stays below the
+// 1024-station gate, so it prints and records but will not pass
+// -hierarchy-check.
+func runHierarchyBaseline(w *os.File, quick bool, out string) error {
+	cfg := bench.HierarchyConfig{}
+	if quick {
+		cfg.StationCounts = []int{64, 256}
+		cfg.ResidentsPerStation = 8
+		cfg.Repetitions = 2
+	}
+	r, err := bench.RunHierarchyBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderHierarchy(w, r)
+	fmt.Fprintln(w)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteHierarchyJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline recorded to %s\n", out)
+	return nil
 }
 
 // runStreamBaseline runs the streaming phases, prints them, and optionally
@@ -359,7 +424,7 @@ func runBatchBaseline(w *os.File, quick bool, out string) error {
 	return nil
 }
 
-func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, recoveryOut, routingOut, streamOut string) error {
+func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, recoveryOut, routingOut, streamOut, hierarchyOut string) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -523,8 +588,14 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			return err
 		}
 	}
+	if selected("hierarchy") {
+		any = true
+		if err := runHierarchyBaseline(os.Stdout, quick, hierarchyOut); err != nil {
+			return err
+		}
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication recovery routing stream)", strings.TrimSpace(run))
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication recovery routing stream hierarchy)", strings.TrimSpace(run))
 	}
 	return nil
 }

@@ -40,6 +40,18 @@
 // pipeline to demonstrate accounted load-shedding. It exits non-zero unless
 // every acknowledged pattern survives the kill with recall 1.0 — CI's
 // streaming chaos smoke test.
+//
+// With -tiers 2 the command runs the hierarchical-routing chaos smoke
+// instead: a two-tier deployment where region coordinators (dimatch.
+// ServeRegion) sit between the center and its stations over real TCP links.
+// Every person is placed at R>=2 across regions, tree-routed searches run
+// against a full fan-out reference (results must match exactly), and one
+// region coordinator is killed mid-search — taking its whole subtree with
+// it. Cross-region replicas must hold recall at the healthy value; any drop
+// or result divergence exits non-zero, which makes this CI's hierarchy
+// chaos smoke test. -fanout sets the digest-tree fanout at every
+// coordinator (0 keeps the library default); see docs/ROUTING.md for how to
+// choose it.
 package main
 
 import (
@@ -80,6 +92,8 @@ func main() {
 		dir       = flag.String("dir", "", "station: WAL store directory (required with -store wal)")
 		empty     = flag.Bool("empty", false, "station: start with no local data (residents arrive via recovery and placement)")
 		recovery  = flag.Bool("recover", false, "run the kill-9 station-recovery chaos smoke (ignores -role)")
+		tiers     = flag.Int("tiers", 1, "deployment depth: 1 is flat; 2 runs the hierarchical chaos smoke (region coordinators between center and stations, ignores -role)")
+		fanout    = flag.Int("fanout", 0, "digest-tree fanout at every coordinator (0 uses the library default)")
 	)
 	flag.Parse()
 
@@ -88,6 +102,17 @@ func main() {
 	cfg.Seed = *seed
 
 	var err error
+	if *tiers > 1 {
+		if *tiers > 2 {
+			fmt.Fprintln(os.Stderr, "di-cluster: -tiers supports 1 (flat) or 2 (regions); deeper stacks nest ServeRegion the same way")
+			os.Exit(1)
+		}
+		if err := runHierarchyChurn(cfg, *replicas, *fanout); err != nil {
+			fmt.Fprintln(os.Stderr, "di-cluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *recovery {
 		if err := runRecoveryChurn(cfg, *dir); err != nil {
 			fmt.Fprintln(os.Stderr, "di-cluster:", err)
@@ -774,6 +799,192 @@ func runRecoveryChurn(cfg dimatch.CityConfig, dir string) error {
 		return fmt.Errorf("reconcile check found residual work (%d to copy, %d lost) — rejoin heal incomplete", rep.Copied, rep.Lost)
 	}
 	fmt.Printf("recovery guarantee held: kill -9 lost nothing, rejoin shipped the delta only (reconcile: %d placed, 0 to copy, 0 lost)\n", rep.Placed)
+	return nil
+}
+
+// runHierarchyChurn is the hierarchical-routing chaos smoke: a two-tier
+// deployment where region coordinators (dimatch.ServeRegion) front disjoint
+// subsets of the stations over real TCP links, with the center talking only
+// to the regions. Every person's global pattern is placed at R>=2 — the
+// root's rendezvous hashing spreads the replicas across regions — and
+// tree-routed searches are checked against full fan-out for exact result
+// equality before and after one region coordinator is killed mid-search,
+// taking its whole subtree with it. Cross-region replicas must hold recall
+// at the healthy value; any drop or divergence returns an error and the
+// process exits non-zero, which makes this CI's hierarchy chaos smoke test.
+func runHierarchyChurn(cfg dimatch.CityConfig, replicas, fanout int) error {
+	if replicas < 2 {
+		replicas = 2 // a kill below R=2 is allowed to lose data; the smoke needs the guarantee
+	}
+	city, err := dimatch.GenerateCity(cfg)
+	if err != nil {
+		return err
+	}
+	stations := make([]uint32, 0, len(city.StationIDs()))
+	for _, s := range city.StationIDs() {
+		stations = append(stations, uint32(s))
+	}
+
+	const regionCount = 3
+	opts := dimatch.Options{
+		Params:     dimatch.Params{Samples: 8, Epsilon: 1, Seed: cfg.Seed, PositionSalted: true},
+		MinScore:   0.9,
+		TreeFanout: fanout,
+	}
+	var down, up dimatch.Meter
+	ln, err := dimatch.Listen("127.0.0.1:0", &down, &up)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	// Stand the regions up one at a time: each is an in-process sub-cluster
+	// of empty stations fronted by a ServeRegion loop on a dialed link, and
+	// dial order matches accept order so every link is attributable.
+	links := make(map[uint32]dimatch.Link, regionCount)
+	subs := make(map[uint32]*dimatch.Cluster, regionCount)
+	defer func() {
+		for _, sub := range subs {
+			_ = sub.Shutdown()
+		}
+	}()
+	regionIDs := make([]uint32, 0, regionCount)
+	for r := 0; r < regionCount; r++ {
+		var members []uint32
+		for _, s := range stations {
+			if int(s)%regionCount == r {
+				members = append(members, s)
+			}
+		}
+		sub, err := dimatch.NewEmptyCluster(opts, members, city.Length())
+		if err != nil {
+			return err
+		}
+		regionID := uint32(1000 + r)
+		subs[regionID] = sub
+		regionIDs = append(regionIDs, regionID)
+		link, err := dimatch.Dial(ln.Addr(), nil, nil)
+		if err != nil {
+			return err
+		}
+		go func(id uint32, sub *dimatch.Cluster, link dimatch.Link) {
+			// Returns when the center closes or kills the link; the smoke
+			// owns the sub-cluster and shuts it down on exit.
+			_ = dimatch.ServeRegion(id, sub, link)
+		}(regionID, sub, link)
+		accepted, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		links[regionID] = accepted
+		fmt.Printf("region %d: serving %d stations\n", regionID, len(members))
+	}
+
+	root, err := dimatch.NewClusterWithLinks(opts, links, city.Length(), &down, &up)
+	if err != nil {
+		return err
+	}
+	defer root.Shutdown() //nolint:errcheck // demo teardown
+	ctx := context.Background()
+
+	globals := dimatch.PersonGlobals(city)
+	if err := root.Place(ctx, globals, dimatch.WithReplication(replicas)); err != nil {
+		return err
+	}
+	fmt.Printf("hierarchy demo: %d persons placed at R=%d across %d regions (tree fanout %d)\n",
+		root.Placed(), replicas, regionCount, fanout)
+
+	ref, ok := dimatch.CleanReference(city, dimatch.OfficeWorker)
+	if !ok {
+		return fmt.Errorf("no clean reference in category %v", dimatch.OfficeWorker)
+	}
+	relevant := dimatch.RelevantSet(city, ref)
+	query := dimatch.QueryFromPerson(city, 1, ref)
+
+	// Every checkpoint runs the search twice — tree-routed through the
+	// regions, then classic full fan-out — and requires the identical ranked
+	// answer: the routed plan may only change cost, never results.
+	recallAt := func(phase string) (float64, error) {
+		routed, err := root.Search(ctx, []dimatch.Query{query}, dimatch.WithRouting(dimatch.RoutingTree))
+		if err != nil {
+			return 0, err
+		}
+		full, err := root.Search(ctx, []dimatch.Query{query}, dimatch.WithRouting(dimatch.RoutingFull))
+		if err != nil {
+			return 0, err
+		}
+		rp, fp := routed.Persons(1), full.Persons(1)
+		if len(rp) != len(fp) {
+			return 0, fmt.Errorf("%s tree-routed search returned %d persons, full fan-out %d — routing changed results", phase, len(rp), len(fp))
+		}
+		for i := range rp {
+			if rp[i] != fp[i] {
+				return 0, fmt.Errorf("%s tree-routed result %d is person %d, full fan-out has %d — routing changed results", phase, i, rp[i], fp[i])
+			}
+		}
+		conf := dimatch.Evaluate(rp, relevant)
+		fmt.Printf("%-24s regions=%-2d precision=%.3f recall=%.3f (tier hops=%d, probes=%d, failed=%d)\n",
+			phase, root.Stations(), conf.Precision(), conf.Recall(),
+			routed.Cost.TierHops, routed.Cost.SubtreeProbes, routed.Cost.StationsFailed)
+		return conf.Recall(), nil
+	}
+	healthy, err := recallAt("healthy:")
+	if err != nil {
+		return err
+	}
+
+	// Background tree-routed searches run across the kill below.
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		searches int
+		bgErr    error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := root.Search(ctx, []dimatch.Query{query}, dimatch.WithRouting(dimatch.RoutingTree)); err != nil {
+				bgErr = err
+				return
+			}
+			searches++
+		}
+	}()
+
+	// Kill one region coordinator mid-search: its whole subtree goes with
+	// it, and the root re-replicates the lost placements from the survivors.
+	if err := root.KillStation(regionIDs[1]); err != nil {
+		return err
+	}
+	recall, err := recallAt("after region kill:")
+	if err != nil {
+		return err
+	}
+	if recall < healthy {
+		return fmt.Errorf("recall %.3f dropped below healthy %.3f after the region kill — cross-region replicas did not cover the subtree", recall, healthy)
+	}
+
+	close(stop)
+	wg.Wait()
+	if bgErr != nil {
+		return fmt.Errorf("background search: %w", bgErr)
+	}
+
+	rep, err := root.Rebalance(ctx)
+	if err != nil {
+		return err
+	}
+	if rep.Copied != 0 || rep.Lost != 0 {
+		return fmt.Errorf("reconcile check found residual work (%d to copy, %d lost) — region heal incomplete", rep.Copied, rep.Lost)
+	}
+	fmt.Printf("ran %d background searches through the region kill; hierarchy guarantee held: recall never dropped below %.3f and routed results matched full fan-out throughout\n",
+		searches, healthy)
 	return nil
 }
 

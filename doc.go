@@ -79,6 +79,29 @@
 // stations) and docs/OPERATIONS.md covers when routing pays and how
 // summaries are sized.
 //
+// # Hierarchical routing
+//
+// Past a few hundred stations the flat plan itself becomes the cost: the
+// coordinator probes and stores one digest per station. RoutingTree
+// arranges the cached digests in a Bloofi-style digest tree so planning
+// descends unions instead of scanning leaves, and ServeRegion moves whole
+// subtrees out of process — a region coordinator is a full cluster over
+// its member stations that serves its parent like one big station,
+// answering delegated search rounds (wire v6) with raw partials the root
+// merges, ranks and verifies globally:
+//
+//	sub, err := dimatch.NewEmptyCluster(opts, memberIDs, length)
+//	go dimatch.ServeRegion(regionID, sub, linkToParent)   // region process
+//	root, err := dimatch.NewClusterWithLinks(opts, links, length, nil, nil)
+//	out, err := root.Search(ctx, queries, dimatch.WithRouting(dimatch.RoutingTree))
+//	fmt.Println(out.Cost.TierHops, out.Cost.SubtreeProbes)
+//
+// Every tier prunes conservatively, so routed results stay byte-identical
+// to a flat full fan-out. BENCH_hierarchy.json records the effect (0.16·N
+// probes per query and ~30× less per-coordinator routing state at 1024
+// stations) and docs/ROUTING.md carries the design, the soundness
+// argument and the benchmark methodology.
+//
 // # Batched searches
 //
 // A WBF search ships its whole query set in one batched wire exchange per

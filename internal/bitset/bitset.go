@@ -124,6 +124,43 @@ func (s *Set) UnionWith(o *Set) error {
 	return nil
 }
 
+// OrFoldFrom ORs o into s across mismatched lengths, folding or expanding
+// by word replication. Both lengths must be word-aligned multiples of 64 and
+// one must divide the other.
+//
+// When o is longer, bit p of o lands on bit p mod s.Len() of s (fold); when
+// o is shorter, every bit q of o lands on all bits ≡ q (mod o.Len()) of s
+// (expand). For double-hashed Bloom positions over power-of-two lengths both
+// directions are conservative: a position x mod M maps onto x mod m whenever
+// m divides M, so any element whose bits are set in o has all its
+// s-geometry bits set in s afterwards.
+func (s *Set) OrFoldFrom(o *Set) error {
+	if s.n == o.n {
+		return s.UnionWith(o)
+	}
+	if s.n == 0 || o.n == 0 || s.n%64 != 0 || o.n%64 != 0 {
+		return fmt.Errorf("bitset: fold of unaligned lengths %d and %d", s.n, o.n)
+	}
+	if o.n > s.n {
+		if o.n%s.n != 0 {
+			return fmt.Errorf("bitset: cannot fold %d bits onto %d (not a multiple)", o.n, s.n)
+		}
+		w := len(s.words)
+		for i, x := range o.words {
+			s.words[i%w] |= x
+		}
+		return nil
+	}
+	if s.n%o.n != 0 {
+		return fmt.Errorf("bitset: cannot expand %d bits onto %d (not a multiple)", o.n, s.n)
+	}
+	w := len(o.words)
+	for i := range s.words {
+		s.words[i] |= o.words[i%w]
+	}
+	return nil
+}
+
 // SizeBytes returns the in-memory size of the bit storage in bytes, used by
 // the storage-cost experiments.
 func (s *Set) SizeBytes() uint64 {

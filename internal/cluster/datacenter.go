@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dimatch/internal/core"
+	"dimatch/internal/index"
 	"dimatch/internal/metrics"
 	"dimatch/internal/pattern"
 	"dimatch/internal/placement"
@@ -78,8 +79,14 @@ type Options struct {
 	// Routing selects the default fan-out routing for WBF searches. The
 	// zero value, RoutingSummary, prunes stations whose cached routing
 	// summary admits no possible match; RoutingFull keeps the classic
-	// every-station fan-out. Override per call with WithRouting.
+	// every-station fan-out; RoutingTree plans over the Bloofi digest tree.
+	// Override per call with WithRouting.
 	Routing RoutingMode
+	// TreeFanout bounds the digest tree's node width under RoutingTree
+	// (default tree.DefaultFanout). Smaller fanouts prune with fewer union
+	// probes per level but hold more inner-node unions; see docs/ROUTING.md
+	// and docs/OPERATIONS.md for choosing it.
+	TreeFanout int
 }
 
 // CostReport quantifies one search, feeding Figures 4b-4d. Counts are
@@ -133,6 +140,19 @@ type CostReport struct {
 	SummaryRefreshes int
 	SummaryBytesDown uint64
 	SummaryBytesUp   uint64
+	// SubtreeProbes counts digest-membership evaluations the routing plan
+	// performed: one per (probe, digest) pair under RoutingSummary's flat
+	// scan, one per (probe, tree node) visited under RoutingTree's descent —
+	// including union probes on pruned subtrees and the root's probes on
+	// region digests. It is the planning-cost figure BENCH_hierarchy.json
+	// tracks: flat planning grows linearly in the membership, tree descent
+	// sublinearly.
+	SubtreeProbes uint64
+	// TierHops is the coordinator depth this WBF search traversed: 1 for a
+	// flat cluster, 1 + the deepest delegate's own TierHops when route
+	// delegates (regions) answered. 0 for BF/naive searches, which never
+	// delegate.
+	TierHops int
 }
 
 // TotalBytes returns the search's dissemination plus report traffic.
@@ -178,6 +198,12 @@ type StationStats struct {
 	// advertised in its stats reply. Stations at wire.Version3 or above can
 	// receive batched search rounds; older ones are served per-query frames.
 	WireVersion int
+	// Delegate reports whether the peer advertised wire.FlagRouteDelegate:
+	// it is a region coordinator fronting a whole sub-cluster and accepts
+	// KindRouteQuery rounds. The flag — not the version — is what gates
+	// delegation: a plain v6 station would fail its serve loop on a route
+	// query.
+	Delegate bool
 }
 
 // Stats is a cluster-wide storage snapshot fetched from the stations over
@@ -262,6 +288,7 @@ func (ep *epoch) seedStats(prev *Stats, fresh wire.StatsReply) {
 		StorageBytes:  fresh.StorageBytes,
 		PatternLength: int(fresh.Length),
 		WireVersion:   int(fresh.MaxVersion),
+		Delegate:      fresh.Flags&wire.FlagRouteDelegate != 0,
 	}
 	stations := make([]StationStats, 0, len(prev.Stations)+1)
 	inserted := false
@@ -326,6 +353,11 @@ type Cluster struct {
 	// mutation hooks (ingest delta-updates, evict and membership changes
 	// invalidate). See route.go.
 	summaries summaryCache
+
+	// upward is the cached subtree digest a region coordinator serves to its
+	// parent, keyed by the churn state it was built under. See
+	// Cluster.routingDigest (region.go).
+	upward upwardDigest
 
 	// Streaming-pipeline hooks (see stream_hooks.go): membership-change
 	// subscribers and registered health-snapshot providers. hookMu is
@@ -941,6 +973,7 @@ func (c *Cluster) epochStats(ctx context.Context, ep *epoch) (*Stats, error) {
 			StorageBytes:  sr.StorageBytes,
 			PatternLength: int(sr.Length),
 			WireVersion:   int(sr.MaxVersion),
+			Delegate:      sr.Flags&wire.FlagRouteDelegate != 0,
 		})
 		return nil
 	})
@@ -1196,16 +1229,24 @@ func (c *Cluster) searchWBF(ctx context.Context, ep *epoch, cfg searchConfig, qu
 		roundSize = 0
 	}
 	var vers map[uint32]uint8
-	if len(ep.ids) > 0 && (!legacyAll || cfg.routing == RoutingSummary) {
+	if len(ep.ids) > 0 && (!legacyAll || cfg.routing != RoutingFull) {
 		vers = c.peerVersions(ctx, ep)
 	}
-	// The routing step: probe the per-station summaries and restrict the
-	// query fan-out to stations that might answer. Verification below still
-	// uses the full epoch — a candidate's locals can live on stations that
-	// hold no within-band resident, and the verify fetch must see them all.
-	routeEp := ep
-	if cfg.routing == RoutingSummary {
-		routeEp = c.planRoute(ctx, ep, cfg, queries, vers, &out.Cost)
+	// The hierarchical tier: peers that advertised wire.FlagRouteDelegate are
+	// region coordinators fronting whole sub-clusters. They are split out of
+	// the batched rounds — each receives the entire query set as one
+	// KindRouteQuery and answers raw partial sums — and their digests are
+	// never cached: a region's membership churns invisibly to this
+	// coordinator, so every search refetches (see docs/ROUTING.md).
+	plainEp, delegates := c.splitDelegates(ctx, ep)
+	// The routing step: probe the per-station summaries (flat scan or Bloofi
+	// tree descent) and restrict the query fan-out to stations that might
+	// answer. Verification below still uses the full epoch — a candidate's
+	// locals can live on stations that hold no within-band resident, and the
+	// verify fetch must see them all.
+	routeEp := plainEp
+	if cfg.routing != RoutingFull {
+		routeEp = c.planRoute(ctx, plainEp, cfg, queries, vers, &out.Cost)
 	}
 	var reportBytes, filterBytes uint64
 	failedStations := make(map[uint32]bool)
@@ -1214,18 +1255,272 @@ func (c *Cluster) searchWBF(ctx context.Context, ep *epoch, cfg searchConfig, qu
 			return nil, err
 		}
 	}
-	for _, q := range queries {
-		out.PerQuery[q.ID] = rankWBF(cfg, agg, q.ID)
+	maxHops, err := c.fanDelegates(ctx, delegates, cfg, queries, agg, out, failedStations)
+	if err != nil {
+		return nil, err
 	}
-	out.Cost.StationsFailed = len(failedStations)
+	out.Cost.TierHops = 1 + maxHops
+	for _, q := range queries {
+		if cfg.raw {
+			out.PerQuery[q.ID] = rawResults(agg, q.ID)
+		} else {
+			out.PerQuery[q.ID] = rankWBF(cfg, agg, q.ID)
+		}
+	}
+	out.Cost.StationsFailed += len(failedStations)
 	out.Cost.FilterBytes = filterBytes
 	out.Cost.CenterStorageBytes = filterBytes + reportBytes
-	if cfg.verify {
+	if cfg.verify && !cfg.raw {
 		if err := c.verifyWBF(ctx, ep, cfg, queries, out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// splitDelegates partitions the pinned epoch into its plain stations and its
+// route delegates. Delegation is gated on the stats-reply capability flag,
+// not the wire version: a plain v6 station would fail its serve loop on a
+// KindRouteQuery, so only peers that explicitly advertised
+// wire.FlagRouteDelegate leave the classic rounds. A peer whose stats never
+// arrived stays plain — it is served the per-query compatibility path, which
+// every delegate also accepts (regions forward classic frames to their
+// stations), so misclassification degrades cost, never correctness.
+func (c *Cluster) splitDelegates(ctx context.Context, ep *epoch) (*epoch, []delegatePeer) {
+	st, err := c.epochStats(ctx, ep)
+	if err != nil || st == nil {
+		return ep, nil
+	}
+	flags := make(map[uint32]bool, len(st.Stations))
+	any := false
+	for _, s := range st.Stations {
+		if s.Delegate {
+			flags[s.Station] = true
+			any = true
+		}
+	}
+	if !any {
+		return ep, nil
+	}
+	plain := &epoch{version: ep.version}
+	var delegates []delegatePeer
+	for i, id := range ep.ids {
+		if flags[id] {
+			delegates = append(delegates, delegatePeer{id: id, mux: ep.muxes[i]})
+			continue
+		}
+		plain.ids = append(plain.ids, id)
+		plain.muxes = append(plain.muxes, ep.muxes[i])
+	}
+	return plain, delegates
+}
+
+// delegatePeer is one route delegate of the pinned epoch: a region
+// coordinator addressed like a station but spoken to in KindRouteQuery.
+type delegatePeer struct {
+	id  uint32
+	mux *transport.Mux
+}
+
+// rawResults returns every accumulated partial for one query, person
+// ascending — the region's answer shape. No Algorithm 3 deletion, no topK,
+// no score band: finalizing is the root's job, after every region's partials
+// have merged.
+func rawResults(agg *core.Aggregator, q core.QueryID) []core.Result {
+	results := agg.Results(q)
+	sort.Slice(results, func(i, j int) bool { return results[i].Person < results[j].Person })
+	return results
+}
+
+// fanDelegates runs the hierarchical tier of one WBF search: every route
+// delegate receives the whole query set as a single KindRouteQuery and
+// answers its region's raw per-person partial sums, which merge into the
+// shared aggregation exactly as AddFrom would one tier down (core's Merge).
+//
+// Under summary or tree routing the root first pulls each delegate's
+// aggregate digest — the bitwise-OR union of its whole subtree — and skips
+// regions whose digest denies every probe. The pruning is conservative at
+// this tier too: a failed or geometry-foreign digest fetch leaves the region
+// visited, unselective probes visit everything, and an all-pruned delegate
+// tier falls back to full fan-out, mirroring planRoute's rule. Digest
+// traffic is billed to the Summary* counters; the route exchange itself to
+// the search's Bytes/Messages totals. A delegate whose exchange fails is
+// counted in failedStations exactly like a station.
+func (c *Cluster) fanDelegates(ctx context.Context, delegates []delegatePeer, cfg searchConfig, queries []core.Query, agg *core.Aggregator, out *Outcome, failedStations map[uint32]bool) (maxHops int, err error) {
+	if len(delegates) == 0 {
+		return 0, nil
+	}
+	params, err := c.resolveParams(cfg, queries)
+	if err != nil {
+		return 0, err
+	}
+	routeMsg, err := wire.EncodeRouteQuery(wire.RouteQuery{
+		Queries:   queries,
+		Params:    cfg.params,
+		TargetFP:  cfg.targetFP,
+		BatchSize: cfg.batchSize,
+		Routing:   uint8(cfg.routing),
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// The pruning probes: same construction as planRoute's, probing each
+	// region's union digest instead of per-station ones.
+	var probes []index.Probe
+	if cfg.routing != RoutingFull {
+		for _, q := range queries {
+			probe, perr := index.NewProbe(q, params.Samples, params.Epsilon)
+			if perr != nil {
+				probes = nil
+				break
+			}
+			if probe.Selective() {
+				probes = append(probes, probe)
+			}
+		}
+	}
+
+	type delegateAnswer struct {
+		reply   wire.RouteReply
+		pruned  bool
+		failed  bool
+		probes  uint64 // root-side probes on the region digest
+		sumDown uint64
+		sumUp   uint64
+		down    uint64
+		up      uint64
+	}
+	answers := make([]delegateAnswer, len(delegates))
+	summaryMsg := wire.SummaryMessage()
+	var wg sync.WaitGroup
+	for i, d := range delegates {
+		i, d := i, d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := &answers[i]
+			if len(probes) > 0 {
+				reply, err := d.mux.Roundtrip(ctx, summaryMsg)
+				if err == nil {
+					a.sumDown = uint64(summaryMsg.EncodedSize())
+					a.sumUp = uint64(reply.EncodedSize())
+					if _, sum, derr := wire.DecodeSummaryReply(reply); derr == nil {
+						admit := false
+						for _, p := range probes {
+							a.probes++
+							if sum.Admits(p) {
+								admit = true
+								break
+							}
+						}
+						a.pruned = !admit
+					}
+					// A digest that failed to decode leaves the region
+					// visited: corruption must never prune.
+				}
+			}
+			if a.pruned {
+				return
+			}
+			reply, err := d.mux.Roundtrip(ctx, routeMsg)
+			if err != nil {
+				a.failed = true
+				return
+			}
+			a.down = uint64(routeMsg.EncodedSize())
+			a.up = uint64(reply.EncodedSize())
+			rr, derr := wire.DecodeRouteReply(reply)
+			if derr != nil {
+				a.failed = true
+				return
+			}
+			a.reply = rr
+		}()
+	}
+	wg.Wait()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return 0, fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+	}
+
+	// All-pruned fallback, mirroring planRoute: if the plan would skip every
+	// delegate, visit them all instead. (Pruning is provably exact, but the
+	// fallback keeps every tier's worst case identical to full fan-out.)
+	allPruned := true
+	for i := range answers {
+		if !answers[i].pruned {
+			allPruned = false
+			break
+		}
+	}
+	if allPruned {
+		for i, d := range delegates {
+			i, d := i, d
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a := &answers[i]
+				a.pruned = false
+				reply, err := d.mux.Roundtrip(ctx, routeMsg)
+				if err != nil {
+					a.failed = true
+					return
+				}
+				a.down = uint64(routeMsg.EncodedSize())
+				a.up = uint64(reply.EncodedSize())
+				rr, derr := wire.DecodeRouteReply(reply)
+				if derr != nil {
+					a.failed = true
+					return
+				}
+				a.reply = rr
+			}()
+		}
+		wg.Wait()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, fmt.Errorf("%w: %w", ErrCancelled, ctxErr)
+		}
+	}
+
+	// Merge serially: the aggregator is not concurrency-safe, and ordering
+	// does not matter (both merge modes are commutative).
+	for i, d := range delegates {
+		a := &answers[i]
+		out.Cost.SubtreeProbes += a.probes
+		out.Cost.SummaryBytesDown += a.sumDown
+		out.Cost.SummaryBytesUp += a.sumUp
+		if a.sumUp > 0 {
+			out.Cost.SummaryRefreshes++
+		}
+		if a.pruned {
+			out.Cost.StationsPruned++
+			continue
+		}
+		if a.failed {
+			failedStations[d.id] = true
+			continue
+		}
+		out.Cost.BytesDown += a.down
+		out.Cost.MessagesDown++
+		out.Cost.BytesUp += a.up
+		out.Cost.MessagesUp++
+		out.Cost.SubtreeProbes += a.reply.Probes
+		out.Cost.StationsPruned += int(a.reply.Pruned)
+		out.Cost.StationsFailed += int(a.reply.Failed)
+		if int(a.reply.Hops) > maxHops {
+			maxHops = int(a.reply.Hops)
+		}
+		for _, r := range a.reply.Results {
+			out.Cost.ReportsReceived++
+			agg.Merge(core.QueryID(r.Query), core.Result{
+				Person:      core.PersonID(r.Person),
+				Numerator:   r.Numerator,
+				Denominator: r.Denominator,
+				Stations:    int(r.Stations),
+			})
+		}
+	}
+	return maxHops, nil
 }
 
 // runWBFRound executes one batch of queries across the epoch's stations:

@@ -1,0 +1,489 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/pattern"
+	"dimatch/internal/transport"
+)
+
+// hierData builds 12 well-separated station stores (3 residents each,
+// magnitudes clustered per station) keyed by station id 0..11 — the same
+// data set the flat and hierarchical topologies are built from, so their
+// answers are directly comparable.
+func hierData() map[uint32]map[core.PersonID]pattern.Pattern {
+	data := make(map[uint32]map[core.PersonID]pattern.Pattern)
+	pid := core.PersonID(1)
+	for s := uint32(0); s < 12; s++ {
+		st := make(map[core.PersonID]pattern.Pattern, 3)
+		base := int64(s)*1000 + 10
+		for j := int64(0); j < 3; j++ {
+			st[pid] = pattern.Pattern{base + j, base + 2*j + 1, base + 3*j + 2}
+			pid++
+		}
+		data[s] = st
+	}
+	return data
+}
+
+// hierarchy wires sub-clusters of stations behind region coordinators and a
+// root over the coordinators: stations 0-2 behind region 100, 3-5 behind
+// 101, and so on. Shutdown order matters — the root's shutdown frame makes
+// each ServeRegion return without touching its sub-cluster, which the test
+// then shuts down itself.
+type hierarchy struct {
+	root    *Cluster
+	regions []*Cluster
+}
+
+func buildHierarchy(t *testing.T, data map[uint32]map[core.PersonID]pattern.Pattern, perRegion int, length int, rootOpts Options) *hierarchy {
+	t.Helper()
+	var ids []uint32
+	for id := range data {
+		ids = append(ids, id)
+	}
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	h := &hierarchy{}
+	links := make(map[uint32]transport.Link)
+	for start := 0; start < len(ids); start += perRegion {
+		end := start + perRegion
+		if end > len(ids) {
+			end = len(ids)
+		}
+		sub := make(map[uint32]map[core.PersonID]pattern.Pattern, end-start)
+		for _, id := range ids[start:end] {
+			sub[id] = data[id]
+		}
+		rc, err := New(Options{}, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Start()
+		h.regions = append(h.regions, rc)
+		regionID := uint32(100 + start/perRegion)
+		rootEnd, regionEnd := transport.Pipe(nil, nil)
+		go func() { _ = ServeRegion(regionID, rc, regionEnd) }()
+		links[regionID] = rootEnd
+	}
+	root, err := NewWithLinks(rootOpts, links, length, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.root = root
+	t.Cleanup(func() {
+		_ = root.Shutdown()
+		for _, rc := range h.regions {
+			_ = rc.Shutdown()
+		}
+	})
+	return h
+}
+
+// emptyHierarchy builds regions with empty stations, for placement-driven
+// tests: stationsPerRegion stations per region, ids dense from 0.
+func emptyHierarchy(t *testing.T, regions, stationsPerRegion, length int) *hierarchy {
+	t.Helper()
+	h := &hierarchy{}
+	links := make(map[uint32]transport.Link)
+	for r := 0; r < regions; r++ {
+		var ids []uint32
+		for s := 0; s < stationsPerRegion; s++ {
+			ids = append(ids, uint32(r*stationsPerRegion+s))
+		}
+		rc, err := NewEmpty(Options{}, ids, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Start()
+		h.regions = append(h.regions, rc)
+		regionID := uint32(100 + r)
+		rootEnd, regionEnd := transport.Pipe(nil, nil)
+		go func() { _ = ServeRegion(regionID, rc, regionEnd) }()
+		links[regionID] = rootEnd
+	}
+	root, err := NewWithLinks(Options{}, links, length, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.root = root
+	t.Cleanup(func() {
+		_ = root.Shutdown()
+		for _, rc := range h.regions {
+			_ = rc.Shutdown()
+		}
+	})
+	return h
+}
+
+// TestTreeRoutedSearchMatchesSummaryAndFull is the flat-cluster pin for the
+// new mode: tree descent answers exactly like the per-station scan and like
+// full fan-out, prunes at least as hard, and bills its union probes.
+func TestTreeRoutedSearchMatchesSummaryAndFull(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{{50, 60, 70}}}}
+
+	full, err := c.Search(ctx, queries, WithRouting(RoutingFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := c.Search(ctx, queries, WithRouting(RoutingSummary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := c.Search(ctx, queries, WithRouting(RoutingTree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "summary", queries, full, summary)
+	assertSameResults(t, "tree", queries, full, tree)
+	if tree.Cost.StationsPruned != 3 {
+		t.Fatalf("tree StationsPruned = %d, want 3", tree.Cost.StationsPruned)
+	}
+	if tree.Cost.SubtreeProbes == 0 {
+		t.Fatal("tree search billed no SubtreeProbes")
+	}
+	if tree.Cost.TierHops != 1 {
+		t.Fatalf("flat tree search TierHops = %d, want 1", tree.Cost.TierHops)
+	}
+	st := c.RoutingState()
+	if st.Entries == 0 || st.TreeBytes == 0 || st.TotalBytes() == 0 {
+		t.Fatalf("RoutingState not populated after tree search: %+v", st)
+	}
+}
+
+// TestTreeChurnEquivalence is the three-way churn sweep (run under -race):
+// random ingests, evicts, station adds, removes and kills interleave with
+// searches, and after every mutation the tree-routed and summary-routed
+// answers must equal the full fan-out answer on the same store.
+func TestTreeChurnEquivalence(t *testing.T) {
+	c := routingTestCluster(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	stations := []uint32{0, 1, 2, 3}
+	nextStation := uint32(4)
+	next := core.PersonID(1000)
+	type placedAt struct {
+		person  core.PersonID
+		station uint32
+	}
+	var live []placedAt
+
+	for step := 0; step < 50; step++ {
+		switch op := rng.Intn(10); {
+		case op == 0 && len(stations) < 8:
+			id := nextStation
+			nextStation++
+			if err := c.AddStation(ctx, id, map[core.PersonID]pattern.Pattern{
+				next: {int64(rng.Intn(40)) + 1, int64(rng.Intn(40)), int64(rng.Intn(40))},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, placedAt{person: next, station: id})
+			next++
+			stations = append(stations, id)
+		case op == 1 && len(stations) > 2:
+			i := 4 + rng.Intn(len(stations)-4+1)
+			if i >= len(stations) {
+				break // only remove stations this sweep added
+			}
+			id := stations[i]
+			if err := c.RemoveStation(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+			stations = append(stations[:i], stations[i+1:]...)
+			kept := live[:0]
+			for _, l := range live {
+				if l.station != id {
+					kept = append(kept, l)
+				}
+			}
+			live = kept
+		case op < 6 || len(live) == 0:
+			p := next
+			next++
+			s := stations[rng.Intn(len(stations))]
+			pat := pattern.Pattern{int64(rng.Intn(40)) + 1, int64(rng.Intn(40)), int64(rng.Intn(40))}
+			if err := c.Ingest(ctx, s, map[core.PersonID]pattern.Pattern{p: pat}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, placedAt{person: p, station: s})
+		default:
+			i := rng.Intn(len(live))
+			if err := c.Evict(ctx, live[i].station, []core.PersonID{live[i].person}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		queries := []core.Query{
+			{ID: 1, Locals: []pattern.Pattern{{int64(rng.Intn(40)) + 1, int64(rng.Intn(40)), int64(rng.Intn(40))}}},
+			{ID: 2, Locals: []pattern.Pattern{{50, 60, 70}}},
+		}
+		full, err := c.Search(ctx, queries, WithRouting(RoutingFull))
+		if err != nil {
+			t.Fatal(err)
+		}
+		summary, err := c.Search(ctx, queries, WithRouting(RoutingSummary))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := c.Search(ctx, queries, WithRouting(RoutingTree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, fmt.Sprintf("summary step %d", step), queries, full, summary)
+		assertSameResults(t, fmt.Sprintf("tree step %d", step), queries, full, tree)
+	}
+}
+
+// TestHierarchicalSearchMatchesFlat is the tentpole's multi-tier pin: the
+// same data behind region coordinators answers byte-identically to a flat
+// cluster, under every routing mode, and the root's plan actually prunes
+// whole regions.
+func TestHierarchicalSearchMatchesFlat(t *testing.T) {
+	data := hierData()
+	flat, err := New(Options{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat.Start()
+	t.Cleanup(func() { _ = flat.Shutdown() })
+	h := buildHierarchy(t, data, 3, 3, Options{})
+	ctx := context.Background()
+
+	queries := []core.Query{
+		{ID: 1, Locals: []pattern.Pattern{{2010, 2011, 2012}}}, // station 2's first resident
+		{ID: 2, Locals: []pattern.Pattern{{9011, 9013, 9015}}}, // station 9's second resident
+		{ID: 3, Locals: []pattern.Pattern{{1, 2, 3}}},          // matches nothing
+	}
+	want, err := flat.Search(ctx, queries, WithRouting(RoutingFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []RoutingMode{RoutingFull, RoutingSummary, RoutingTree} {
+		got, err := h.root.Search(ctx, queries, WithRouting(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, "hier "+mode.String(), queries, want, got)
+		if got.Cost.TierHops != 2 {
+			t.Fatalf("%s TierHops = %d, want 2 (root + regions)", mode, got.Cost.TierHops)
+		}
+		if mode != RoutingFull && got.Cost.StationsPruned == 0 {
+			t.Fatalf("%s pruned nothing across 4 regions of well-separated data", mode)
+		}
+	}
+	if len(want.PerQuery[1]) == 0 || len(want.PerQuery[2]) == 0 {
+		t.Fatal("probe queries found nothing — test data drifted")
+	}
+}
+
+// TestHierarchicalClassicForwarding pins the drop-in-station property: the
+// BF and naive strategies (and WBF verification) never send a route frame,
+// only classic station kinds, and a region forwarding them to its members
+// must answer exactly like the flat cluster.
+func TestHierarchicalClassicForwarding(t *testing.T) {
+	data := hierData()
+	flat, err := New(Options{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat.Start()
+	t.Cleanup(func() { _ = flat.Shutdown() })
+	h := buildHierarchy(t, data, 3, 3, Options{})
+	ctx := context.Background()
+
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{{5010, 5011, 5012}}}}
+	for _, strat := range []Strategy{StrategyNaive, StrategyBF} {
+		want, err := flat.Search(ctx, queries, WithStrategy(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.root.Search(ctx, queries, WithStrategy(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.PerQuery[1]) == 0 {
+			t.Fatalf("%v baseline found nothing", strat)
+		}
+		if strat == StrategyBF {
+			// BF results carry no weights; their Denominator is the fan-out
+			// peer count, which is 4 regions here vs 12 flat stations — a
+			// presentation difference, not a recall one. Compare the ranked
+			// persons and their reporting-station counts instead.
+			w, g := want.PerQuery[1], got.PerQuery[1]
+			if len(w) != len(g) {
+				t.Fatalf("forwarded BF: %d results, want %d", len(g), len(w))
+			}
+			for i := range w {
+				if w[i].Person != g[i].Person || w[i].Stations != g[i].Stations {
+					t.Fatalf("forwarded BF result %d: %+v, want %+v", i, g[i], w[i])
+				}
+			}
+			continue
+		}
+		assertSameResults(t, fmt.Sprintf("forwarded %v", strat), queries, want, got)
+	}
+
+	// Verification fetches raw patterns (KindFetch) through the regions.
+	verified, err := h.root.Search(ctx, queries, WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verified.PerQuery[1]) == 0 || verified.PerQuery[1][0].Score() != 1.0 {
+		t.Fatalf("verified hierarchical search lost the match: %v", verified.PerQuery[1])
+	}
+}
+
+// TestHierarchicalPlacementAndRegionKill is the chaos pin: persons placed at
+// the root with R=2 land on two distinct regions; killing one region
+// coordinator mid-life costs availability of nothing — every queried person
+// is still found at full score through its surviving replica — and the dead
+// region is billed as failed, never silently skipped.
+func TestHierarchicalPlacementAndRegionKill(t *testing.T) {
+	h := emptyHierarchy(t, 4, 2, 3)
+	ctx := context.Background()
+
+	patterns := make(map[core.PersonID]pattern.Pattern)
+	for p := core.PersonID(1); p <= 20; p++ {
+		patterns[p] = pattern.Pattern{int64(p) * 10, int64(p), int64(p) * 3}
+	}
+	if err := h.root.Place(ctx, patterns, WithReplication(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := func(p core.PersonID) []core.Query {
+		return []core.Query{{ID: core.QueryID(p), Locals: []pattern.Pattern{patterns[p]}}}
+	}
+	for _, p := range []core.PersonID{3, 11, 19} {
+		out, err := h.root.Search(ctx, probe(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.PerQuery[core.QueryID(p)]) == 0 || out.PerQuery[core.QueryID(p)][0].Person != p ||
+			out.PerQuery[core.QueryID(p)][0].Score() != 1.0 {
+			t.Fatalf("person %d not found at full score before kill: %v", p, out.PerQuery[core.QueryID(p)])
+		}
+	}
+
+	// Kill one region coordinator: its link closes, ServeRegion exits.
+	var regionIDs []uint32
+	for _, id := range h.root.currentEpoch().ids {
+		regionIDs = append(regionIDs, id)
+	}
+	if err := h.root.KillStation(regionIDs[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	sawFailure := false
+	for p := core.PersonID(1); p <= 20; p++ {
+		out, err := h.root.Search(ctx, probe(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := out.PerQuery[core.QueryID(p)]
+		if len(res) == 0 || res[0].Person != p || res[0].Score() != 1.0 {
+			t.Fatalf("person %d lost after region kill: %v", p, res)
+		}
+		if out.Cost.StationsFailed > 0 {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Fatal("no search billed the dead region as failed")
+	}
+}
+
+// TestHierarchicalIngestEvictThroughRoot pins the mutation path one tier up:
+// the root addresses a region like a station, the region re-places
+// internally, and routed searches observe the mutation immediately — the
+// root's cached region digest is delta-updated or invalidated exactly like
+// a station's.
+func TestHierarchicalIngestEvictThroughRoot(t *testing.T) {
+	h := emptyHierarchy(t, 3, 2, 3)
+	ctx := context.Background()
+	region := h.root.currentEpoch().ids[0]
+
+	if err := h.root.Ingest(ctx, region, map[core.PersonID]pattern.Pattern{42: {7, 8, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	queries := []core.Query{{ID: 1, Locals: []pattern.Pattern{{7, 8, 9}}}}
+	for _, mode := range []RoutingMode{RoutingSummary, RoutingTree, RoutingFull} {
+		out, err := h.root.Search(ctx, queries, WithRouting(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.PerQuery[1]) != 1 || out.PerQuery[1][0].Person != 42 {
+			t.Fatalf("%v: ingested person not found through hierarchy: %v", mode, out.PerQuery[1])
+		}
+	}
+	if err := h.root.Evict(ctx, region, []core.PersonID{42}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := h.root.Search(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerQuery[1]) != 0 {
+		t.Fatalf("evicted person still retrieved through hierarchy: %v", out.PerQuery[1])
+	}
+}
+
+// TestHierarchicalChurnEquivalence (run under -race) sweeps root-level
+// ingests and evicts across regions while comparing every routing mode
+// against full fan-out on the hierarchical topology itself.
+func TestHierarchicalChurnEquivalence(t *testing.T) {
+	h := emptyHierarchy(t, 3, 2, 3)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	regionIDs := append([]uint32(nil), h.root.currentEpoch().ids...)
+	next := core.PersonID(500)
+	type placedAt struct {
+		person core.PersonID
+		region uint32
+	}
+	var live []placedAt
+
+	for step := 0; step < 25; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			p := next
+			next++
+			r := regionIDs[rng.Intn(len(regionIDs))]
+			pat := pattern.Pattern{int64(rng.Intn(40)) + 1, int64(rng.Intn(40)), int64(rng.Intn(40))}
+			if err := h.root.Ingest(ctx, r, map[core.PersonID]pattern.Pattern{p: pat}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, placedAt{person: p, region: r})
+		} else {
+			i := rng.Intn(len(live))
+			if err := h.root.Evict(ctx, live[i].region, []core.PersonID{live[i].person}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		queries := []core.Query{
+			{ID: 1, Locals: []pattern.Pattern{{int64(rng.Intn(40)) + 1, int64(rng.Intn(40)), int64(rng.Intn(40))}}},
+		}
+		full, err := h.root.Search(ctx, queries, WithRouting(RoutingFull))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []RoutingMode{RoutingSummary, RoutingTree} {
+			got, err := h.root.Search(ctx, queries, WithRouting(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, fmt.Sprintf("%v step %d", mode, step), queries, full, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dimatch/internal/core"
 	"dimatch/internal/index"
+	"dimatch/internal/index/tree"
 	"dimatch/internal/pattern"
 	"dimatch/internal/transport"
 	"dimatch/internal/wire"
@@ -25,6 +26,27 @@ type summaryCache struct {
 	mu      sync.Mutex
 	entries map[uint32]*index.Summary // dimatch:guardedby mu
 	gens    map[uint32]uint64         // dimatch:guardedby mu
+	// digests is the Bloofi tree over the cached entries (internal/index/tree),
+	// built lazily by the first tree-routed search and kept in lockstep with
+	// the cache from then on: put syncs the fresh digest in, invalidate
+	// removes the station, noteIngest delta-propagates the new cells up the
+	// station's root path. A digest the tree rejects (foreign geometry, e.g. a
+	// legacy non-power-of-two filter) simply stays outside and is probed flat
+	// — never pruned by a union it is not part of.
+	digests *tree.Tree // dimatch:guardedby mu
+}
+
+// syncTreeLocked mirrors one cached digest into the tree. Callers hold mu.
+// On rejection the station is evicted from the tree: a stale leaf left
+// behind could prune the station away from residents its fresh (rejected)
+// digest covers.
+func (c *summaryCache) syncTreeLocked(id uint32, s *index.Summary) {
+	if c.digests == nil {
+		return
+	}
+	if err := c.digests.Add(id, s); err != nil {
+		c.digests.Remove(id)
+	}
 }
 
 // get returns the cached summary for a station (nil if absent) and the
@@ -49,6 +71,20 @@ func (c *summaryCache) put(id uint32, gen uint64, s *index.Summary) {
 		c.entries = make(map[uint32]*index.Summary)
 	}
 	c.entries[id] = s
+	c.syncTreeLocked(id, s)
+}
+
+// genSnapshot returns each station's current generation, in the given
+// order. Region coordinators key their cached upward digest on it: any
+// mutation that bumps a member's generation forces a rebuild.
+func (c *summaryCache) genSnapshot(ids []uint32) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gens := make([]uint64, len(ids))
+	for i, id := range ids {
+		gens[i] = c.gens[id]
+	}
+	return gens
 }
 
 // invalidate bumps the station's generation and drops its digest: the next
@@ -61,6 +97,9 @@ func (c *summaryCache) invalidate(id uint32) {
 	}
 	c.gens[id]++
 	delete(c.entries, id)
+	if c.digests != nil {
+		c.digests.Remove(id)
+	}
 }
 
 // noteIngest applies an ingest to the cached digest: the generation bumps
@@ -90,10 +129,79 @@ func (c *summaryCache) noteIngest(id uint32, locals []pattern.Pattern) {
 			// that was empty): the digest cannot absorb the delta — drop it
 			// and let the next routed search refetch.
 			delete(c.entries, id)
+			if c.digests != nil {
+				c.digests.Remove(id)
+			}
 			return
 		}
 	}
 	c.entries[id] = updated
+	if c.digests != nil {
+		// Propagate the delta up the station's root path copy-on-write; only
+		// the touched ancestors' unions are rebuilt. A station the tree does
+		// not hold (or a failed propagation) falls back to a full re-insert.
+		synced := true
+		for _, l := range locals {
+			if l.Sum() == 0 {
+				continue
+			}
+			if ok, err := c.digests.DeltaAdd(id, updated, l); err != nil || !ok {
+				synced = false
+				break
+			}
+		}
+		if !synced {
+			c.syncTreeLocked(id, updated)
+		}
+	}
+}
+
+// descend plans a tree-routed search: it (re)builds the Bloofi tree over the
+// cached digests when needed — first tree-routed search, or a fanout change
+// — then routes the probes through it. It returns which of the given
+// stations the tree admits, which it tracks at all (an untracked station
+// must be probed flat by the caller), and the number of union/leaf Admits
+// evaluations the descent performed. Pure in-memory work under mu: no IO
+// happens while the cache lock is held.
+func (c *summaryCache) descend(fanout int, probes []index.Probe, ids []uint32) (admitted, member map[uint32]bool, evaluated int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.digests == nil || c.digests.Fanout() != tree.New(tree.Options{Fanout: fanout}).Fanout() {
+		t := tree.New(tree.Options{Fanout: fanout})
+		for id, sum := range c.entries {
+			// Rejected digests (foreign geometry) stay outside the tree and
+			// are probed flat by the caller.
+			_ = t.Add(id, sum)
+		}
+		c.digests = t
+	}
+	hits, evaluated := c.digests.Route(probes)
+	admitted = make(map[uint32]bool, len(hits))
+	for _, id := range hits {
+		admitted[id] = true
+	}
+	member = make(map[uint32]bool, len(ids))
+	for _, id := range ids {
+		if c.digests.Has(id) {
+			member[id] = true
+		}
+	}
+	return admitted, member, evaluated
+}
+
+// state snapshots the cache's memory footprint for Cluster.RoutingState.
+func (c *summaryCache) state() (entries int, digestBytes uint64, treeInner int, treeBytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries = len(c.entries)
+	for _, s := range c.entries {
+		digestBytes += s.SizeBytes()
+	}
+	if c.digests != nil {
+		treeInner, _ = c.digests.Nodes()
+		treeBytes = c.digests.UnionBytes()
+	}
+	return entries, digestBytes, treeInner, treeBytes
 }
 
 // planRoute is the routing step of a WBF search: it probes each station's
@@ -194,14 +302,33 @@ func (c *Cluster) planRoute(ctx context.Context, ep *epoch, cfg searchConfig, qu
 		}
 	}
 
+	// The inclusion pass. Under RoutingTree the cached digests are arranged
+	// in the Bloofi tree and the probes descend it — one union check can rule
+	// out a whole subtree — with stations the tree does not track (no cached
+	// digest, or a geometry it rejected) probed flat exactly like the summary
+	// mode. Every Admits evaluation, flat or tree, counts into SubtreeProbes:
+	// it is the planning-cost figure the hierarchy benchmark compares.
+	var treeAdmit, treeMember map[uint32]bool
+	if cfg.routing == RoutingTree {
+		var evaluated int
+		treeAdmit, treeMember, evaluated = c.summaries.descend(c.opts.TreeFanout, probes, ep.ids)
+		cost.SubtreeProbes += uint64(evaluated)
+	}
 	included := make([]int, 0, len(ep.ids))
-	for i := range ep.ids {
+	for i, id := range ep.ids {
 		sum := slots[i].sum
 		if sum == nil {
 			included = append(included, i)
 			continue
 		}
+		if treeMember[id] {
+			if treeAdmit[id] {
+				included = append(included, i)
+			}
+			continue
+		}
 		for _, pr := range probes {
+			cost.SubtreeProbes++
 			if sum.Admits(pr) {
 				included = append(included, i)
 				break
@@ -218,4 +345,36 @@ func (c *Cluster) planRoute(ctx context.Context, ep *epoch, cfg searchConfig, qu
 		sub.muxes[j] = ep.muxes[i]
 	}
 	return sub
+}
+
+// RoutingState describes the coordinator's routing-state footprint: what
+// this node holds in memory to plan searches. In a flat deployment the
+// cached digests grow linearly with the station count; in a multi-tier one
+// each coordinator holds digests for its own children only, which is the
+// sublinear-state property BENCH_hierarchy.json pins.
+type RoutingState struct {
+	// Entries is the number of cached per-station digests and
+	// CachedDigestBytes their total filter bytes.
+	Entries           int
+	CachedDigestBytes uint64
+	// TreeNodes is the number of inner (union) nodes of the Bloofi tree and
+	// TreeBytes their filter bytes — zero until the first tree-routed search
+	// builds it. Leaf digests are shared with the flat cache and counted in
+	// CachedDigestBytes only.
+	TreeNodes int
+	TreeBytes uint64
+}
+
+// TotalBytes returns the coordinator's whole routing-state footprint.
+func (s RoutingState) TotalBytes() uint64 { return s.CachedDigestBytes + s.TreeBytes }
+
+// RoutingState snapshots the coordinator's current routing-state footprint.
+func (c *Cluster) RoutingState() RoutingState {
+	entries, digestBytes, inner, treeBytes := c.summaries.state()
+	return RoutingState{
+		Entries:           entries,
+		CachedDigestBytes: digestBytes,
+		TreeNodes:         inner,
+		TreeBytes:         treeBytes,
+	}
 }

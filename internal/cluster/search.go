@@ -66,6 +66,15 @@ const (
 	// RoutingFull forces the classic full fan-out: every member station is
 	// visited, no summaries are fetched or probed.
 	RoutingFull
+	// RoutingTree keeps the per-station digests in a Bloofi-style digest tree
+	// (internal/index/tree) and plans each search by descending it: a whole
+	// subtree whose union digest denies every probe is pruned with one check
+	// instead of one per station. Pruning stays exactly as conservative as
+	// RoutingSummary — the tree's inner nodes are bitwise-OR unions, which
+	// only ever over-admit — so results are identical; the mode trades a few
+	// union probes for sublinear planning cost on large memberships. See
+	// docs/ROUTING.md.
+	RoutingTree
 )
 
 func (m RoutingMode) String() string {
@@ -74,21 +83,25 @@ func (m RoutingMode) String() string {
 		return "summary"
 	case RoutingFull:
 		return "full"
+	case RoutingTree:
+		return "tree"
 	default:
 		return fmt.Sprintf("RoutingMode(%d)", int(m))
 	}
 }
 
-// ParseRoutingMode is the inverse of RoutingMode.String: it maps "summary"
-// and "full" (case-insensitively) to the routing constants.
+// ParseRoutingMode is the inverse of RoutingMode.String: it maps "summary",
+// "full" and "tree" (case-insensitively) to the routing constants.
 func ParseRoutingMode(s string) (RoutingMode, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "summary":
 		return RoutingSummary, nil
 	case "full":
 		return RoutingFull, nil
+	case "tree":
+		return RoutingTree, nil
 	default:
-		return 0, fmt.Errorf("%w: %q (want summary or full)", ErrUnknownRouting, s)
+		return 0, fmt.Errorf("%w: %q (want summary, full or tree)", ErrUnknownRouting, s)
 	}
 }
 
@@ -103,6 +116,12 @@ type searchConfig struct {
 	targetFP  float64
 	batchSize int
 	routing   RoutingMode
+	// raw, set only by the region serve loop, skips ranking, verification,
+	// topK and minScore: the search returns every accumulated partial sum,
+	// person-ascending. A region answering a KindRouteQuery must not finalize
+	// Algorithm 3 — the root holds partials from other regions, and deleting
+	// or truncating here would change the merged outcome.
+	raw bool
 }
 
 // SearchOption configures a single Search call.
@@ -158,6 +177,21 @@ func WithBatching(n int) SearchOption {
 // summary refreshes in a mutation-heavy burst.
 func WithRouting(m RoutingMode) SearchOption {
 	return func(c *searchConfig) { c.routing = m }
+}
+
+// withParams installs the parent's already-resolved search parameters
+// verbatim. The region serve loop uses it so every tier sizes filters from
+// the same Params the root did — core.SizedParams is deterministic, but
+// pinning the resolved values removes even the dependency on that.
+func withParams(p core.Params) SearchOption {
+	return func(c *searchConfig) { c.params = p }
+}
+
+// withRaw puts the search in raw (partial-sum) mode; see searchConfig.raw.
+// Only the region serve loop sets it — exporting it would invite callers to
+// skip Algorithm 3's deletion step and read unranked sums as answers.
+func withRaw() SearchOption {
+	return func(c *searchConfig) { c.raw = true }
 }
 
 // searchDefaults resolves the cluster-level Options into a per-call config.

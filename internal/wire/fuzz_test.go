@@ -20,8 +20,17 @@ const (
 		"0101400000000000000002020001050000000000000000" +
 		"020201000000050020200001010103030418010002010013010008" + "0100"
 	workedSummaryReplyHex = "a7d105132a000000" + "1e000000" +
-		"030201719a3d0cbfe5a75114000000000000000702" +
-		"01093e000000000000"
+		"030201719a3d0cbfe5a75140000000000000000702" +
+		"010119402202542008"
+	// The v6 worked frames from docs/WIRE.md: a KindRouteQuery delegating a
+	// one-query round (auto-sized params, tree routing) and the region's
+	// KindRouteReply carrying one raw partial result.
+	workedRouteQueryHex = "a7d106142a000000" + "2c000000" +
+		"01070204020400020400020204" +
+		"000000000000000000000000000000000000000000" +
+		"7b14ae47e17a843f" + "0002"
+	workedRouteReplyHex = "a7d106152a000000" + "0c000000" +
+		"030502010001" + "010709181801"
 )
 
 func mustHex(t testing.TB, s string) []byte {
@@ -111,6 +120,13 @@ func FuzzDecodePayload(f *testing.F) {
 		f.Add(uint8(KindDumpReply), nd.Payload)
 	}
 	f.Add(uint8(KindDump), EncodeDump(Dump{}).Payload)
+	f.Add(uint8(KindRouteQuery), mustHex(f, workedRouteQueryHex)[12:])
+	f.Add(uint8(KindRouteReply), mustHex(f, workedRouteReplyHex)[12:])
+	f.Add(uint8(KindRouteReply), EncodeRouteReply(RouteReply{
+		Region:  2,
+		Results: []RouteResult{{Query: 1, Person: 9, Numerator: 12, Denominator: 12, Stations: 3}},
+		Probes:  5, Visited: 2, Pruned: 1, Hops: 1,
+	}).Payload)
 
 	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
 		k := Kind(kind%uint8(maxKind)) + 1
@@ -185,6 +201,37 @@ func FuzzDecodePayload(f *testing.F) {
 			_, _ = DecodeDumpReply(m)
 		case KindSummaryReply:
 			_, _, _ = DecodeSummaryReply(m)
+		case KindRouteQuery:
+			rq, err := DecodeRouteQuery(m)
+			if err == nil {
+				enc, err := EncodeRouteQuery(rq)
+				if err != nil {
+					t.Fatalf("route-query re-encode failed: %v", err)
+				}
+				re, err := DecodeRouteQuery(enc)
+				if err != nil {
+					t.Fatalf("route-query re-decode failed: %v", err)
+				}
+				if len(re.Queries) != len(rq.Queries) || re.Params != rq.Params || re.Routing != rq.Routing || re.BatchSize != rq.BatchSize {
+					t.Fatalf("route-query roundtrip changed: %+v vs %+v", re, rq)
+				}
+			}
+		case KindRouteReply:
+			rr, err := DecodeRouteReply(m)
+			if err == nil {
+				re, err := DecodeRouteReply(EncodeRouteReply(rr))
+				if err != nil {
+					t.Fatalf("route-reply re-decode failed: %v", err)
+				}
+				if re.Region != rr.Region || re.Probes != rr.Probes || len(re.Results) != len(rr.Results) {
+					t.Fatalf("route-reply roundtrip changed: %+v vs %+v", re, rr)
+				}
+				for i := range re.Results {
+					if re.Results[i] != rr.Results[i] {
+						t.Fatalf("route-reply result %d changed: %+v vs %+v", i, re.Results[i], rr.Results[i])
+					}
+				}
+			}
 		case KindShipAll, KindShutdown, KindStats, KindSummary:
 			// Bare request kinds carry no payload and have no decoder.
 		default:

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"dimatch/internal/bloom"
@@ -724,6 +725,193 @@ func DecodeSummaryReply(m Message) (SummaryReply, *index.Summary, error) {
 	return DecodeSummaryPayload(m.Payload)
 }
 
+// ---- hierarchy: route delegation (v6) ----
+
+// RouteQuery delegates one whole search round to a region coordinator: the
+// raw queries plus every knob the region needs to resolve the exact same
+// filter parameters the root would (core.SizedParams is deterministic, so
+// shipping the knobs — not the filter — keeps the frame small and the
+// regions' results byte-identical to a direct search). The region runs the
+// full existing WBF search path over its own stations and answers with raw
+// per-person weight sums (KindRouteReply); ranking, thresholding and
+// verification stay at the root, which is what makes the delegated plan's
+// results provably equal to a flat fan-out.
+type RouteQuery struct {
+	// Queries is the search batch, ascending and unique by ID.
+	Queries []core.Query
+	// Params are the root's (possibly zero-valued) filter parameters before
+	// sizing; Bits == 0 means the region auto-sizes with TargetFP exactly
+	// like the root does.
+	Params core.Params
+	// TargetFP is the false-positive sizing target for auto-sized filters.
+	TargetFP float64
+	// BatchSize is the root's batching bound, forwarded so the region's
+	// station exchanges match a direct search's.
+	BatchSize int
+	// Routing is the region's fan-out mode, as a RoutingMode ordinal. Any
+	// conservative mode yields identical results; forwarding the root's
+	// choice keeps cost accounting comparable.
+	Routing uint8
+}
+
+// EncodeRouteQuery renders the delegated round. Queries are validated for
+// count only; the region re-validates them through its own search path.
+func EncodeRouteQuery(q RouteQuery) (Message, error) {
+	if len(q.Queries) == 0 {
+		return Message{}, fmt.Errorf("%w: zero queries", ErrBatchMismatch)
+	}
+	if len(q.Queries) > MaxBatchQueries {
+		return Message{}, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(q.Queries), MaxBatchQueries)
+	}
+	var w writer
+	w.uvarint(uint64(len(q.Queries)))
+	for _, query := range q.Queries {
+		w.uvarint(uint64(query.ID))
+		w.uvarint(uint64(len(query.Locals)))
+		for _, local := range query.Locals {
+			w.uvarint(uint64(len(local)))
+			for _, v := range local {
+				w.uvarint(zigzag(v))
+			}
+		}
+	}
+	p := q.Params
+	w.u64(p.Bits)
+	w.uvarint(uint64(p.Hashes))
+	w.uvarint(uint64(p.Samples))
+	w.uvarint(uint64(p.Epsilon))
+	w.u8(uint8(p.Tolerance))
+	w.u64(p.Seed)
+	w.u8(boolByte(p.PositionSalted))
+	w.u64(math.Float64bits(q.TargetFP))
+	w.uvarint(zigzag(int64(q.BatchSize)))
+	w.u8(q.Routing)
+	return Message{Kind: KindRouteQuery, Payload: w.buf}, nil
+}
+
+// DecodeRouteQuery parses the delegated round.
+func DecodeRouteQuery(m Message) (RouteQuery, error) {
+	if m.Kind != KindRouteQuery {
+		return RouteQuery{}, fmt.Errorf("wire: decoding %v as route-query", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	n := r.count(2)
+	if uint64(n) > MaxBatchQueries {
+		return RouteQuery{}, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, n, MaxBatchQueries)
+	}
+	out := RouteQuery{Queries: make([]core.Query, 0, n)}
+	for i := 0; i < n; i++ {
+		q := core.Query{ID: core.QueryID(r.uvarint())}
+		locals := r.count(1)
+		q.Locals = make([]pattern.Pattern, 0, locals)
+		for j := 0; j < locals; j++ {
+			l := r.count(1)
+			pat := make(pattern.Pattern, l)
+			for g := range pat {
+				pat[g] = unzigzag(r.uvarint())
+			}
+			q.Locals = append(q.Locals, pat)
+		}
+		out.Queries = append(out.Queries, q)
+	}
+	out.Params.Bits = r.u64()
+	out.Params.Hashes = int(r.uvarint())
+	out.Params.Samples = int(r.uvarint())
+	out.Params.Epsilon = int64(r.uvarint())
+	out.Params.Tolerance = core.ToleranceMode(r.u8())
+	out.Params.Seed = r.u64()
+	out.Params.PositionSalted = r.u8() != 0
+	out.TargetFP = math.Float64frombits(r.u64())
+	out.BatchSize = int(unzigzag(r.uvarint()))
+	out.Routing = r.u8()
+	if err := r.done(); err != nil {
+		return RouteQuery{}, err
+	}
+	return out, nil
+}
+
+// RouteResult is one raw per-(query, person) partial from a region: the
+// summed weight numerator over the region's stations, before the root's
+// Algorithm 3 deletion and ranking.
+type RouteResult struct {
+	Query       core.QueryID
+	Person      core.PersonID
+	Numerator   int64
+	Denominator int64
+	Stations    uint32
+}
+
+// RouteReply answers a route query: the region's raw partial results plus
+// the routing counters the root folds into its CostReport.
+type RouteReply struct {
+	// Region is the answering region coordinator's station ID.
+	Region uint32
+	// Results are the raw partials, one per (query, person) the region's
+	// stations reported.
+	Results []RouteResult
+	// Probes counts the digest-probe (Admits) evaluations the region's own
+	// planning performed.
+	Probes uint64
+	// Pruned / Visited / Failed count the region's stations by fan-out fate.
+	Pruned  uint32
+	Visited uint32
+	Failed  uint32
+	// Hops is the tier depth below and including this region (1 for a region
+	// of plain stations).
+	Hops uint32
+}
+
+// EncodeRouteReply renders the region's answer.
+func EncodeRouteReply(rr RouteReply) Message {
+	var w writer
+	w.uvarint(uint64(rr.Region))
+	w.uvarint(rr.Probes)
+	w.uvarint(uint64(rr.Pruned))
+	w.uvarint(uint64(rr.Visited))
+	w.uvarint(uint64(rr.Failed))
+	w.uvarint(uint64(rr.Hops))
+	w.uvarint(uint64(len(rr.Results)))
+	for _, res := range rr.Results {
+		w.uvarint(uint64(res.Query))
+		w.uvarint(uint64(res.Person))
+		w.uvarint(zigzag(res.Numerator))
+		w.uvarint(zigzag(res.Denominator))
+		w.uvarint(uint64(res.Stations))
+	}
+	return Message{Kind: KindRouteReply, Payload: w.buf}
+}
+
+// DecodeRouteReply parses the region's answer.
+func DecodeRouteReply(m Message) (RouteReply, error) {
+	if m.Kind != KindRouteReply {
+		return RouteReply{}, fmt.Errorf("wire: decoding %v as route-reply", m.Kind)
+	}
+	r := &reader{buf: m.Payload}
+	out := RouteReply{
+		Region:  uint32(r.uvarint()),
+		Probes:  r.uvarint(),
+		Pruned:  uint32(r.uvarint()),
+		Visited: uint32(r.uvarint()),
+		Failed:  uint32(r.uvarint()),
+		Hops:    uint32(r.uvarint()),
+	}
+	n := r.count(5)
+	out.Results = make([]RouteResult, 0, n)
+	for i := 0; i < n; i++ {
+		out.Results = append(out.Results, RouteResult{
+			Query:       core.QueryID(r.uvarint()),
+			Person:      core.PersonID(r.uvarint()),
+			Numerator:   unzigzag(r.uvarint()),
+			Denominator: unzigzag(r.uvarint()),
+			Stations:    uint32(r.uvarint()),
+		})
+	}
+	if err := r.done(); err != nil {
+		return RouteReply{}, err
+	}
+	return out, nil
+}
+
 // ---- lifecycle: ingest / evict / stats / ack ----
 
 // Ingest adds (or replaces) resident patterns at one station — the center
@@ -871,10 +1059,24 @@ type StatsReply struct {
 	// pre-batch decoder rejects the byte as trailing garbage, so data
 	// centers must upgrade before stations.
 	MaxVersion uint8
+	// Flags carries capability bits (FlagRouteDelegate). The byte was added
+	// with version 6 and is encoded only when nonzero, so a plain station's
+	// reply stays byte-identical to its version-5 form; a reply without it
+	// decodes as Flags == 0 — no capabilities, which is exactly what its
+	// absence proves.
+	Flags uint8
 }
 
+// FlagRouteDelegate marks a peer that answers KindRouteQuery — a region
+// coordinator fronting a subtree of stations rather than a plain station.
+// Version alone cannot distinguish the two once both speak v6, and sending
+// a route query to a plain station would poison its serve loop, so the root
+// only delegates to peers that set this bit.
+const FlagRouteDelegate = uint8(1)
+
 // EncodeStatsReply renders the stats answer, advertising LatestVersion when
-// MaxVersion is unset.
+// MaxVersion is unset. The Flags byte is written only when nonzero, keeping
+// a plain station's reply byte-identical to its pre-v6 form.
 func EncodeStatsReply(s StatsReply) Message {
 	if s.MaxVersion == 0 {
 		s.MaxVersion = LatestVersion
@@ -885,12 +1087,16 @@ func EncodeStatsReply(s StatsReply) Message {
 	w.uvarint(s.StorageBytes)
 	w.uvarint(uint64(s.Length))
 	w.u8(s.MaxVersion)
+	if s.Flags != 0 {
+		w.u8(s.Flags)
+	}
 	return Message{Kind: KindStatsReply, Payload: w.buf}
 }
 
 // DecodeStatsReply parses the stats answer. The MaxVersion byte is optional
 // on the wire: pre-batch peers end the payload after Length, and their reply
-// reads back with MaxVersion == Version2.
+// reads back with MaxVersion == Version2. The Flags byte is optional after
+// that: a reply without it reads back with Flags == 0.
 func DecodeStatsReply(m Message) (StatsReply, error) {
 	if m.Kind != KindStatsReply {
 		return StatsReply{}, fmt.Errorf("wire: decoding %v as stats-reply", m.Kind)
@@ -905,6 +1111,9 @@ func DecodeStatsReply(m Message) (StatsReply, error) {
 	}
 	if r.err == nil && r.off < len(r.buf) {
 		out.MaxVersion = r.u8()
+	}
+	if r.err == nil && r.off < len(r.buf) {
+		out.Flags = r.u8()
 	}
 	if err := r.done(); err != nil {
 		return StatsReply{}, err

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/hex"
 	"errors"
 	"testing"
 
@@ -42,6 +43,19 @@ func TestSummaryReplyRoundtrip(t *testing.T) {
 	}
 	if got.Admits(miss) {
 		t.Fatal("round-tripped summary admits an unrelated query at ε=0")
+	}
+}
+
+// TestWorkedSummaryHex pins the docs/WIRE.md worked v5 summary-reply frame
+// to the live encoder, so the documentation cannot drift from the code.
+func TestWorkedSummaryHex(t *testing.T) {
+	s, err := index.Build(2, []pattern.Pattern{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(EncodeSummaryReply(s, 3).WithRequest(42).Encode())
+	if got != workedSummaryReplyHex {
+		t.Fatalf("summary-reply worked frame drifted:\n got %s\nwant %s", got, workedSummaryReplyHex)
 	}
 }
 
@@ -93,14 +107,14 @@ func TestSummaryReplyRejectsCorruption(t *testing.T) {
 	}
 }
 
-// TestStatsReplyAdvertisesV5 pins the capability handshake: a modern
-// station's stats reply advertises LatestVersion = 5.
-func TestStatsReplyAdvertisesV5(t *testing.T) {
+// TestStatsReplyAdvertisesV6 pins the capability handshake: a modern
+// station's stats reply advertises LatestVersion = 6.
+func TestStatsReplyAdvertisesV6(t *testing.T) {
 	sr, err := DecodeStatsReply(EncodeStatsReply(StatsReply{Station: 3}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sr.MaxVersion != Version5 {
-		t.Fatalf("MaxVersion %d, want %d", sr.MaxVersion, Version5)
+	if sr.MaxVersion != Version6 {
+		t.Fatalf("MaxVersion %d, want %d", sr.MaxVersion, Version6)
 	}
 }

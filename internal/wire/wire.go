@@ -53,6 +53,17 @@
 // only sends KindSummary to stations that advertised MaxVersion >= 5;
 // pre-v5 stations are simply never pruned — every search still visits them.
 //
+// Version 6 adds the routing kinds (KindRouteQuery, KindRouteReply) for the
+// multi-tier coordinator topology: a root coordinator delegates a whole
+// search round — raw queries plus the knobs to process them identically — to
+// a region coordinator, which runs the full search path over its own
+// stations and answers with raw per-person weight sums the root merges and
+// ranks. A route kind in a frame stamped 5 or below is rejected with
+// ErrBadKind, Encode stamps route frames version 6, and the root only sends
+// KindRouteQuery to peers whose stats reply advertised MaxVersion >= 6 with
+// the route-delegate capability flag set (StatsReply.Flags); everything else
+// is searched directly, never pruned. docs/ROUTING.md covers the topology.
+//
 // Payloads use unsigned varints for counts and small integers, raw 64-bit
 // words for bit arrays.
 package wire
@@ -118,14 +129,23 @@ const (
 	KindSummary
 	// KindSummaryReply carries one station's routing summary (v5 only).
 	KindSummaryReply
+	// KindRouteQuery delegates a whole search round — raw queries plus the
+	// processing knobs — to a region coordinator, which fans it out over its
+	// own stations (v6 only).
+	KindRouteQuery
+	// KindRouteReply answers a route query with the region's raw per-person
+	// weight sums and routing counters (v6 only).
+	KindRouteReply
 
 	// maxKindV2 is the last kind a version-1/2 peer understands; the batch
 	// kinds beyond it require version-3 frames, the dump kinds beyond those
-	// require version-4 frames, and the summary kinds version-5 frames.
+	// require version-4 frames, the summary kinds version-5 frames, and the
+	// route kinds version-6 frames.
 	maxKindV2 = KindAck
 	maxKindV3 = KindBatchReply
 	maxKindV4 = KindDumpReply
-	maxKind   = KindSummaryReply
+	maxKindV5 = KindSummaryReply
+	maxKind   = KindRouteReply
 )
 
 func (k Kind) String() string {
@@ -168,6 +188,10 @@ func (k Kind) String() string {
 		return "summary"
 	case KindSummaryReply:
 		return "summary-reply"
+	case KindRouteQuery:
+		return "route-query"
+	case KindRouteReply:
+		return "route-reply"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -175,17 +199,19 @@ func (k Kind) String() string {
 
 // Protocol versions. Version1 frames lack the requestID field; Version2
 // added it; Version3 added the batch kinds with an unchanged header;
-// Version4 added the dump kinds and Version5 the summary kinds, each again
-// with an unchanged header. A receiver accepts any version up to Version5.
+// Version4 added the dump kinds, Version5 the summary kinds and Version6
+// the route kinds, each again with an unchanged header. A receiver accepts
+// any version up to Version6.
 const (
 	Version1 = uint8(1)
 	Version2 = uint8(2)
 	Version3 = uint8(3)
 	Version4 = uint8(4)
 	Version5 = uint8(5)
+	Version6 = uint8(6)
 	// LatestVersion is the highest version this codec speaks — what a
 	// station advertises in its StatsReply.
-	LatestVersion = Version5
+	LatestVersion = Version6
 )
 
 // kindFloors is the version-gating table: the lowest frame version each
@@ -216,6 +242,8 @@ var kindFloors = map[Kind]uint8{
 	KindDumpReply:    Version4,
 	KindSummary:      Version5,
 	KindSummaryReply: Version5,
+	KindRouteQuery:   Version6,
+	KindRouteReply:   Version6,
 }
 
 // MinVersion returns the lowest frame version the kind may appear in, and
@@ -276,12 +304,12 @@ func (m Message) WithRequest(id uint32) Message {
 func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
 
 // encodeVersion resolves the version byte a frame is stamped with: the
-// kind's gating floor (kindFloors) is the minimum — summary kinds version
-// 5, dump kinds version 4, batch kinds version 3 — and everything else
-// defaults to version 2 so pre-batch peers keep decoding it. An explicit
-// Version in [2,5] overrides the default (but never below a kind's floor);
-// version-1 encoding is not supported — v1 is a decode-compatibility floor
-// only.
+// kind's gating floor (kindFloors) is the minimum — route kinds version 6,
+// summary kinds version 5, dump kinds version 4, batch kinds version 3 —
+// and everything else defaults to version 2 so pre-batch peers keep
+// decoding it. An explicit Version in [2,6] overrides the default (but
+// never below a kind's floor); version-1 encoding is not supported — v1 is
+// a decode-compatibility floor only.
 func (m Message) encodeVersion() uint8 {
 	v := m.Version
 	if v < Version2 || v > LatestVersion {
@@ -293,9 +321,9 @@ func (m Message) encodeVersion() uint8 {
 	return v
 }
 
-// Encode renders the frame. Summary kinds are stamped version 5, dump kinds
-// version 4, batch kinds version 3, everything else version 2 (see
-// encodeVersion).
+// Encode renders the frame. Route kinds are stamped version 6, summary
+// kinds version 5, dump kinds version 4, batch kinds version 3, everything
+// else version 2 (see encodeVersion).
 func (m Message) Encode() []byte {
 	out := make([]byte, headerSize+len(m.Payload))
 	binary.LittleEndian.PutUint16(out[0:2], magic)
@@ -315,7 +343,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 	}
 	version = hdr[2]
 	switch version {
-	case Version2, Version3, Version4, Version5:
+	case Version2, Version3, Version4, Version5, Version6:
 		size = headerSize
 		request = binary.LittleEndian.Uint32(hdr[4:8])
 		n = binary.LittleEndian.Uint32(hdr[8:12])
@@ -327,8 +355,9 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 	}
 	kind = Kind(hdr[3])
 	// The batch kinds exist only from version 3, the dump kinds only from
-	// version 4 and the summary kinds only from version 5 (kindFloors): a
-	// newer kind in an older frame is as unknown as kind 200 would be.
+	// version 4, the summary kinds only from version 5 and the route kinds
+	// only from version 6 (kindFloors): a newer kind in an older frame is as
+	// unknown as kind 200 would be.
 	if floor, ok := kindFloors[kind]; !ok || version < floor {
 		return 0, 0, 0, 0, 0, ErrBadKind
 	}
@@ -339,7 +368,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 }
 
 // Decode parses a frame from b, which must contain exactly one frame.
-// Frames of any version up to Version5 are accepted; the version is
+// Frames of any version up to Version6 are accepted; the version is
 // recorded on the returned message.
 func Decode(b []byte) (Message, error) {
 	if len(b) < headerSizeV1 {
@@ -371,7 +400,7 @@ func WriteMessage(w io.Writer, m Message) error {
 }
 
 // ReadMessage reads exactly one frame from r, accepting frames of any
-// version up to Version5.
+// version up to Version6.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
 	// Read the version-1 prefix first: all layouts share magic, version and

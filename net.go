@@ -65,3 +65,19 @@ func (c *Cluster) AddStationLink(ctx context.Context, id uint32, link Link) erro
 func ServeStation(id uint32, locals map[PersonID]Pattern, link Link) error {
 	return cluster.ServeStation(id, locals, link)
 }
+
+// ServeRegion runs a region coordinator over an established link until the
+// parent sends a shutdown or the link closes — the body of one middle tier
+// in a hierarchical deployment. The region fronts a whole running cluster:
+// to its parent it is one station-shaped peer that aggregates stats, serves
+// its subtree's union routing digest, forwards classic station frames to its
+// members, and — for parents that delegate (it advertises the capability in
+// its stats reply) — answers whole search rounds with raw partial sums the
+// parent merges, ranks and verifies. Results through any number of tiers are
+// identical to a flat fan-out over the same stations (docs/ROUTING.md).
+//
+// The caller keeps ownership of the sub-cluster: ServeRegion returning does
+// not shut it down.
+func ServeRegion(id uint32, sub *Cluster, link Link) error {
+	return cluster.ServeRegion(id, sub.inner, link)
+}
