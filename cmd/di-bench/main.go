@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|recovery|routing|stream|hierarchy] [-quick] [-strategy wbf]
+//	di-bench [-run all|fig1a|fig1b|fig3|conv|fig4|table2|salting|tolerance|sizing|resilience|batch|replication|recovery|routing|stream|hierarchy|adaptive] [-quick] [-strategy wbf]
 //	di-bench -run batch -batch-out BENCH_batch.json
 //	di-bench -batch-check BENCH_batch.json
 //	di-bench -run replication -replication-out BENCH_replication.json
@@ -16,6 +16,8 @@
 //	di-bench -stream-check BENCH_stream.json
 //	di-bench -run hierarchy -hierarchy-out BENCH_hierarchy.json
 //	di-bench -hierarchy-check BENCH_hierarchy.json
+//	di-bench -run adaptive -adaptive-out BENCH_adaptive.json
+//	di-bench -adaptive-check BENCH_adaptive.json
 //
 // The default -run all executes every experiment at full scale (a few
 // minutes); -quick shrinks the workloads for a fast smoke run. -strategy
@@ -75,6 +77,17 @@
 // tiers — the CI gate for the hierarchical-routing claim. Note the quick
 // run shrinks the sweep below 1024 stations, so its output does not pass
 // -hierarchy-check; record the baseline at full scale.
+//
+// -run adaptive measures the traffic-adaptive parameter rollout on a Zipfian
+// traffic mix — at each skew a live cluster is warmed with routed traffic,
+// RederiveParams rolls a Daisy-style plan onto every station, and the
+// adaptive digests are compared against static ones at exactly equal memory
+// — and, with -adaptive-out, records the result as BENCH_adaptive.json.
+// -adaptive-check validates a recorded baseline and exits non-zero unless
+// every skew cell rolled out to all stations, searched byte-identically to a
+// never-adapted twin with recall 1, and made strictly fewer empty-band false
+// admissions than static (false routes no worse measured, strictly better by
+// the analytic bound) — the CI gate for the adaptivity claim.
 package main
 
 import (
@@ -92,7 +105,7 @@ import (
 
 func main() {
 	var (
-		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, recovery, routing, stream, hierarchy")
+		run              = flag.String("run", "all", "experiment to run: all, fig1a, fig1b, fig3, conv, fig4, table2, salting, tolerance, sizing, resilience, batch, replication, recovery, routing, stream, hierarchy, adaptive")
 		quick            = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		strategy         = flag.String("strategy", "wbf", "strategy for the resilience experiment (naive, bf, wbf)")
 		batchOut         = flag.String("batch-out", "", "with -run batch: also write the report as JSON to this file")
@@ -107,6 +120,8 @@ func main() {
 		streamCheck      = flag.String("stream-check", "", "validate a recorded BENCH_stream.json and exit (no experiments run)")
 		hierarchyOut     = flag.String("hierarchy-out", "", "with -run hierarchy: also write the report as JSON to this file")
 		hierarchyCheck   = flag.String("hierarchy-check", "", "validate a recorded BENCH_hierarchy.json and exit (no experiments run)")
+		adaptiveOut      = flag.String("adaptive-out", "", "with -run adaptive: also write the report as JSON to this file")
+		adaptiveCheck    = flag.String("adaptive-check", "", "validate a recorded BENCH_adaptive.json and exit (no experiments run)")
 	)
 	flag.Parse()
 	if *batchCheck != "" {
@@ -149,6 +164,14 @@ func main() {
 		fmt.Printf("%s: valid stream baseline\n", *streamCheck)
 		return
 	}
+	if *adaptiveCheck != "" {
+		if err := checkAdaptiveFile(*adaptiveCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "di-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid adaptive baseline\n", *adaptiveCheck)
+		return
+	}
 	if *hierarchyCheck != "" {
 		if err := checkHierarchyFile(*hierarchyCheck); err != nil {
 			fmt.Fprintln(os.Stderr, "di-bench:", err)
@@ -162,7 +185,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
-	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *recoveryOut, *routingOut, *streamOut, *hierarchyOut); err != nil {
+	if err := runExperiments(*run, *quick, strat, *batchOut, *replicationOut, *recoveryOut, *routingOut, *streamOut, *hierarchyOut, *adaptiveOut); err != nil {
 		fmt.Fprintln(os.Stderr, "di-bench:", err)
 		os.Exit(1)
 	}
@@ -217,6 +240,51 @@ func checkStreamFile(path string) error {
 // checkHierarchyFile validates a recorded hierarchy baseline.
 func checkHierarchyFile(path string) error {
 	return checkBaselineFile(path, bench.CheckHierarchyJSON)
+}
+
+// checkAdaptiveFile validates a recorded adaptive-parameters baseline.
+func checkAdaptiveFile(path string) error {
+	return checkBaselineFile(path, bench.CheckAdaptiveJSON)
+}
+
+// runAdaptiveBaseline runs the adaptive-vs-static skew sweep, prints it, and
+// optionally records the JSON baseline. The quick run shrinks the traffic
+// samples; its output is still expected to pass -adaptive-check (the gates
+// are seeded and deterministic), but the recorded baseline comes from the
+// full-scale run.
+func runAdaptiveBaseline(w *os.File, quick bool, out string) error {
+	cfg := bench.AdaptiveConfig{}
+	if quick {
+		cfg.WarmQueries = 300
+		cfg.MeasureQueries = 800
+		cfg.Skews = []bench.AdaptiveSkew{
+			{Name: "uniform", ZipfS: 0, DigestSeeds: 1},
+			{Name: "zipf1.2", ZipfS: 1.2, DigestSeeds: 1},
+			{Name: "zipf2.0", ZipfS: 2.0, DigestSeeds: 3},
+		}
+	}
+	r, err := bench.RunAdaptiveBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	bench.RenderAdaptive(w, r)
+	fmt.Fprintln(w)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteAdaptiveJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded adaptive baseline: %s\n", out)
+	return nil
 }
 
 // runHierarchyBaseline runs the flat-vs-hierarchy sweep, prints it, and
@@ -424,7 +492,7 @@ func runBatchBaseline(w *os.File, quick bool, out string) error {
 	return nil
 }
 
-func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, recoveryOut, routingOut, streamOut, hierarchyOut string) error {
+func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, replicationOut, recoveryOut, routingOut, streamOut, hierarchyOut, adaptiveOut string) error {
 	selected := func(name string) bool { return run == "all" || run == name }
 	any := false
 	w := os.Stdout
@@ -594,8 +662,14 @@ func runExperiments(run string, quick bool, strat dimatch.Strategy, batchOut, re
 			return err
 		}
 	}
+	if selected("adaptive") {
+		any = true
+		if err := runAdaptiveBaseline(os.Stdout, quick, adaptiveOut); err != nil {
+			return err
+		}
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication recovery routing stream hierarchy)", strings.TrimSpace(run))
+		return fmt.Errorf("unknown experiment %q (want one of: all fig1a fig1b fig3 conv fig4 table2 salting tolerance sizing resilience batch replication recovery routing stream hierarchy adaptive)", strings.TrimSpace(run))
 	}
 	return nil
 }

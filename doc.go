@@ -102,6 +102,29 @@
 // stations) and docs/ROUTING.md carries the design, the soundness
 // argument and the benchmark methodology.
 //
+// # Adaptive digest parameters
+//
+// Routed searches feed a traffic profiler as a side effect: which
+// positions the probes sample, how wide the bands are, and which lookups
+// the digests prove nobody can serve. RederiveParams solves a Daisy-style
+// allocation over that profile — per-position bit budgets, hash counts
+// and quanta under each station's unchanged memory budget — and rolls the
+// plan out to every wire-v7 station as one epoch-atomic parameter update;
+// searches stamp the epoch they ran under into CostReport.ParamEpoch and
+// ResetParams reverts the fleet to static the same way:
+//
+//	roll, err := c.RederiveParams(ctx)
+//	fmt.Println(len(roll.Applied), "stations adaptive at epoch", roll.Epoch)
+//	epoch, plan := c.ParamState()
+//
+// Adaptation redistributes admission bits, never match behavior: results
+// stay byte-identical to a never-adapted cluster, recall stays 1, and
+// every failure path — a pre-v7 station, a plan a station cannot honor, a
+// failed exchange, a solver that cannot beat static — degrades to the
+// static table. BENCH_adaptive.json records the gain at equal memory on a
+// Zipfian traffic mix and docs/OPERATIONS.md covers when to rederive and
+// how to size Options.AdaptWindow.
+//
 // # Batched searches
 //
 // A WBF search ships its whole query set in one batched wire exchange per

@@ -1,0 +1,276 @@
+package adapt
+
+import (
+	"testing"
+
+	"dimatch/internal/core"
+	"dimatch/internal/index"
+	"dimatch/internal/pattern"
+)
+
+func probeFor(t *testing.T, p pattern.Pattern, samples int, eps int64) index.Probe {
+	t.Helper()
+	q := core.Query{ID: 1, Locals: []pattern.Pattern{p}}
+	probe, err := index.NewProbe(q, samples, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return probe
+}
+
+func TestProfilerObserve(t *testing.T) {
+	p := NewProfiler(4, 0)
+	if p.Length() != 4 {
+		t.Fatalf("length %d", p.Length())
+	}
+	probe := probeFor(t, pattern.Pattern{5, 6, 7, 8}, 4, 1)
+	var wantProbes, wantVolume float64
+	probe.EachBand(func(pos int, lo, hi int64) {
+		wantProbes++
+		wantVolume += float64(hi-lo) + 1
+	})
+	if wantProbes == 0 {
+		t.Fatal("fixture probe has no bands")
+	}
+	p.Observe(probe)
+	p.Observe(probe)
+	s := p.Snapshot()
+	if s.Queries != 2 {
+		t.Fatalf("queries %v", s.Queries)
+	}
+	var gotProbes, gotVolume float64
+	for g := 0; g < s.Length; g++ {
+		gotProbes += s.Probes[g]
+		gotVolume += s.Volume[g]
+	}
+	if gotProbes != 2*wantProbes || gotVolume != 2*wantVolume {
+		t.Fatalf("observed %v bands / %v volume, want %v / %v", gotProbes, gotVolume, 2*wantProbes, 2*wantVolume)
+	}
+
+	// Snapshot must be a copy: mutating it cannot touch the profiler.
+	s.Probes[0] += 100
+	if got := p.Snapshot(); got.Probes[0] == s.Probes[0] {
+		t.Fatal("snapshot aliases profiler state")
+	}
+}
+
+func TestProfilerObserveMiss(t *testing.T) {
+	p := NewProfiler(4, 0)
+	p.ObserveMiss(1, 10, 14)
+	p.ObserveMiss(1, 20, 20)
+	p.ObserveMiss(-1, 0, 0) // out of range: ignored
+	p.ObserveMiss(9, 0, 0)  // out of range: ignored
+	p.ObserveMiss(2, 5, 4)  // inverted band: ignored
+	s := p.Snapshot()
+	if s.Misses[1] != 2 || s.MissVolume[1] != 6 {
+		t.Fatalf("misses %v volume %v, want 2 / 6", s.Misses[1], s.MissVolume[1])
+	}
+	for g := 0; g < 4; g++ {
+		if g != 1 && (s.Misses[g] != 0 || s.MissVolume[g] != 0) {
+			t.Fatalf("stray miss residue at position %d: %+v", g, s)
+		}
+	}
+}
+
+func TestProfilerDecayAndReset(t *testing.T) {
+	p := NewProfiler(4, 4)
+	probe := probeFor(t, pattern.Pattern{5, 6, 7, 8}, 4, 0)
+	p.ObserveMiss(0, 1, 4)
+	for i := 0; i < 4; i++ {
+		p.Observe(probe)
+	}
+	// The 4th observation fills the window: every counter halves.
+	s := p.Snapshot()
+	if s.Queries != 2 {
+		t.Fatalf("after decay queries = %v, want 2", s.Queries)
+	}
+	if s.Misses[0] != 0.5 || s.MissVolume[0] != 2 {
+		t.Fatalf("miss counters not decayed: %v / %v", s.Misses[0], s.MissVolume[0])
+	}
+	p.Reset()
+	s = p.Snapshot()
+	if s.Queries != 0 || s.Probes[0] != 0 || s.Volume[0] != 0 || s.Misses[0] != 0 || s.MissVolume[0] != 0 {
+		t.Fatalf("reset left residue: %+v", s)
+	}
+}
+
+func TestDeriveNoTraffic(t *testing.T) {
+	p := NewProfiler(4, 0)
+	if _, err := Derive(p.Snapshot(), 10, 1, 1); err != ErrNoTraffic {
+		t.Fatalf("err = %v, want ErrNoTraffic", err)
+	}
+	// Unselective probes advance the clock but carry no bands.
+	if _, err := Derive(Snapshot{Length: 4, Queries: 5, Probes: make([]float64, 4), Volume: make([]float64, 4)}, 10, 1, 1); err != ErrNoTraffic {
+		t.Fatalf("err = %v, want ErrNoTraffic", err)
+	}
+}
+
+func TestDeriveMalformedSnapshot(t *testing.T) {
+	if _, err := Derive(Snapshot{Length: 3, Queries: 1, Probes: []float64{1}, Volume: []float64{1, 1, 1}}, 10, 1, 1); err == nil {
+		t.Fatal("mismatched counter lengths accepted")
+	}
+	if _, err := Derive(Snapshot{}, 10, 1, 1); err == nil {
+		t.Fatal("zero-length snapshot accepted")
+	}
+	bad := syntheticSnapshot(4)
+	bad.Misses = []float64{1}
+	bad.MissVolume = []float64{1, 1, 1, 1}
+	if _, err := Derive(bad, 10, 1, 1); err == nil {
+		t.Fatal("mismatched miss counter lengths accepted")
+	}
+}
+
+// TestDeriveFollowsMisses: with emptiness feedback present, bits chase the
+// observed empty-band volume, not the raw probe volume — a cold position
+// whose probes are almost always empty must out-rank a hot position whose
+// probes always hit.
+func TestDeriveFollowsMisses(t *testing.T) {
+	length := 4
+	s := Snapshot{
+		Length:     length,
+		Queries:    1000,
+		Probes:     []float64{100, 5000, 100, 100},
+		Volume:     []float64{100, 5000, 100, 100},
+		Misses:     make([]float64, length),
+		MissVolume: make([]float64, length),
+	}
+	// Position 1 is hot but its bands always hit residents; position 2 is
+	// cold but every one of its probes lands on an empty band.
+	s.Misses[2] = 100
+	s.MissVolume[2] = 100
+	plan, err := Derive(s, 64, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Groups[2].Weight <= plan.Groups[1].Weight {
+		t.Fatalf("all-miss position weight %d not above never-miss hot position weight %d",
+			plan.Groups[2].Weight, plan.Groups[1].Weight)
+	}
+}
+
+func syntheticSnapshot(length int) Snapshot {
+	s := Snapshot{
+		Length:  length,
+		Queries: 1000,
+		Probes:  make([]float64, length),
+		Volume:  make([]float64, length),
+	}
+	for g := range s.Probes {
+		s.Probes[g] = float64(1000 * (g + 1))
+		s.Volume[g] = s.Probes[g] * float64(1+2*g) // mean band width grows with g
+	}
+	return s
+}
+
+// TestDeriveValidDeterministicExact: the solver returns a valid plan, is a
+// pure function of its inputs, and its weights resolve to exactly the
+// static budget.
+func TestDeriveValidDeterministicExact(t *testing.T) {
+	s := syntheticSnapshot(8)
+	const residents = 64
+	plan, err := Derive(s, residents, 99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Epoch != 5 || plan.Seed != 99 || plan.Length != 8 {
+		t.Fatalf("plan header wrong: %+v", plan)
+	}
+	again, err := Derive(s, residents, 99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Equal(again) {
+		t.Fatal("Derive is not deterministic")
+	}
+	budget := index.StaticBudgetBits(8, residents)
+	geoms, err := index.PartitionBudget(plan, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, g := range geoms {
+		total += g.Bits
+	}
+	if total != budget {
+		t.Fatalf("plan spends %d of %d budget bits", total, budget)
+	}
+}
+
+// TestDeriveFollowsSkew: a group carrying almost all the probe volume must
+// receive the largest bit region.
+func TestDeriveFollowsSkew(t *testing.T) {
+	length := 6
+	s := Snapshot{
+		Length:  length,
+		Queries: 1000,
+		Probes:  make([]float64, length),
+		Volume:  make([]float64, length),
+	}
+	for g := range s.Probes {
+		s.Probes[g] = 10
+		s.Volume[g] = 10
+	}
+	s.Probes[2] = 5000
+	s.Volume[2] = 5000 // narrow bands: quantum stays 1, all volume is real lookups
+	plan, err := Derive(s, 64, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, grp := range plan.Groups {
+		if g != 2 && grp.Weight >= plan.Groups[2].Weight {
+			t.Fatalf("cold group %d weight %d >= hot group weight %d", g, grp.Weight, plan.Groups[2].Weight)
+		}
+	}
+}
+
+// TestDeriveQuantization: bands at or above quantizeMinWidth coarsen toward
+// targetProbesPerBand lookups; narrower bands keep full resolution — even
+// moderately wide ones, where coarsening only over-admits.
+func TestDeriveQuantization(t *testing.T) {
+	length := 3
+	s := Snapshot{
+		Length:  length,
+		Queries: 100,
+		Probes:  []float64{100, 100, 100},
+		Volume:  []float64{100, 100 * 40, 100 * 96}, // mean widths 1, 40, 96
+	}
+	plan, err := Derive(s, 32, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := plan.Groups[0].Quantum; q != 1 {
+		t.Fatalf("narrow group quantized to %d", q)
+	}
+	if q := plan.Groups[1].Quantum; q != 1 {
+		t.Fatalf("sub-threshold group (width 40 < %d) quantized to %d", quantizeMinWidth, q)
+	}
+	if q := plan.Groups[2].Quantum; q != 3 {
+		t.Fatalf("wide group quantum %d, want 96/%d = 3", q, targetProbesPerBand)
+	}
+}
+
+// TestBoundsOrdering: on a skewed profile the adaptive analytic bound must
+// undercut the static one at the same budget — the solver's whole claim.
+func TestBoundsOrdering(t *testing.T) {
+	s := syntheticSnapshot(8)
+	const residents = 64
+	plan, err := Derive(s, residents, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := index.StaticBudgetBits(8, residents)
+	adaptiveBound, err := PlanFalseRouteBound(plan, s, residents, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticBound := StaticFalseRouteBound(s, residents, budget, 7)
+	if adaptiveBound <= 0 || staticBound <= 0 {
+		t.Fatalf("degenerate bounds: adaptive %v static %v", adaptiveBound, staticBound)
+	}
+	if adaptiveBound >= staticBound {
+		t.Fatalf("adaptive bound %v does not beat static %v at equal budget", adaptiveBound, staticBound)
+	}
+}

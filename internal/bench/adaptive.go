@@ -1,0 +1,556 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+
+	"dimatch/internal/adapt"
+	"dimatch/internal/cluster"
+	"dimatch/internal/core"
+	"dimatch/internal/index"
+	"dimatch/internal/pattern"
+)
+
+// The adaptive bench measures the Daisy-style parameter rollout end to end:
+// a live cluster is warmed with skewed routed traffic, RederiveParams rolls
+// a plan onto every station, and the resulting adaptive digests are compared
+// against static digests at exactly equal memory — measured empty-band false
+// admissions, measured false routes, and the analytic Daisy bounds. The live
+// half of each cell also asserts the adaptivity contract: routed search
+// results stay byte-identical to a never-adapted twin cluster, and recall on
+// resident targets stays 1.
+
+// AdaptiveSkew is one traffic shape of the sweep: a value distribution and
+// the number of fixed hash seeds the digest comparison aggregates (heavier
+// skews concentrate the empty-band probes on fewer distinct keys, so they
+// need more digest pairs for the same statistical power).
+type AdaptiveSkew struct {
+	Name string `json:"name"`
+	// ZipfS is the Zipf exponent of the value distribution; 0 is uniform.
+	ZipfS float64 `json:"zipf_s"`
+	// DigestSeeds is how many fixed-seed digest pairs the offline
+	// comparison aggregates.
+	DigestSeeds int `json:"digest_seeds"`
+}
+
+// AdaptiveConfig sizes the run.
+type AdaptiveConfig struct {
+	// Seed fixes populations, traffic and the cluster hash family.
+	Seed uint64 `json:"seed"`
+	// Stations is the cluster width (default 6).
+	Stations int `json:"stations"`
+	// ResidentsPerStation sizes each station's store (default 64).
+	ResidentsPerStation int `json:"residents_per_station"`
+	// PatternLength is the time-series length (default 8).
+	PatternLength int `json:"pattern_length"`
+	// Domain bounds drawn attribute values to [1, Domain] (default 3000).
+	Domain int64 `json:"domain"`
+	// Samples is b, the sampled positions per probe (default 2: the
+	// solver's target regime — a few hot positions, the rest idle — and a
+	// band-product short enough that whole-query false routes actually
+	// occur at measurable rates).
+	Samples int `json:"samples"`
+	// Epsilon is the scaled matching tolerance (default 3).
+	Epsilon int64 `json:"epsilon"`
+	// WarmQueries is the routed traffic profiled before the rollout
+	// (default 600).
+	WarmQueries int `json:"warm_queries"`
+	// MeasureQueries is the offline probe sample replayed against every
+	// digest pair (default 2500).
+	MeasureQueries int `json:"measure_queries"`
+	// LiveQueries is the post-rollout live search whose results must match
+	// the static twin byte for byte (default 48, on top of one exact
+	// resident target per station).
+	LiveQueries int `json:"live_queries"`
+	// Skews is the traffic-shape sweep (default uniform, zipf 1.2 and
+	// zipf 2.0).
+	Skews []AdaptiveSkew `json:"skews"`
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Stations == 0 {
+		c.Stations = 6
+	}
+	if c.ResidentsPerStation == 0 {
+		c.ResidentsPerStation = 64
+	}
+	if c.PatternLength == 0 {
+		c.PatternLength = 8
+	}
+	if c.Domain == 0 {
+		c.Domain = 3000
+	}
+	if c.Samples == 0 {
+		c.Samples = 2
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 3
+	}
+	if c.WarmQueries == 0 {
+		c.WarmQueries = 600
+	}
+	if c.MeasureQueries == 0 {
+		c.MeasureQueries = 2500
+	}
+	if c.LiveQueries == 0 {
+		c.LiveQueries = 48
+	}
+	if len(c.Skews) == 0 {
+		c.Skews = []AdaptiveSkew{
+			{Name: "uniform", ZipfS: 0, DigestSeeds: 2},
+			{Name: "zipf1.2", ZipfS: 1.2, DigestSeeds: 2},
+			{Name: "zipf2.0", ZipfS: 2.0, DigestSeeds: 8},
+		}
+	}
+	return c
+}
+
+// AdaptiveScenario is one skew cell of the recorded report.
+type AdaptiveScenario struct {
+	Skew  string  `json:"skew"`
+	ZipfS float64 `json:"zipf_s"`
+	// RolloutEpoch is the epoch RederiveParams installed; RolloutApplied
+	// counts stations that acknowledged running the plan (must be all).
+	RolloutEpoch   uint64 `json:"rollout_epoch"`
+	RolloutApplied int    `json:"rollout_applied"`
+	// ParamEpoch is the epoch the post-rollout live search stamped into its
+	// cost report — proof the searches actually ran under the plan.
+	ParamEpoch uint64 `json:"param_epoch"`
+	// ResultsMatchStatic: the adaptive cluster's routed results were
+	// byte-identical to a never-adapted twin's full fan-out.
+	ResultsMatchStatic bool `json:"results_match_static"`
+	// Recall is the fraction of exact resident targets retrieved (must
+	// be 1).
+	Recall float64 `json:"recall"`
+	// DigestBits is each digest's size; adaptive and static pairs are
+	// asserted equal before anything is counted.
+	DigestBits  uint64 `json:"digest_bits"`
+	DigestPairs int    `json:"digest_pairs"`
+	// EmptyBands is the number of (probe, band, station) lookups whose band
+	// holds no resident — the false-admission trials. The *BandFPs fields
+	// count how many each digest kind falsely admitted.
+	EmptyBands      int `json:"empty_bands"`
+	AdaptiveBandFPs int `json:"adaptive_band_fps"`
+	StaticBandFPs   int `json:"static_band_fps"`
+	// *FalseRoutes count whole probes admitted at a station holding no true
+	// match; *Misses count true matches a digest rejected (must be 0).
+	AdaptiveFalseRoutes int `json:"adaptive_false_routes"`
+	StaticFalseRoutes   int `json:"static_false_routes"`
+	AdaptiveMisses      int `json:"adaptive_misses"`
+	StaticMisses        int `json:"static_misses"`
+	// AdaptiveBound / StaticBound are the analytic Daisy-style expected
+	// false-admission bounds at the recorded budget.
+	AdaptiveBound float64 `json:"adaptive_bound"`
+	StaticBound   float64 `json:"static_bound"`
+}
+
+// AdaptiveReport is the full run, serialized to BENCH_adaptive.json.
+type AdaptiveReport struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Config     AdaptiveConfig     `json:"config"`
+	Scenarios  []AdaptiveScenario `json:"scenarios"`
+}
+
+// adaptiveSchema versions the JSON layout for the CI validator.
+const adaptiveSchema = "dimatch-adaptive-bench/v1"
+
+// adaptiveDraw samples one attribute value under the skew.
+func adaptiveDraw(r *rand.Rand, z *rand.Zipf, domain int64) int64 {
+	if z == nil {
+		return 1 + r.Int63n(domain)
+	}
+	return 1 + int64(z.Uint64())
+}
+
+func adaptivePattern(r *rand.Rand, z *rand.Zipf, cfg AdaptiveConfig) pattern.Pattern {
+	p := make(pattern.Pattern, cfg.PatternLength)
+	for i := range p {
+		p[i] = adaptiveDraw(r, z, cfg.Domain)
+	}
+	return p
+}
+
+// adaptiveOptions pins every search knob so the adaptive cluster and its
+// static twin run byte-identical pipelines — the only permitted divergence
+// is the routing digests' parameter plan.
+func adaptiveOptions(cfg AdaptiveConfig) cluster.Options {
+	return cluster.Options{
+		Params: core.Params{
+			Bits:    1 << 16,
+			Hashes:  5,
+			Samples: cfg.Samples,
+			Epsilon: cfg.Epsilon,
+			Seed:    cfg.Seed,
+		},
+		MinScore:    0.9,
+		AdaptWindow: 1 << 20, // larger than any run's traffic: no decay mid-profile
+	}
+}
+
+// adaptiveBand is one probe band, flattened for ground-truth replay.
+type adaptiveBand struct {
+	pos    int
+	lo, hi int64
+}
+
+// runAdaptiveScenario runs one skew cell end to end.
+func runAdaptiveScenario(ctx context.Context, cfg AdaptiveConfig, sk AdaptiveSkew) (AdaptiveScenario, error) {
+	fail := func(err error) (AdaptiveScenario, error) {
+		return AdaptiveScenario{}, fmt.Errorf("bench: adaptive %s: %w", sk.Name, err)
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) ^ int64(len(sk.Name))<<32 ^ int64(sk.ZipfS*1000)))
+	var z *rand.Zipf
+	if sk.ZipfS != 0 {
+		z = rand.NewZipf(rng, sk.ZipfS, 1, uint64(cfg.Domain-1))
+	}
+
+	// Population: Stations stores of ResidentsPerStation patterns drawn
+	// under the same skew as the traffic.
+	data := make(map[uint32]map[core.PersonID]pattern.Pattern, cfg.Stations)
+	locals := make(map[uint32][]pattern.Pattern, cfg.Stations)
+	for s := 0; s < cfg.Stations; s++ {
+		st := make(map[core.PersonID]pattern.Pattern, cfg.ResidentsPerStation)
+		for j := 0; j < cfg.ResidentsPerStation; j++ {
+			pid := core.PersonID(s*cfg.ResidentsPerStation + j + 1)
+			p := adaptivePattern(rng, z, cfg)
+			st[pid] = p
+			locals[uint32(s)] = append(locals[uint32(s)], p)
+		}
+		data[uint32(s)] = st
+	}
+
+	// Twin clusters over identical data and identical pinned options. Only
+	// the adaptive one will ever see a rollout.
+	adaptiveC, err := cluster.New(adaptiveOptions(cfg), data)
+	if err != nil {
+		return fail(err)
+	}
+	adaptiveC.Start()
+	defer func() { _ = adaptiveC.Shutdown() }()
+	staticC, err := cluster.New(adaptiveOptions(cfg), data)
+	if err != nil {
+		return fail(err)
+	}
+	staticC.Start()
+	defer func() { _ = staticC.Shutdown() }()
+
+	// Warm phase: routed traffic feeds the adaptive cluster's profiler
+	// (probe bands plus the digest-rejected emptiness signal).
+	const warmBatch = 25
+	for off := 0; off < cfg.WarmQueries; off += warmBatch {
+		n := warmBatch
+		if off+n > cfg.WarmQueries {
+			n = cfg.WarmQueries - off
+		}
+		queries := make([]core.Query, n)
+		for i := range queries {
+			queries[i] = core.Query{
+				ID:     core.QueryID(off + i + 1),
+				Locals: []pattern.Pattern{adaptivePattern(rng, z, cfg)},
+			}
+		}
+		if _, err := adaptiveC.Search(ctx, queries); err != nil {
+			return fail(err)
+		}
+	}
+
+	// The profile the plan is derived from — captured before the rollout so
+	// the analytic bounds below are computed on exactly the derivation
+	// input.
+	snap := adaptiveC.TrafficSnapshot()
+	roll, err := adaptiveC.RederiveParams(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	if roll.Plan == nil {
+		return fail(fmt.Errorf("rollout installed no plan"))
+	}
+	scen := AdaptiveScenario{
+		Skew:           sk.Name,
+		ZipfS:          sk.ZipfS,
+		RolloutEpoch:   roll.Epoch,
+		RolloutApplied: len(roll.Applied),
+	}
+
+	// Live equivalence: the first Stations queries target one exact
+	// resident per station (the recall probes), the rest are skewed draws.
+	// The adaptive cluster's routed search must reproduce the static twin's
+	// full fan-out byte for byte.
+	targets := make([]core.PersonID, cfg.Stations)
+	live := make([]core.Query, 0, cfg.Stations+cfg.LiveQueries)
+	for s := 0; s < cfg.Stations; s++ {
+		pid := core.PersonID(s*cfg.ResidentsPerStation + 1)
+		targets[s] = pid
+		live = append(live, core.Query{
+			ID:     core.QueryID(s + 1),
+			Locals: []pattern.Pattern{data[uint32(s)][pid]},
+		})
+	}
+	for i := 0; i < cfg.LiveQueries; i++ {
+		live = append(live, core.Query{
+			ID:     core.QueryID(cfg.Stations + i + 1),
+			Locals: []pattern.Pattern{adaptivePattern(rng, z, cfg)},
+		})
+	}
+	reference, err := staticC.Search(ctx, live, cluster.WithRouting(cluster.RoutingFull))
+	if err != nil {
+		return fail(err)
+	}
+	staticRouted, err := staticC.Search(ctx, live)
+	if err != nil {
+		return fail(err)
+	}
+	adaptiveRouted, err := adaptiveC.Search(ctx, live)
+	if err != nil {
+		return fail(err)
+	}
+	scen.ResultsMatchStatic = outcomesEqual(live, reference, adaptiveRouted) &&
+		outcomesEqual(live, reference, staticRouted)
+	scen.Recall = targetRecall(adaptiveRouted, targets)
+	scen.ParamEpoch = adaptiveRouted.Cost.ParamEpoch
+
+	// Offline digest comparison at equal memory: replay a fresh skewed
+	// probe sample against adaptive and static digests rebuilt from the
+	// live plan under several fixed hash seeds. Band ground truth (does any
+	// resident's accumulated value fall in the band?) is seed-independent,
+	// so it is computed once per (probe, station).
+	_, plan := adaptiveC.ParamState()
+	if plan == nil {
+		return fail(fmt.Errorf("no live plan after rollout"))
+	}
+	accs := make(map[uint32][]pattern.Pattern, cfg.Stations)
+	for s, ps := range locals {
+		for _, p := range ps {
+			accs[s] = append(accs[s], p.Accumulate())
+		}
+	}
+	probes := make([]index.Probe, cfg.MeasureQueries)
+	bands := make([][]adaptiveBand, cfg.MeasureQueries)
+	for i := range probes {
+		pr, err := index.NewProbe(
+			core.Query{ID: core.QueryID(i + 1), Locals: []pattern.Pattern{adaptivePattern(rng, z, cfg)}},
+			cfg.Samples, cfg.Epsilon)
+		if err != nil {
+			return fail(err)
+		}
+		probes[i] = pr
+		pr.EachBand(func(pos int, lo, hi int64) {
+			bands[i] = append(bands[i], adaptiveBand{pos: pos, lo: lo, hi: hi})
+		})
+	}
+	// occupied[s][i][b]: band b of probe i truly holds a resident of
+	// station s; truth[s][i]: every band does (an exact-admission match).
+	occupied := make(map[uint32][][]bool, cfg.Stations)
+	truth := make(map[uint32][]bool, cfg.Stations)
+	for s := uint32(0); s < uint32(cfg.Stations); s++ {
+		occupied[s] = make([][]bool, cfg.MeasureQueries)
+		truth[s] = make([]bool, cfg.MeasureQueries)
+		for i, bs := range bands {
+			occ := make([]bool, len(bs))
+			all := true
+			for b, band := range bs {
+				for _, acc := range accs[s] {
+					if acc[band.pos] >= band.lo && acc[band.pos] <= band.hi {
+						occ[b] = true
+						break
+					}
+				}
+				if !occ[b] {
+					all = false
+				}
+			}
+			occupied[s][i] = occ
+			truth[s][i] = all
+		}
+	}
+
+	scen.DigestPairs = sk.DigestSeeds * cfg.Stations
+	for seed := 0; seed < sk.DigestSeeds; seed++ {
+		p := plan.Clone()
+		p.Seed = 0x5eed0000 + uint64(seed)
+		for s := uint32(0); s < uint32(cfg.Stations); s++ {
+			adaptiveD, err := index.BuildAdaptive(p, cfg.PatternLength, locals[s])
+			if err != nil {
+				return fail(err)
+			}
+			staticD, err := index.New(cfg.PatternLength, cfg.ResidentsPerStation, 0, p.Seed)
+			if err != nil {
+				return fail(err)
+			}
+			for _, l := range locals[s] {
+				if err := staticD.Add(l); err != nil {
+					return fail(err)
+				}
+			}
+			if adaptiveD.Bits() != staticD.Bits() {
+				return fail(fmt.Errorf("unequal memory: adaptive %d bits, static %d", adaptiveD.Bits(), staticD.Bits()))
+			}
+			scen.DigestBits = adaptiveD.Bits()
+			if scen.StaticBound == 0 {
+				scen.StaticBound = adapt.StaticFalseRouteBound(snap, cfg.ResidentsPerStation, staticD.Bits(), staticD.Hashes())
+				scen.AdaptiveBound, err = adapt.PlanFalseRouteBound(plan, snap, cfg.ResidentsPerStation, adaptiveD.Bits())
+				if err != nil {
+					return fail(err)
+				}
+			}
+			for i, pr := range probes {
+				for b, band := range bands[i] {
+					if occupied[s][i][b] {
+						continue
+					}
+					scen.EmptyBands++
+					if adaptiveD.BandAdmit(band.pos, band.lo, band.hi) {
+						scen.AdaptiveBandFPs++
+					}
+					if staticD.BandAdmit(band.pos, band.lo, band.hi) {
+						scen.StaticBandFPs++
+					}
+				}
+				switch {
+				case truth[s][i]:
+					if !adaptiveD.Admits(pr) {
+						scen.AdaptiveMisses++
+					}
+					if !staticD.Admits(pr) {
+						scen.StaticMisses++
+					}
+				default:
+					if adaptiveD.Admits(pr) {
+						scen.AdaptiveFalseRoutes++
+					}
+					if staticD.Admits(pr) {
+						scen.StaticFalseRoutes++
+					}
+				}
+			}
+		}
+	}
+	return scen, nil
+}
+
+// RunAdaptiveBench runs the whole skew sweep.
+func RunAdaptiveBench(ctx context.Context, cfg AdaptiveConfig) (*AdaptiveReport, error) {
+	cfg = cfg.withDefaults()
+	report := &AdaptiveReport{
+		Schema:     adaptiveSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+	}
+	for _, sk := range cfg.Skews {
+		scen, err := runAdaptiveScenario(ctx, cfg, sk)
+		if err != nil {
+			return nil, err
+		}
+		report.Scenarios = append(report.Scenarios, scen)
+	}
+	return report, nil
+}
+
+// WriteAdaptiveJSON serializes the report, indented for diff-friendly
+// commits of the recorded baseline.
+func WriteAdaptiveJSON(w io.Writer, r *AdaptiveReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CheckAdaptiveJSON validates a serialized report: parseable, the right
+// schema, and every skew cell passing the adaptivity gates — the rollout
+// reached every station, the live searches ran under the installed epoch
+// with results byte-equal to the static twin and recall 1, no digest missed
+// a true match, and at exactly equal memory the adaptive digests made
+// strictly fewer empty-band false admissions than the static ones (equal
+// only when static made none), with false routes no worse measured and
+// strictly better by the analytic bound. The counts are seeded and
+// protocol-determined, so the gates are deterministic across machines. CI
+// runs this against both the freshly generated artifact and the committed
+// BENCH_adaptive.json.
+func CheckAdaptiveJSON(r io.Reader) error {
+	var report AdaptiveReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return fmt.Errorf("bench: malformed adaptive report: %w", err)
+	}
+	if report.Schema != adaptiveSchema {
+		return fmt.Errorf("bench: schema %q, want %q", report.Schema, adaptiveSchema)
+	}
+	if len(report.Scenarios) < 3 {
+		return fmt.Errorf("bench: %d skew cells recorded, want at least 3 (uniform plus two Zipf shapes)", len(report.Scenarios))
+	}
+	stations := report.Config.Stations
+	totalAdaptiveFPs, totalStaticFPs := 0, 0
+	for _, s := range report.Scenarios {
+		if s.RolloutApplied != stations {
+			return fmt.Errorf("bench: %s: rollout reached %d of %d stations", s.Skew, s.RolloutApplied, stations)
+		}
+		if s.RolloutEpoch == 0 || s.ParamEpoch != s.RolloutEpoch {
+			return fmt.Errorf("bench: %s: live search ran at epoch %d, rollout installed %d", s.Skew, s.ParamEpoch, s.RolloutEpoch)
+		}
+		if !s.ResultsMatchStatic {
+			return fmt.Errorf("bench: %s: adaptive routed results diverged from the static twin", s.Skew)
+		}
+		if s.Recall != 1 {
+			return fmt.Errorf("bench: %s: recall %.3f — adaptation changed recall", s.Skew, s.Recall)
+		}
+		if s.AdaptiveMisses != 0 || s.StaticMisses != 0 {
+			return fmt.Errorf("bench: %s: digests missed true matches (adaptive %d, static %d)", s.Skew, s.AdaptiveMisses, s.StaticMisses)
+		}
+		if s.DigestBits == 0 || s.EmptyBands == 0 {
+			return fmt.Errorf("bench: %s: empty measurement (bits %d, empty bands %d)", s.Skew, s.DigestBits, s.EmptyBands)
+		}
+		if s.StaticBandFPs > 0 && s.AdaptiveBandFPs >= s.StaticBandFPs {
+			return fmt.Errorf("bench: %s: adaptive falsely admits %d of %d empty bands, static %d — no strict win at equal memory",
+				s.Skew, s.AdaptiveBandFPs, s.EmptyBands, s.StaticBandFPs)
+		}
+		if s.StaticBandFPs == 0 && s.AdaptiveBandFPs > 0 {
+			return fmt.Errorf("bench: %s: adaptive falsely admits %d empty bands where static admits none", s.Skew, s.AdaptiveBandFPs)
+		}
+		if s.AdaptiveFalseRoutes > s.StaticFalseRoutes {
+			return fmt.Errorf("bench: %s: adaptive false-routes %d probes, static %d — adaptivity regressed routing",
+				s.Skew, s.AdaptiveFalseRoutes, s.StaticFalseRoutes)
+		}
+		if s.AdaptiveBound >= s.StaticBound {
+			return fmt.Errorf("bench: %s: adaptive bound %.5f not below static bound %.5f at equal memory",
+				s.Skew, s.AdaptiveBound, s.StaticBound)
+		}
+		totalAdaptiveFPs += s.AdaptiveBandFPs
+		totalStaticFPs += s.StaticBandFPs
+	}
+	if totalAdaptiveFPs >= totalStaticFPs {
+		return fmt.Errorf("bench: adaptive band FPs %d not strictly below static %d summed over the sweep", totalAdaptiveFPs, totalStaticFPs)
+	}
+	return nil
+}
+
+// RenderAdaptive prints the report as an aligned text table.
+func RenderAdaptive(w io.Writer, r *AdaptiveReport) {
+	fmt.Fprintf(w, "Adaptive parameter baseline (%s, %s/%s, GOMAXPROCS=%d, %d stations x %d residents, %d b / eps %d)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS,
+		r.Config.Stations, r.Config.ResidentsPerStation, r.Config.Samples, r.Config.Epsilon)
+	fmt.Fprintf(w, "%9s %6s %6s %10s %11s %10s %9s %9s %10s %10s\n",
+		"skew", "epoch", "bits", "emptyband", "adaptFP", "staticFP", "adaptRt", "staticRt", "adaptBnd", "staticBnd")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, "%9s %6d %6d %10d %11d %10d %9d %9d %10.5f %10.5f\n",
+			s.Skew, s.RolloutEpoch, s.DigestBits, s.EmptyBands,
+			s.AdaptiveBandFPs, s.StaticBandFPs,
+			s.AdaptiveFalseRoutes, s.StaticFalseRoutes,
+			s.AdaptiveBound, s.StaticBound)
+	}
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(w, "%s: results byte-equal to static twin: %v, recall %.2f, rollout reached %d stations\n",
+			s.Skew, s.ResultsMatchStatic, s.Recall, s.RolloutApplied)
+	}
+}

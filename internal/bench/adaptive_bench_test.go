@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// quickAdaptiveConfig shrinks the traffic samples for the unit-test tier.
+// The gates are seeded and protocol-determined, so even the small run must
+// pass CheckAdaptiveJSON.
+func quickAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		WarmQueries:    300,
+		MeasureQueries: 800,
+		Skews: []AdaptiveSkew{
+			{Name: "uniform", ZipfS: 0, DigestSeeds: 1},
+			{Name: "zipf1.2", ZipfS: 1.2, DigestSeeds: 1},
+			{Name: "zipf2.0", ZipfS: 2.0, DigestSeeds: 3},
+		},
+	}
+}
+
+func TestAdaptiveBenchReportShape(t *testing.T) {
+	r, err := RunAdaptiveBench(context.Background(), quickAdaptiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 3 {
+		t.Fatalf("%d scenarios, want 3", len(r.Scenarios))
+	}
+	for _, s := range r.Scenarios {
+		if !s.ResultsMatchStatic || s.Recall != 1 {
+			t.Fatalf("scenario %+v: the runner must refuse to record result drift", s)
+		}
+		if s.RolloutApplied != 6 {
+			t.Fatalf("%s: rollout reached %d stations, want 6", s.Skew, s.RolloutApplied)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAdaptiveJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAdaptiveJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-tripped report fails its own check: %v", err)
+	}
+	var render bytes.Buffer
+	RenderAdaptive(&render, r)
+	if !strings.Contains(render.String(), "uniform") {
+		t.Fatalf("render missing skew rows:\n%s", render.String())
+	}
+}
+
+func TestCheckAdaptiveJSONRejects(t *testing.T) {
+	if err := CheckAdaptiveJSON(strings.NewReader("{}")); err == nil {
+		t.Fatal("empty report passed the check")
+	}
+	if err := CheckAdaptiveJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("malformed report passed the check")
+	}
+}

@@ -208,3 +208,61 @@ func TestPropertyWordsRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUnrollTailSizes crosses the 4-wide unroll boundary in UnionWith and
+// Count: every length from 1 through 10 words exercises the unrolled body,
+// the scalar tail, or both, and must agree with a bit-by-bit reference.
+func TestUnrollTailSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for words := 1; words <= 10; words++ {
+		n := uint64(words * 64)
+		a, b := New(n), New(n)
+		ref := map[uint64]bool{}
+		for k := 0; k < words*24; k++ {
+			i, j := rng.Uint64()%n, rng.Uint64()%n
+			a.Set(i)
+			b.Set(j)
+			ref[i] = true
+			ref[j] = true
+		}
+		if err := a.UnionWith(b); err != nil {
+			t.Fatal(err)
+		}
+		if a.Count() != uint64(len(ref)) {
+			t.Fatalf("%d words: Count = %d, want %d", words, a.Count(), len(ref))
+		}
+		for i := range ref {
+			if !a.Test(i) {
+				t.Fatalf("%d words: union lost bit %d", words, i)
+			}
+		}
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	dst, src := New(1<<16), New(1<<16)
+	for i := uint64(0); i < src.Len(); i += 3 {
+		src.Set(i)
+	}
+	b.SetBytes(int64(src.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.UnionWith(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchCountSink uint64
+
+func BenchmarkCount(b *testing.B) {
+	s := New(1 << 16)
+	for i := uint64(0); i < s.Len(); i += 3 {
+		s.Set(i)
+	}
+	b.SetBytes(int64(s.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCountSink = s.Count()
+	}
+}

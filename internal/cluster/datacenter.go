@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"dimatch/internal/adapt"
 	"dimatch/internal/core"
 	"dimatch/internal/index"
 	"dimatch/internal/metrics"
@@ -87,6 +88,12 @@ type Options struct {
 	// probes per level but hold more inner-node unions; see docs/ROUTING.md
 	// and docs/OPERATIONS.md for choosing it.
 	TreeFanout int
+	// AdaptWindow is the traffic profiler's sliding window in observed
+	// band probes: once that many accumulate, every counter halves, so the
+	// profile tracks the recent mix instead of all history (see
+	// internal/adapt and docs/OPERATIONS.md on sizing it). 0 keeps the
+	// unbounded all-history profile.
+	AdaptWindow int
 }
 
 // CostReport quantifies one search, feeding Figures 4b-4d. Counts are
@@ -153,6 +160,13 @@ type CostReport struct {
 	// delegates (regions) answered. 0 for BF/naive searches, which never
 	// delegate.
 	TierHops int
+	// ParamEpoch is the adaptive parameter epoch live at this search's
+	// start (see Cluster.RederiveParams), 0 while the cluster runs pure
+	// static parameters. The search is pinned to it for observability: a
+	// rollout completing mid-search changes station digests (each
+	// self-describing and individually conservative), never this search's
+	// results.
+	ParamEpoch uint64
 }
 
 // TotalBytes returns the search's dissemination plus report traffic.
@@ -359,6 +373,18 @@ type Cluster struct {
 	// Cluster.routingDigest (region.go).
 	upward upwardDigest
 
+	// profiler accumulates the band-traffic profile the routing step
+	// observes; RederiveParams turns it into an adaptive parameter plan
+	// (params.go). Internally synchronized — searches feed it concurrently.
+	profiler *adapt.Profiler
+	// rolloutMu serializes whole parameter rollouts (RederiveParams,
+	// ResetParams): held across the update fan-out, never by searches.
+	// paramMu guards the live epoch/plan pair with short critical sections.
+	rolloutMu  sync.Mutex
+	paramMu    sync.Mutex
+	paramEpoch uint64      // dimatch:guardedby paramMu
+	paramPlan  *index.Plan // dimatch:guardedby paramMu
+
 	// Streaming-pipeline hooks (see stream_hooks.go): membership-change
 	// subscribers and registered health-snapshot providers. hookMu is
 	// leaf-level — never held while c.mu is taken or a callback runs.
@@ -416,6 +442,7 @@ func New(opts Options, stationData map[uint32]map[core.PersonID]pattern.Pattern)
 	if c.length == 0 {
 		return fail(errors.New("cluster: stations hold no patterns"))
 	}
+	c.profiler = adapt.NewProfiler(c.length, opts.AdaptWindow)
 	c.installEpochLocked(ids, muxes)
 	return c, nil
 }
@@ -463,6 +490,7 @@ func NewWithLinks(opts Options, links map[uint32]transport.Link, patternLength i
 	for _, id := range ids {
 		muxes = append(muxes, transport.NewMux(links[id]))
 	}
+	c.profiler = adapt.NewProfiler(c.length, opts.AdaptWindow)
 	c.installEpochLocked(ids, muxes)
 	return c, nil
 }
@@ -1035,6 +1063,10 @@ func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...Sear
 		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
 
+	// Pin the parameter epoch live at the search's start; a rollout landing
+	// mid-search swaps digests (each self-describing), never results.
+	paramEpoch, _ := c.ParamState()
+
 	start := time.Now()
 	var (
 		out *Outcome
@@ -1055,6 +1087,7 @@ func (c *Cluster) Search(ctx context.Context, queries []core.Query, opts ...Sear
 	}
 
 	out.Strategy = cfg.strategy
+	out.Cost.ParamEpoch = paramEpoch
 	// Elapsed is stamped before the stats lookup: storage bookkeeping must
 	// not inflate the latency figures the benchmarks report.
 	out.Cost.Elapsed = time.Since(start)

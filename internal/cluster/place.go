@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"dimatch/internal/adapt"
 	"dimatch/internal/core"
 	"dimatch/internal/pattern"
 	"dimatch/internal/placement"
@@ -540,6 +541,7 @@ func NewEmpty(opts Options, stationIDs []uint32, patternLength int) (*Cluster, e
 		muxes = append(muxes, transport.NewMux(center))
 		c.pending = append(c.pending, NewStation(id, nil, stationEnd))
 	}
+	c.profiler = adapt.NewProfiler(c.length, opts.AdaptWindow)
 	c.installEpochLocked(ids, muxes)
 	return c, nil
 }

@@ -239,7 +239,10 @@ func (c *Cluster) planRoute(ctx context.Context, ep *epoch, cfg searchConfig, qu
 		selective = selective || pr.Selective()
 	}
 	if !selective {
-		return ep // nothing can prune: skip the summary traffic entirely
+		// Nothing can prune: skip the summary traffic entirely. Unselective
+		// probes still advance the profiler's query clock (no bands).
+		c.observeRoute(probes, nil)
+		return ep
 	}
 
 	// Collect cached summaries and fetch the missing ones concurrently.
@@ -301,6 +304,21 @@ func (c *Cluster) planRoute(ctx context.Context, ep *epoch, cfg searchConfig, qu
 			cost.SummaryBytesUp += sizes[fi][1]
 		}
 	}
+
+	// Feed the traffic profiler: the probes' bands, plus emptiness feedback
+	// against every digest this pass can consult — a band no station digest
+	// admits is (to within digest fp) empty cluster-wide, exactly the
+	// traffic whose false admissions the adaptive solver targets. Pre-v5
+	// and unreachable stations contribute no digest; their residents are
+	// invisible to the emptiness check, which only skews bit placement,
+	// never soundness.
+	consulted := make([]*index.Summary, 0, len(slots))
+	for _, sl := range slots {
+		if sl.sum != nil {
+			consulted = append(consulted, sl.sum)
+		}
+	}
+	c.observeRoute(probes, consulted)
 
 	// The inclusion pass. Under RoutingTree the cached digests are arranged
 	// in the Bloofi tree and the probes descend it — one union check can rule

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dimatch/internal/adapt"
 	"dimatch/internal/core"
 	"dimatch/internal/pattern"
 	"dimatch/internal/store"
@@ -61,6 +62,7 @@ func NewStored(opts Options, stations map[uint32]store.Store, patternLength int)
 		muxes = append(muxes, transport.NewMux(center))
 		c.pending = append(c.pending, st)
 	}
+	c.profiler = adapt.NewProfiler(c.length, opts.AdaptWindow)
 	c.installEpochLocked(ids, muxes)
 	return c, nil
 }

@@ -72,6 +72,40 @@ func (m *Mux) fail(err error) {
 	m.mu.Unlock()
 }
 
+// exchangeScratch is RoundtripMany's per-call working set — the request ID
+// and reply-channel slices — recycled through scratchPool so the search fan
+// paths do not allocate two slices per station round. Only the slices are
+// reused: each exchange still gets a fresh buffered channel, because a late
+// dispatcher delivery into an abandoned channel must never surface in a
+// subsequent call.
+type exchangeScratch struct {
+	ids   []uint32
+	chans []chan wire.Message
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(exchangeScratch) }}
+
+// grow returns the scratch slices sized to n, reusing capacity.
+func (sc *exchangeScratch) grow(n int) ([]uint32, []chan wire.Message) {
+	if cap(sc.ids) < n {
+		sc.ids = make([]uint32, n)
+		sc.chans = make([]chan wire.Message, n)
+	}
+	sc.ids = sc.ids[:n]
+	sc.chans = sc.chans[:n]
+	return sc.ids, sc.chans
+}
+
+// release drops the channel references (they are one-shot) and returns the
+// scratch to the pool. Callers must not release while the send goroutine
+// can still read the ID slice — see RoundtripMany's cancellation path.
+func (sc *exchangeScratch) release() {
+	for i := range sc.chans {
+		sc.chans[i] = nil
+	}
+	scratchPool.Put(sc)
+}
+
 // Roundtrip stamps msg with a fresh request ID, sends it, and waits for the
 // matching reply, the context's cancellation, or link failure. It is safe
 // for any number of concurrent callers. It is the single-message case of
@@ -103,8 +137,8 @@ func (m *Mux) RoundtripMany(ctx context.Context, msgs []wire.Message) ([]wire.Me
 		m.mu.Unlock()
 		return nil, err
 	}
-	ids := make([]uint32, len(msgs))
-	chans := make([]chan wire.Message, len(msgs))
+	sc := scratchPool.Get().(*exchangeScratch)
+	ids, chans := sc.grow(len(msgs))
 	for i := range msgs {
 		// 0 is reserved for fire-and-forget frames, and an ID still pending
 		// (possible once the counter wraps on a long-lived link) must not be
@@ -164,9 +198,12 @@ func (m *Mux) RoundtripMany(ctx context.Context, msgs []wire.Message) ([]wire.Me
 	case err := <-sendDone:
 		if err != nil {
 			abandon()
+			sc.release()
 			return nil, err
 		}
 	case <-ctx.Done():
+		// The send goroutine may still be walking the ID slice; the scratch
+		// leaks to the GC instead of the pool, which is the rare path.
 		abandon()
 		return nil, ctx.Err()
 	case <-m.done:
@@ -174,12 +211,15 @@ func (m *Mux) RoundtripMany(ctx context.Context, msgs []wire.Message) ([]wire.Me
 		return nil, m.Err()
 	}
 
+	// From here the send goroutine has exited, so the scratch can be
+	// recycled on every return.
 	replies := make([]wire.Message, len(msgs))
 	for i, ch := range chans {
 		select {
 		case replies[i] = <-ch:
 		case <-ctx.Done():
 			abandon()
+			sc.release()
 			return nil, ctx.Err()
 		case <-m.done:
 			// The reply may have been delivered in the instant before failure.
@@ -189,9 +229,11 @@ func (m *Mux) RoundtripMany(ctx context.Context, msgs []wire.Message) ([]wire.Me
 			default:
 			}
 			abandon()
+			sc.release()
 			return nil, m.Err()
 		}
 	}
+	sc.release()
 	return replies, nil
 }
 

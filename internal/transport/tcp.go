@@ -75,14 +75,28 @@ func (l *Listener) Accept() (Link, error) {
 // Close stops the listener.
 func (l *Listener) Close() error { return l.ln.Close() }
 
+// frameBuf wraps the send buffer in a pointer so pool round-trips do not
+// themselves allocate (a bare []byte would be boxed on every Put).
+type frameBuf struct{ b []byte }
+
+// framePool recycles frame encode buffers across all TCP links in the
+// process: the batch pipeline sends one frame per round per station, and
+// without reuse every frame costs a fresh header+payload copy allocation.
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
 func (l *tcpLink) Send(m wire.Message) error {
-	frame := m.Encode()
+	fb := framePool.Get().(*frameBuf)
+	frame := m.AppendFrame(fb.b[:0])
+	n := len(frame)
 	l.sendMu.Lock()
-	defer l.sendMu.Unlock()
-	if _, err := l.conn.Write(frame); err != nil {
+	_, err := l.conn.Write(frame)
+	l.sendMu.Unlock()
+	fb.b = frame[:0]
+	framePool.Put(fb)
+	if err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
-	l.sendMeter.Add(len(frame))
+	l.sendMeter.Add(n)
 	return nil
 }
 

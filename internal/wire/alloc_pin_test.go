@@ -1,0 +1,42 @@
+// AllocsPerRun pins for the //dimatch:noalloc functions of this package:
+// Message.AppendFrame (the hot-path frame renderer behind every pooled
+// send) and AppendBatchReplyPayload (a station's streaming batch answer).
+// The noalloc analyzer is the static early warning; these tests are the
+// runtime ground truth. cmd/di-lint -allocharness reports any annotated
+// function missing from this file.
+package wire
+
+import (
+	"testing"
+
+	"dimatch/internal/core"
+)
+
+var frameSink []byte
+
+func TestNoallocMessageAppendFrame(t *testing.T) {
+	m := Message{Kind: KindAck, Request: 7, Payload: []byte{1, 2, 3, 4}}
+	buf := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(100, func() {
+		frameSink = m.AppendFrame(buf[:0])
+	}); n != 0 {
+		t.Fatalf("Message.AppendFrame allocates %v times per run; //dimatch:noalloc requires 0", n)
+	}
+}
+
+func TestNoallocAppendBatchReplyPayload(t *testing.T) {
+	b := BatchReply{
+		Station: 3,
+		Queries: 2,
+		Reports: []core.Report{
+			{Person: 11, WeightIDs: []core.WeightID{1, 2}},
+			{Person: 12, WeightIDs: []core.WeightID{3}},
+		},
+	}
+	buf := make([]byte, 0, BatchReplyPayloadSize(b))
+	if n := testing.AllocsPerRun(100, func() {
+		frameSink = AppendBatchReplyPayload(buf[:0], b)
+	}); n != 0 {
+		t.Fatalf("AppendBatchReplyPayload allocates %v times per run; //dimatch:noalloc requires 0", n)
+	}
+}

@@ -31,6 +31,11 @@ const (
 		"7b14ae47e17a843f" + "0002"
 	workedRouteReplyHex = "a7d106152a000000" + "0c000000" +
 		"030502010001" + "010709181801"
+	// The v7 worked frame from docs/WIRE.md: a KindParamUpdate installing a
+	// three-group adaptive plan at epoch 2.
+	workedParamUpdateHex = "a7d107162a000000" + "1b000000" +
+		"020000000000000001" + "1704000000000000" + "03" +
+		"020501" + "030604" + "040710"
 )
 
 func mustHex(t testing.TB, s string) []byte {
@@ -127,6 +132,11 @@ func FuzzDecodePayload(f *testing.F) {
 		Results: []RouteResult{{Query: 1, Person: 9, Numerator: 12, Denominator: 12, Stations: 3}},
 		Probes:  5, Visited: 2, Pruned: 1, Hops: 1,
 	}).Payload)
+	f.Add(uint8(KindParamUpdate), mustHex(f, workedParamUpdateHex)[12:])
+	if pu, err := EncodeParamUpdate(ParamUpdate{Epoch: 9}); err == nil {
+		f.Add(uint8(KindParamUpdate), pu.Payload)
+	}
+	f.Add(uint8(KindParamAck), EncodeParamAck(ParamAck{Station: 4, Epoch: 3, Applied: true}).Payload)
 
 	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
 		k := Kind(kind%uint8(maxKind)) + 1
@@ -230,6 +240,35 @@ func FuzzDecodePayload(f *testing.F) {
 					if re.Results[i] != rr.Results[i] {
 						t.Fatalf("route-reply result %d changed: %+v vs %+v", i, re.Results[i], rr.Results[i])
 					}
+				}
+			}
+		case KindParamUpdate:
+			pu, err := DecodeParamUpdate(m)
+			if err == nil {
+				enc, err := EncodeParamUpdate(pu)
+				if err != nil {
+					t.Fatalf("param-update re-encode failed: %v", err)
+				}
+				re, err := DecodeParamUpdate(enc)
+				if err != nil {
+					t.Fatalf("param-update re-decode failed: %v", err)
+				}
+				if re.Epoch != pu.Epoch || (re.Plan == nil) != (pu.Plan == nil) {
+					t.Fatalf("param-update roundtrip changed: %+v vs %+v", re, pu)
+				}
+				if re.Plan != nil && !re.Plan.Equal(pu.Plan) {
+					t.Fatalf("param-update plan roundtrip changed: %+v vs %+v", re.Plan, pu.Plan)
+				}
+			}
+		case KindParamAck:
+			pa, err := DecodeParamAck(m)
+			if err == nil {
+				re, err := DecodeParamAck(EncodeParamAck(pa))
+				if err != nil {
+					t.Fatalf("param-ack re-decode failed: %v", err)
+				}
+				if re != pa {
+					t.Fatalf("param-ack roundtrip changed: %+v vs %+v", re, pa)
 				}
 			}
 		case KindShipAll, KindShutdown, KindStats, KindSummary:

@@ -107,14 +107,14 @@ func TestSummaryReplyRejectsCorruption(t *testing.T) {
 	}
 }
 
-// TestStatsReplyAdvertisesV6 pins the capability handshake: a modern
-// station's stats reply advertises LatestVersion = 6.
-func TestStatsReplyAdvertisesV6(t *testing.T) {
+// TestStatsReplyAdvertisesV7 pins the capability handshake: a modern
+// station's stats reply advertises LatestVersion = 7.
+func TestStatsReplyAdvertisesV7(t *testing.T) {
 	sr, err := DecodeStatsReply(EncodeStatsReply(StatsReply{Station: 3}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sr.MaxVersion != Version6 {
-		t.Fatalf("MaxVersion %d, want %d", sr.MaxVersion, Version6)
+	if sr.MaxVersion != Version7 {
+		t.Fatalf("MaxVersion %d, want %d", sr.MaxVersion, Version7)
 	}
 }

@@ -41,6 +41,8 @@ func TestKindTablesInSync(t *testing.T) {
 	for k := Kind(1); k <= maxKind; k++ {
 		want := Version1
 		switch {
+		case k > maxKindV6:
+			want = Version7
 		case k > maxKindV5:
 			want = Version6
 		case k > maxKindV4:

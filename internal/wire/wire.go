@@ -64,6 +64,20 @@
 // the route-delegate capability flag set (StatsReply.Flags); everything else
 // is searched directly, never pruned. docs/ROUTING.md covers the topology.
 //
+// Version 7 adds the adaptive-parameter kinds (KindParamUpdate,
+// KindParamAck) for traffic-adaptive routing digests: the coordinator
+// derives a Daisy-style per-group parameter plan from its observed query
+// mix (internal/adapt) and ships it to stations, which rebuild their
+// routing digest under the plan — same memory budget, re-partitioned — and
+// acknowledge with the parameter epoch. A parameter kind in a frame stamped
+// 6 or below is rejected with ErrBadKind, Encode stamps parameter frames
+// version 7, and the coordinator only sends KindParamUpdate to stations
+// whose stats reply advertised MaxVersion >= 7 without the route-delegate
+// flag; every other peer stays on the static table. Digests built under a
+// plan self-describe their geometry in the KindSummaryReply payload (the
+// hash-count field is 0 and a geometry table follows the words), so a
+// received digest probes correctly whatever parameter epoch it came from.
+//
 // Payloads use unsigned varints for counts and small integers, raw 64-bit
 // words for bit arrays.
 package wire
@@ -136,16 +150,25 @@ const (
 	// KindRouteReply answers a route query with the region's raw per-person
 	// weight sums and routing counters (v6 only).
 	KindRouteReply
+	// KindParamUpdate ships an adaptive routing-digest parameter plan (or a
+	// revert-to-static directive) to a station; the station rebuilds its
+	// digest under the plan and answers with KindParamAck (v7 only).
+	KindParamUpdate
+	// KindParamAck acknowledges a parameter update, echoing the parameter
+	// epoch and whether the plan was applied (v7 only).
+	KindParamAck
 
 	// maxKindV2 is the last kind a version-1/2 peer understands; the batch
 	// kinds beyond it require version-3 frames, the dump kinds beyond those
-	// require version-4 frames, the summary kinds version-5 frames, and the
-	// route kinds version-6 frames.
+	// require version-4 frames, the summary kinds version-5 frames, the
+	// route kinds version-6 frames, and the parameter kinds version-7
+	// frames.
 	maxKindV2 = KindAck
 	maxKindV3 = KindBatchReply
 	maxKindV4 = KindDumpReply
 	maxKindV5 = KindSummaryReply
-	maxKind   = KindRouteReply
+	maxKindV6 = KindRouteReply
+	maxKind   = KindParamAck
 )
 
 func (k Kind) String() string {
@@ -192,6 +215,10 @@ func (k Kind) String() string {
 		return "route-query"
 	case KindRouteReply:
 		return "route-reply"
+	case KindParamUpdate:
+		return "param-update"
+	case KindParamAck:
+		return "param-ack"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -199,9 +226,9 @@ func (k Kind) String() string {
 
 // Protocol versions. Version1 frames lack the requestID field; Version2
 // added it; Version3 added the batch kinds with an unchanged header;
-// Version4 added the dump kinds, Version5 the summary kinds and Version6
-// the route kinds, each again with an unchanged header. A receiver accepts
-// any version up to Version6.
+// Version4 added the dump kinds, Version5 the summary kinds, Version6 the
+// route kinds and Version7 the adaptive-parameter kinds, each again with an
+// unchanged header. A receiver accepts any version up to Version7.
 const (
 	Version1 = uint8(1)
 	Version2 = uint8(2)
@@ -209,9 +236,10 @@ const (
 	Version4 = uint8(4)
 	Version5 = uint8(5)
 	Version6 = uint8(6)
+	Version7 = uint8(7)
 	// LatestVersion is the highest version this codec speaks — what a
 	// station advertises in its StatsReply.
-	LatestVersion = Version6
+	LatestVersion = Version7
 )
 
 // kindFloors is the version-gating table: the lowest frame version each
@@ -244,6 +272,8 @@ var kindFloors = map[Kind]uint8{
 	KindSummaryReply: Version5,
 	KindRouteQuery:   Version6,
 	KindRouteReply:   Version6,
+	KindParamUpdate:  Version7,
+	KindParamAck:     Version7,
 }
 
 // MinVersion returns the lowest frame version the kind may appear in, and
@@ -304,12 +334,12 @@ func (m Message) WithRequest(id uint32) Message {
 func (m Message) EncodedSize() int { return headerSize + len(m.Payload) }
 
 // encodeVersion resolves the version byte a frame is stamped with: the
-// kind's gating floor (kindFloors) is the minimum — route kinds version 6,
-// summary kinds version 5, dump kinds version 4, batch kinds version 3 —
-// and everything else defaults to version 2 so pre-batch peers keep
-// decoding it. An explicit Version in [2,6] overrides the default (but
-// never below a kind's floor); version-1 encoding is not supported — v1 is
-// a decode-compatibility floor only.
+// kind's gating floor (kindFloors) is the minimum — parameter kinds version
+// 7, route kinds version 6, summary kinds version 5, dump kinds version 4,
+// batch kinds version 3 — and everything else defaults to version 2 so
+// pre-batch peers keep decoding it. An explicit Version in [2,7] overrides
+// the default (but never below a kind's floor); version-1 encoding is not
+// supported — v1 is a decode-compatibility floor only.
 func (m Message) encodeVersion() uint8 {
 	v := m.Version
 	if v < Version2 || v > LatestVersion {
@@ -321,18 +351,30 @@ func (m Message) encodeVersion() uint8 {
 	return v
 }
 
-// Encode renders the frame. Route kinds are stamped version 6, summary
-// kinds version 5, dump kinds version 4, batch kinds version 3, everything
-// else version 2 (see encodeVersion).
+// Encode renders the frame. Parameter kinds are stamped version 7, route
+// kinds version 6, summary kinds version 5, dump kinds version 4, batch
+// kinds version 3, everything else version 2 (see encodeVersion).
 func (m Message) Encode() []byte {
-	out := make([]byte, headerSize+len(m.Payload))
-	binary.LittleEndian.PutUint16(out[0:2], magic)
-	out[2] = m.encodeVersion()
-	out[3] = uint8(m.Kind)
-	binary.LittleEndian.PutUint32(out[4:8], m.Request)
-	binary.LittleEndian.PutUint32(out[8:12], uint32(len(m.Payload)))
-	copy(out[headerSize:], m.Payload)
-	return out
+	out := make([]byte, 0, headerSize+len(m.Payload))
+	return m.AppendFrame(out)
+}
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice — the pooled-buffer variant of Encode for send paths that reuse one
+// buffer across frames (transport's TCP link). With sufficient capacity it
+// performs no allocation.
+//
+//dimatch:noalloc
+func (m Message) AppendFrame(dst []byte) []byte {
+	buf := dst[:len(dst)]
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], magic)
+	hdr[2] = m.encodeVersion()
+	hdr[3] = uint8(m.Kind)
+	binary.LittleEndian.PutUint32(hdr[4:8], m.Request)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(m.Payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, m.Payload...)
 }
 
 // parseHeader validates the fixed fields shared by Decode and ReadMessage.
@@ -343,7 +385,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 	}
 	version = hdr[2]
 	switch version {
-	case Version2, Version3, Version4, Version5, Version6:
+	case Version2, Version3, Version4, Version5, Version6, Version7:
 		size = headerSize
 		request = binary.LittleEndian.Uint32(hdr[4:8])
 		n = binary.LittleEndian.Uint32(hdr[8:12])
@@ -355,9 +397,10 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 	}
 	kind = Kind(hdr[3])
 	// The batch kinds exist only from version 3, the dump kinds only from
-	// version 4, the summary kinds only from version 5 and the route kinds
-	// only from version 6 (kindFloors): a newer kind in an older frame is as
-	// unknown as kind 200 would be.
+	// version 4, the summary kinds only from version 5, the route kinds only
+	// from version 6 and the parameter kinds only from version 7
+	// (kindFloors): a newer kind in an older frame is as unknown as kind 200
+	// would be.
 	if floor, ok := kindFloors[kind]; !ok || version < floor {
 		return 0, 0, 0, 0, 0, ErrBadKind
 	}
@@ -368,7 +411,7 @@ func parseHeader(hdr []byte) (kind Kind, request uint32, n uint32, version uint8
 }
 
 // Decode parses a frame from b, which must contain exactly one frame.
-// Frames of any version up to Version6 are accepted; the version is
+// Frames of any version up to Version7 are accepted; the version is
 // recorded on the returned message.
 func Decode(b []byte) (Message, error) {
 	if len(b) < headerSizeV1 {
@@ -400,7 +443,7 @@ func WriteMessage(w io.Writer, m Message) error {
 }
 
 // ReadMessage reads exactly one frame from r, accepting frames of any
-// version up to Version6.
+// version up to Version7.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
 	// Read the version-1 prefix first: all layouts share magic, version and
